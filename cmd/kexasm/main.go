@@ -1,0 +1,70 @@
+// kexasm assembles and disassembles the bytecode of this repository's
+// eBPF-class ISA.
+//
+// Usage:
+//
+//	kexasm prog.s                assemble, validate, print disassembly
+//	kexasm -hex prog.s           also print the encoded bytes
+//	echo 'r0 = 0' | kexasm -     read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kex/internal/ebpf/asm"
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/isa"
+)
+
+func main() {
+	hex := flag.Bool("hex", false, "print the encoded instruction bytes")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kexasm [-hex] <file.s | ->")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	insns, err := asm.Assemble(string(src), helpers.NewRegistry())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog := &isa.Program{Name: flag.Arg(0), Type: isa.Tracing, Insns: insns}
+	if err := prog.ValidateStructure(); err != nil {
+		fmt.Fprintf(os.Stderr, "structural check: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d instructions (%d encoded slots)\n", len(insns), isa.EncodedLen(insns))
+	fmt.Print(asm.Disassemble(insns))
+	if *hex {
+		// Encoding needs relocated map refs; show a placeholder note when
+		// symbolic references remain.
+		for _, ins := range insns {
+			if ins.MapName != "" {
+				fmt.Println("(contains symbolic map references; -hex skipped)")
+				return
+			}
+		}
+		raw, err := isa.Encode(insns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := 0; i < len(raw); i += 8 {
+			fmt.Printf("%04d: % x\n", i/8, raw[i:i+8])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// kexload drives the safext pipeline end to end from the command line:
+// compile an SLX source file with the trusted toolchain, sign it, load it
+// into a fresh simulated kernel (signature check + fixup, no verifier) and
+// invoke it.
+//
+// Usage:
+//
+//	kexload ext.slx              build, sign, load, run once
+//	kexload -n 5 ext.slx         run five invocations
+//	kexload -build-only ext.slx  compile and print object info, don't run
+//	kexload -deny pkt_write_u8 ext.slx   signing policy denies a capability
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kex/internal/safext/runtime"
+	"kex/internal/safext/toolchain"
+	"kex/pkg/kex"
+)
+
+type denyFlags []string
+
+func (d *denyFlags) String() string     { return strings.Join(*d, ",") }
+func (d *denyFlags) Set(s string) error { *d = append(*d, s); return nil }
+
+func main() {
+	n := flag.Int("n", 1, "number of invocations")
+	buildOnly := flag.Bool("build-only", false, "compile and report, do not run")
+	fuel := flag.Uint64("fuel", 0, "fuel limit (0 = config default)")
+	watchdog := flag.Int64("watchdog-ms", 0, "watchdog in virtual ms (0 = config default)")
+	var deny denyFlags
+	flag.Var(&deny, "deny", "capability the signing policy refuses (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kexload [-n N] [-build-only] [-deny cap] <file.slx>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	name := strings.TrimSuffix(flag.Arg(0), ".slx")
+
+	obj, err := toolchain.Build(name, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("compiled %q: %d instructions, %d bytes rodata, maps %d, capabilities %v\n",
+		obj.Name, len(obj.Insns), len(obj.Rodata), len(obj.Maps), obj.Capabilities)
+	if *buildOnly {
+		return
+	}
+
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	signer.Policy.DeniedCaps = deny
+	so, err := signer.Sign(obj)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "signing:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("signed: %d-byte payload, ed25519 signature ok\n", len(so.Payload))
+
+	k := kex.NewKernel()
+	cfg := runtime.DefaultConfig()
+	if *fuel > 0 {
+		cfg.Fuel = *fuel
+	}
+	if *watchdog > 0 {
+		cfg.WatchdogNs = *watchdog * 1_000_000
+	}
+	rt := runtime.New(k, cfg)
+	rt.AddKey(signer.PublicKey())
+	ext, err := rt.Load(so)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %q (signature validated; no verifier involved)\n", ext.Name)
+
+	for i := 0; i < *n; i++ {
+		v, err := ext.Run(runtime.RunOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			os.Exit(1)
+		}
+		status := "completed"
+		if v.Terminated {
+			status = "terminated (" + v.Reason + ")"
+		}
+		fmt.Printf("run %d: %s, R0=%d, %d insns, %.3fms virtual\n",
+			i+1, status, v.R0, v.Instructions, float64(v.RuntimeNs)/1e6)
+		for _, t := range v.Trace {
+			fmt.Printf("  trace: %s\n", t)
+		}
+	}
+	if k.Healthy() {
+		fmt.Println("kernel healthy.")
+	} else {
+		fmt.Println("kernel oops:", k.LastOops())
+	}
+}

@@ -1,0 +1,68 @@
+// kexrepro regenerates the paper's evaluation artifacts: every figure
+// (F2, F3, F4), every table (T1, T2), the §2.2 exploit experiments (E1,
+// E2), the §3.2 helper study (E3) and the design ablations (A1-A4).
+//
+// Usage:
+//
+//	kexrepro              run everything
+//	kexrepro -exp E2      run one experiment by id
+//	kexrepro -list        list experiment ids
+//	kexrepro -fig 3       alias for -exp F3
+//	kexrepro -table 1     alias for -exp T1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kex/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (F2..F4, T1, T2, E1..E3, A1..A4)")
+	fig := flag.String("fig", "", "figure number (2, 3, 4)")
+	table := flag.String("table", "", "table number (1, 2)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range []string{"F2", "F3", "F4", "T1", "T2", "E1", "E2", "E3", "A1", "A2", "A3", "A4", "X1"} {
+			fmt.Println(id)
+		}
+		return
+	}
+	id := *exp
+	if *fig != "" {
+		id = "F" + *fig
+	}
+	if *table != "" {
+		id = "T" + *table
+	}
+
+	if id != "" {
+		r, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Print(r)
+		if !r.Holds {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := 0
+	for _, r := range experiments.All() {
+		fmt.Println(r)
+		if !r.Holds {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) did not uphold the paper's claim\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("all experiments uphold the paper's claims.")
+}

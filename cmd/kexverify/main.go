@@ -1,0 +1,93 @@
+// kexverify runs the in-kernel-style verifier over an assembly program and
+// reports the verdict with statistics — a bpftool-prog-load stand-in for
+// poking at what the verifier accepts and rejects.
+//
+// Usage:
+//
+//	kexverify prog.s                       verify with modern defaults
+//	kexverify -era v4.9 prog.s             verify with a historical feature set
+//	kexverify -type socket_filter prog.s   choose the program type
+//	kexverify -map counts:4:8 prog.s       declare a map (name:key:value)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kex/internal/ebpf/asm"
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/verifier"
+)
+
+type mapFlags []string
+
+func (m *mapFlags) String() string     { return strings.Join(*m, ",") }
+func (m *mapFlags) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	era := flag.String("era", "", "kernel era feature set (v3.18, v4.9, v4.20, v5.4, v5.15)")
+	progType := flag.String("type", "tracing", "program type: tracing, socket_filter, xdp, syscall")
+	var mapDecls mapFlags
+	flag.Var(&mapDecls, "map", "declare a map as name:keysize:valuesize (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kexverify [-era vX.Y] [-type t] [-map n:k:v] <file.s>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := helpers.NewRegistry()
+	insns, err := asm.Assemble(string(src), reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	types := map[string]isa.ProgType{
+		"tracing": isa.Tracing, "socket_filter": isa.SocketFilter,
+		"xdp": isa.XDP, "syscall": isa.Syscall,
+	}
+	pt, ok := types[*progType]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown program type %q\n", *progType)
+		os.Exit(2)
+	}
+
+	mapMeta := map[string]*verifier.MapMeta{}
+	for _, d := range mapDecls {
+		parts := strings.Split(d, ":")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "bad -map %q, want name:keysize:valuesize\n", d)
+			os.Exit(2)
+		}
+		ks, err1 := strconv.Atoi(parts[1])
+		vs, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "bad -map sizes in %q\n", d)
+			os.Exit(2)
+		}
+		mapMeta[parts[0]] = &verifier.MapMeta{Name: parts[0], KeySize: ks, ValueSize: vs}
+	}
+
+	cfg := verifier.DefaultConfig()
+	if *era != "" {
+		cfg = verifier.EraConfig(*era)
+		fmt.Printf("using %s feature set (%d features)\n", *era, cfg.FeatureCount())
+	}
+	prog := &isa.Program{Name: flag.Arg(0), Type: pt, Insns: insns}
+	res, err := verifier.Verify(prog, reg, mapMeta, cfg)
+	fmt.Printf("instructions processed: %d\nstates explored: %d (pruned %d, peak %d)\n",
+		res.InsnsProcessed, res.StatesExplored, res.StatesPruned, res.PeakStates)
+	if err != nil {
+		fmt.Printf("verdict: REJECTED\n%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("verdict: ACCEPTED")
+}

@@ -1,0 +1,146 @@
+// Firewall: a packet filter on both stacks, plus the paper's point about
+// escape hatches — a verified program that crashes the kernel anyway by
+// calling a buggy helper (§2.2), next to a safext program whose only
+// packet access goes through the typed crate and cannot do the same.
+//
+// Run with: go run ./examples/firewall
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kex/pkg/kex"
+)
+
+// makePacket builds a toy packet: [proto u8 | srcPort u16 | payload...].
+func makePacket(k *kex.Kernel, proto byte, port uint16, payload []byte) (uint64, func()) {
+	pkt := append([]byte{proto, byte(port), byte(port >> 8)}, payload...)
+	skb := k.NewSKB(pkt)
+	ctx := k.Mem.Map(32, kex.MemRW, "skb_ctx")
+	k.Mem.StoreUint(ctx.Base+0, 8, skb.DataStart())
+	k.Mem.StoreUint(ctx.Base+8, 8, skb.DataEnd())
+	k.Mem.StoreUint(ctx.Base+16, 4, uint64(skb.Len))
+	return ctx.Base, func() { skb.Free(k) }
+}
+
+func main() {
+	k := kex.NewKernel()
+
+	// ---- verified eBPF filter with direct packet access ----------------
+	fmt.Println("== eBPF packet filter (direct packet access, verifier-checked) ==")
+	stack := kex.NewEBPFStack(k)
+	insns, err := kex.Assemble(stack, `
+		; drop (return 0) unless proto == 6 and port == 443
+		r2 = *(u64 *)(r1 +0)   ; data
+		r3 = *(u64 *)(r1 +8)   ; data_end
+		r4 = r2
+		r4 += 3
+		if r4 > r3 goto drop    ; bounds check required by the verifier
+		r5 = *(u8 *)(r2 +0)
+		if r5 != 6 goto drop
+		r5 = *(u16 *)(r2 +1)
+		if r5 != 443 goto drop
+		r0 = 1
+		exit
+	drop:
+		r0 = 0
+		exit
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filter, err := stack.Load(&kex.Program{Name: "fw", Type: kex.ProgSocketFilter, Insns: insns})
+	if err != nil {
+		log.Fatal(err)
+	}
+	packets := []struct {
+		name  string
+		proto byte
+		port  uint16
+	}{
+		{"tcp/443", 6, 443},
+		{"tcp/22", 6, 22},
+		{"udp/443", 17, 443},
+	}
+	for _, p := range packets {
+		ctx, free := makePacket(k, p.proto, p.port, []byte{0xaa, 0xbb})
+		rep, err := filter.Run(kex.EBPFRunOptions{CtxAddr: ctx})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "DROP"
+		if rep.R0 == 1 {
+			verdict = "PASS"
+		}
+		fmt.Printf("  %-8s -> %s\n", p.name, verdict)
+		free()
+	}
+
+	// ---- the same filter in SLX ------------------------------------------
+	fmt.Println("\n== safext packet filter (typed crate access, no verifier) ==")
+	rt := kex.NewSafeRuntime(k, kex.DefaultSafeRuntimeConfig())
+	signer, err := kex.NewSigner()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+	signed, err := signer.BuildAndSign("fw", `
+fn main() -> i64 {
+	// pkt_read_* is bounds-checked inside the trusted crate: no bounds
+	// proof to fight, no way to get it wrong.
+	if kernel::pkt_read_u8(0) != 6 { return 0; }
+	if kernel::pkt_read_u16(1) != 443 { return 0; }
+	return 1;
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ext, err := rt.Load(signed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range packets {
+		ctx, free := makePacket(k, p.proto, p.port, []byte{0xaa, 0xbb})
+		v, err := ext.Run(kex.SafeRunOptions{CtxAddr: ctx})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "DROP"
+		if v.R0 == 1 {
+			verdict = "PASS"
+		}
+		fmt.Printf("  %-8s -> %s\n", p.name, verdict)
+		free()
+	}
+
+	// ---- the escape hatch --------------------------------------------------
+	fmt.Println("\n== §2.2: a VERIFIED program crashes the kernel through a helper ==")
+	exploit, err := kex.Assemble(stack, `
+		; zero a 24-byte union bpf_attr on the stack
+		*(u64 *)(r10 -24) = 0
+		*(u64 *)(r10 -16) = 0
+		*(u64 *)(r10 -8) = 0
+		r1 = 1                  ; PROG_LOAD variant
+		r2 = r10
+		r2 += -24
+		r3 = 24
+		call bpf_sys_bpf        ; shallow arg check: union contents unseen
+		r0 = 0
+		exit
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lp, err := stack.Load(&kex.Program{Name: "exploit", Type: kex.ProgSyscall, Insns: exploit})
+	if err != nil {
+		log.Fatalf("the exploit must pass verification: %v", err)
+	}
+	fmt.Println("verifier verdict: ACCEPTED (all checks passed)")
+	_, runErr := lp.Run(kex.EBPFRunOptions{Bugs: kex.HelperBugs{SysBpfNullDeref: true}})
+	fmt.Printf("runtime: %v\n", runErr)
+	if o := k.LastOops(); o != nil {
+		fmt.Printf("kernel log: %v\n", o)
+	}
+}

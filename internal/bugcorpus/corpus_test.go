@@ -1,0 +1,94 @@
+package bugcorpus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1MatchesPaper pins the corpus to the paper's exact counts.
+func TestTable1MatchesPaper(t *testing.T) {
+	want := map[Category][3]int{ // total, helper, verifier
+		ArbitraryRW:  {3, 1, 2},
+		DeadlockHang: {2, 1, 1},
+		IntOverflow:  {2, 2, 0},
+		PtrLeak:      {5, 0, 5},
+		MemLeak:      {2, 0, 2},
+		NullDeref:    {7, 6, 1},
+		OOBAccess:    {7, 1, 6},
+		RefLeak:      {1, 1, 0},
+		UseAfterFree: {2, 1, 1},
+		Misc:         {9, 5, 4},
+	}
+	rows := Table1()
+	if len(rows) != len(Categories)+1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:len(rows)-1] {
+		w, ok := want[r.Category]
+		if !ok {
+			t.Errorf("unexpected category %q", r.Category)
+			continue
+		}
+		if r.Total != w[0] || r.Helper != w[1] || r.Verifier != w[2] {
+			t.Errorf("%s: got (%d,%d,%d), paper says (%d,%d,%d)",
+				r.Category, r.Total, r.Helper, r.Verifier, w[0], w[1], w[2])
+		}
+	}
+	total := rows[len(rows)-1]
+	if total.Total != 40 || total.Helper != 18 || total.Verifier != 22 {
+		t.Fatalf("totals = %+v, paper says 40/18/22", total)
+	}
+}
+
+func TestCorpusWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if b.ID == "" || b.Title == "" || b.Ref == "" {
+			t.Errorf("incomplete entry %+v", b)
+		}
+		if seen[b.ID] {
+			t.Errorf("duplicate ID %s", b.ID)
+		}
+		seen[b.ID] = true
+		if b.Component != InHelper && b.Component != InVerifier {
+			t.Errorf("%s: bad component %q", b.ID, b.Component)
+		}
+	}
+}
+
+// TestAllReproductionsSucceed runs every executable exploit in the corpus.
+func TestAllReproductionsSucceed(t *testing.T) {
+	execCount := 0
+	for _, b := range All() {
+		if !b.Executable() {
+			continue
+		}
+		execCount++
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			ev, err := b.Reproduce()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", b.ID, b.Title, err)
+			}
+			if ev.Summary == "" {
+				t.Fatalf("%s: no evidence", b.ID)
+			}
+			t.Logf("%s: %s [oops=%s]", b.ID, ev.Summary, ev.OopsKind)
+		})
+	}
+	if execCount < 12 {
+		t.Fatalf("only %d executable reproductions", execCount)
+	}
+}
+
+func TestRenderContainsAllRows(t *testing.T) {
+	out := Render()
+	for _, c := range Categories {
+		if !strings.Contains(out, string(c)) {
+			t.Errorf("row %q missing from render", c)
+		}
+	}
+	if !strings.Contains(out, "Total") {
+		t.Error("total row missing")
+	}
+}

@@ -1,0 +1,463 @@
+package bugcorpus
+
+import (
+	"errors"
+	"fmt"
+
+	"kex/internal/ebpf"
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/jit"
+	"kex/internal/ebpf/maps"
+	"kex/internal/ebpf/verifier"
+	"kex/internal/kernel"
+)
+
+// newStack boots an isolated kernel + eBPF stack for one reproduction.
+func newStack() (*kernel.Kernel, *ebpf.Stack) {
+	k := kernel.NewDefault()
+	return k, ebpf.NewStack(k)
+}
+
+func helperID(s *ebpf.Stack, name string) int32 {
+	spec, ok := s.Helpers.ByName(name)
+	if !ok {
+		panic("bugcorpus: missing helper " + name)
+	}
+	return int32(spec.ID)
+}
+
+// evidence assembles the result from the last kernel oops.
+func evidence(k *kernel.Kernel, summary string) (*Evidence, error) {
+	ev := &Evidence{Summary: summary}
+	if o := k.LastOops(); o != nil {
+		ev.OopsKind = string(o.Kind)
+	}
+	return ev, nil
+}
+
+// ---- helper-side reproductions ------------------------------------------------
+
+// reproSysBpfNullDeref is the §2.2 safety exploit: a program that PASSES
+// verification calls bpf_sys_bpf with a zero-filled union; the helper
+// dereferences the NULL pointer field and crashes the kernel.
+func reproSysBpfNullDeref() (*Evidence, error) {
+	k, s := newStack()
+	prog := &isa.Program{Name: "sys_bpf_exploit", Type: isa.Syscall, Insns: []isa.Instruction{
+		isa.StoreImm(isa.SizeDW, isa.R10, -24, 0),
+		isa.StoreImm(isa.SizeDW, isa.R10, -16, 0),
+		isa.StoreImm(isa.SizeDW, isa.R10, -8, 0),
+		isa.Mov64Imm(isa.R1, helpers.SysBpfProgLoad),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -24),
+		isa.Mov64Imm(isa.R3, 24),
+		isa.Call(helperID(s, "bpf_sys_bpf")),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, fmt.Errorf("exploit failed verification (it must pass): %w", err)
+	}
+	_, err = l.Run(ebpf.RunOptions{Bugs: helpers.BugConfig{SysBpfNullDeref: true}})
+	if !errors.Is(err, helpers.ErrKernelCrash) {
+		return nil, fmt.Errorf("expected kernel crash, got %v", err)
+	}
+	return evidence(k, "verified program crashed the kernel through bpf_sys_bpf's shallow-checked union argument")
+}
+
+func reproTaskStorageNull() (*Evidence, error) {
+	k, s := newStack()
+	if _, err := s.CreateMap(maps.Spec{Name: "storage", Type: maps.Hash, KeySize: 4, ValueSize: 8, MaxEntries: 8}); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{Name: "task_storage_null", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.LoadMapRef(isa.R1, "storage"),
+		isa.Mov64Imm(isa.R2, 0), // NULL task pointer: accepted by the verifier
+		isa.Mov64Imm(isa.R3, 0),
+		isa.Mov64Imm(isa.R4, 1),
+		isa.Call(helperID(s, "bpf_task_storage_get")),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, fmt.Errorf("exploit failed verification: %w", err)
+	}
+	_, err = l.Run(ebpf.RunOptions{Bugs: helpers.BugConfig{TaskStorageNullDeref: true}})
+	if !errors.Is(err, helpers.ErrKernelCrash) {
+		return nil, fmt.Errorf("expected kernel crash, got %v", err)
+	}
+	return evidence(k, "NULL owner pointer passed shallow type checking and was dereferenced by the helper")
+}
+
+func reproSkLookupRefLeak() (*Evidence, error) {
+	k, s := newStack()
+	sock := k.Sockets().Add("tcp", 0x0a000001, 443, 0x0a000002, 5555)
+	prog := &isa.Program{Name: "sk_leak", Type: isa.Tracing, Insns: skLookupAndRelease(s, 0x0a000001, 443, 0x0a000002, 5555)}
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.Run(ebpf.RunOptions{Bugs: helpers.BugConfig{SkLookupRefLeak: true}}); err != nil {
+		return nil, err
+	}
+	if c := sock.Ref().Count(); c != 2 {
+		return nil, fmt.Errorf("refcount = %d, want 2 (one leaked)", c)
+	}
+	return &Evidence{Summary: "program paired lookup/release correctly, yet the helper leaked one reference internally"}, nil
+}
+
+// skLookupAndRelease builds the correct lookup→check→release sequence.
+func skLookupAndRelease(s *ebpf.Stack, srcIP uint32, srcPort uint16, dstIP uint32, dstPort uint16) []isa.Instruction {
+	tupleLo := int64(uint64(srcIP) | uint64(dstIP)<<32)
+	tupleHi := int64(uint64(srcPort) | uint64(dstPort)<<16)
+	return []isa.Instruction{
+		isa.LoadImm64(isa.R1, tupleLo),
+		isa.StoreMem(isa.SizeDW, isa.R10, -16, isa.R1),
+		isa.LoadImm64(isa.R1, tupleHi),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		isa.Mov64Reg(isa.R1, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R1, -16),
+		isa.Mov64Imm(isa.R2, 12),
+		isa.Call(helperID(s, "bpf_sk_lookup_tcp")),
+		isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.Mov64Reg(isa.R1, isa.R0),
+		isa.Call(helperID(s, "bpf_sk_release")),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}
+}
+
+func reproGetTaskStackUAF() (*Evidence, error) {
+	k, s := newStack()
+	victim := k.NewTask("victim")
+	taskAddr := victim.Struct.Base
+	victim.Exit() // stack freed; the struct pointer stays resolvable
+	prog := &isa.Program{Name: "stack_uaf", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.LoadImm64(isa.R1, int64(taskAddr)),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -64),
+		isa.Mov64Imm(isa.R3, 64),
+		isa.Mov64Imm(isa.R4, 0),
+		isa.Call(helperID(s, "bpf_get_task_stack")),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+	// The program would not verify (scalar passed as task pointer is only
+	// allowed for NULL), so validate structure and run unverified — the
+	// bug is in the helper, reachable from tracing contexts holding stale
+	// task pointers.
+	if err := prog.ValidateStructure(); err != nil {
+		return nil, err
+	}
+	env := helpers.NewEnv(k, k.NewContext(0), s.Maps)
+	env.Bugs = helpers.BugConfig{GetTaskStackRefLeak: true}
+	spec, _ := s.Helpers.ByName("bpf_get_task_stack")
+	buf := k.Mem.Map(64, kernel.ProtRW, "out")
+	_, err := spec.Impl(env, [5]uint64{taskAddr, buf.Base, 64, 0})
+	if !errors.Is(err, helpers.ErrKernelCrash) {
+		return nil, fmt.Errorf("expected UAF crash, got %v", err)
+	}
+	return evidence(k, "helper walked a freed task stack because it held no reference")
+}
+
+func reproStrtolOverflow() (*Evidence, error) {
+	k, s := newStack()
+	env := helpers.NewEnv(k, k.NewContext(0), s.Maps)
+	env.Bugs = helpers.BugConfig{StrtolOverflow: true}
+	str := k.Mem.Map(32, kernel.ProtRW, "str")
+	copy(str.Data, "99999999999999999999")
+	res := k.Mem.Map(8, kernel.ProtRW, "res")
+	spec, _ := s.Helpers.ByName("bpf_strtol")
+	n, err := spec.Impl(env, [5]uint64{str.Base, 21, 10, res.Base})
+	if err != nil || int64(n) < 0 {
+		return nil, fmt.Errorf("buggy strtol rejected input: %d, %v", int64(n), err)
+	}
+	v, _ := k.Mem.LoadUint(res.Base, 8)
+	return &Evidence{Summary: fmt.Sprintf("out-of-range input silently wrapped to %d instead of -ERANGE", int64(v))}, nil
+}
+
+func reproArrayIndexOverflow() (*Evidence, error) {
+	k, _ := newStack()
+	reg := maps.NewRegistry()
+	m, _ := maps.NewBuggyArray(k, reg, maps.Spec{Name: "buggy", ValueSize: 0x10000, MaxEntries: 0x10001, KeySize: 4})
+	k4 := func(v uint32) []byte { return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)} }
+	a0, _ := m.Lookup(0, k4(0))
+	aBig, ok := m.Lookup(0, k4(0x10000))
+	if !ok || aBig != a0 {
+		return nil, fmt.Errorf("expected aliasing, got %#x vs %#x", aBig, a0)
+	}
+	return &Evidence{Summary: fmt.Sprintf("element 65536 aliases element 0 at %#x: 32-bit offset arithmetic wrapped", a0)}, nil
+}
+
+// reproLoopRCUStall is the §2.2 termination exploit: nested bpf_loop gives
+// linear control over runtime; running under rcu_read_lock past the stall
+// threshold triggers the RCU stall detector.
+func reproLoopRCUStall() (*Evidence, error) {
+	// The stall threshold is scaled from Linux's 21s to 10ms of virtual
+	// time so the demonstration completes quickly; the E2 experiment
+	// sweep shows the program's runtime scales linearly with iteration
+	// count, so the unscaled threshold is reachable the same way (the
+	// paper ran it for 800 wall-clock seconds).
+	cfg := kernel.DefaultConfig()
+	cfg.RCUStallTimeout = 10_000_000 // 10ms
+	k := kernel.New(cfg)
+	s := ebpf.NewStack(k)
+	prog := StallProgram(s, 800, 800)
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, fmt.Errorf("stall program failed verification (it must pass): %w", err)
+	}
+	if _, err := l.Run(ebpf.RunOptions{}); err != nil {
+		return nil, err
+	}
+	if k.Stats.RCUStalls == 0 {
+		return nil, fmt.Errorf("no RCU stall detected (runtime %dns)", k.Clock.Now())
+	}
+	return evidence(k, fmt.Sprintf("verified program held rcu_read_lock for %.1fms of virtual time; stall detector fired", float64(k.Clock.Now())/1e6))
+}
+
+// StallProgram builds the nested bpf_loop program of §2.2: outer×inner
+// callback iterations, each doing map-style work. Runtime grows linearly
+// with outer (and quadratically when outer == inner), exactly the "linear
+// control over total runtime" the paper describes.
+func StallProgram(s *ebpf.Stack, outer, inner int32) *isa.Program {
+	loopID := helperID(s, "bpf_loop")
+	return &isa.Program{Name: "rcu_stall", Type: isa.Tracing, Insns: []isa.Instruction{
+		// main: bpf_loop(outer, outerCB, inner, 0)
+		isa.Mov64Imm(isa.R1, outer),
+		isa.LoadFuncRef(isa.R2, 7),
+		isa.Mov64Imm(isa.R3, inner),
+		isa.Mov64Imm(isa.R4, 0),
+		isa.Call(loopID),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		// outerCB(i, inner): bpf_loop(inner, innerCB, 0, 0); return 0
+		isa.Mov64Reg(isa.R1, isa.R2),
+		isa.LoadFuncRef(isa.R2, 14),
+		isa.Mov64Imm(isa.R3, 0),
+		isa.Mov64Imm(isa.R4, 0),
+		isa.Call(loopID),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		// innerCB(j, ctx): a little arithmetic, return 0
+		isa.Mov64Reg(isa.R0, isa.R1),
+		isa.ALU64Imm(isa.OpMul, isa.R0, 3),
+		isa.ALU64Imm(isa.OpRsh, isa.R0, 1),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+}
+
+func reproRingbufBadSubmit() (*Evidence, error) {
+	k, s := newStack()
+	if _, err := s.CreateMap(maps.Spec{Name: "rb", Type: maps.RingBuf, MaxEntries: 256}); err != nil {
+		return nil, err
+	}
+	env := helpers.NewEnv(k, k.NewContext(0), s.Maps)
+	env.Bugs = helpers.BugConfig{RingbufDoubleSubmit: true}
+	m, _ := s.Maps.ByName("rb")
+	h, _ := s.Maps.Handle(m)
+	spec, _ := s.Helpers.ByName("bpf_ringbuf_submit")
+	// Submit an address that was never reserved: with the bug the helper
+	// accepts it silently, corrupting ring accounting.
+	if _, err := spec.Impl(env, [5]uint64{h, 0xdeadbeef}); err != nil {
+		return nil, fmt.Errorf("buggy submit rejected: %v", err)
+	}
+	return &Evidence{Summary: "unreserved record address accepted by ringbuf_submit; ring accounting corrupted"}, nil
+}
+
+// ---- verifier-side reproductions -------------------------------------------------
+
+func reproVerifierNullUntracked() (*Evidence, error) {
+	k, s := newStack()
+	s.VerifierConfig.Bugs = verifier.BugConfig{MapValueNullUntracked: true}
+	if _, err := s.CreateMap(maps.Spec{Name: "m", Type: maps.Hash, KeySize: 4, ValueSize: 8, MaxEntries: 4}); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{Name: "null_untracked", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 9), // key 9: never inserted
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+		isa.LoadMapRef(isa.R1, "m"),
+		isa.Call(helperID(s, "bpf_map_lookup_elem")),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R0, 0), // no null check!
+		isa.Exit(),
+	}}
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, fmt.Errorf("buggy verifier rejected the program: %w", err)
+	}
+	_, err = l.Run(ebpf.RunOptions{})
+	if !errors.Is(err, helpers.ErrKernelCrash) {
+		return nil, fmt.Errorf("expected crash, got %v", err)
+	}
+	return evidence(k, "verifier lost the or-null marking; the missed lookup was dereferenced")
+}
+
+func reproVerifierOffByOne() (*Evidence, error) {
+	k, s := newStack()
+	s.VerifierConfig.Bugs = verifier.BugConfig{OffByOneJle: true}
+	if _, err := s.CreateMap(maps.Spec{Name: "v", Type: maps.Array, KeySize: 4, ValueSize: 64, MaxEntries: 1}); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{Name: "off_by_one", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R6, isa.R1, 0), // unknown index from ctx
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 0),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+		isa.LoadMapRef(isa.R1, "v"),
+		isa.Call(helperID(s, "bpf_map_lookup_elem")),
+		isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.JmpImm(isa.OpJle, isa.R6, 57, 2), // runtime admits <= 57; buggy verifier believes <= 56
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R6),
+		isa.LoadMem(isa.SizeDW, isa.R1, isa.R0, 0), // believed 56+8=64 OK; actual 57+8 > 64
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, fmt.Errorf("buggy verifier rejected the program: %w", err)
+	}
+	// Drive the out-of-bounds index through the context.
+	ctx := k.Mem.Map(64, kernel.ProtRW, "ctx")
+	k.Mem.StoreUint(ctx.Base, 8, 57)
+	_, err = l.Run(ebpf.RunOptions{CtxAddr: ctx.Base})
+	if !errors.Is(err, helpers.ErrKernelCrash) {
+		return nil, fmt.Errorf("expected OOB crash, got %v", err)
+	}
+	return evidence(k, "off-by-one bounds refinement admitted index 57 into a 64-byte value")
+}
+
+func reproVerifierPtrStoreLeak() (*Evidence, error) {
+	k, s := newStack()
+	s.VerifierConfig.Bugs = verifier.BugConfig{AllowPtrStore: true}
+	m, err := s.CreateMap(maps.Spec{Name: "leakmap", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1})
+	if err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{Name: "ptr_leak", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.Mov64Reg(isa.R7, isa.R1), // the ctx pointer: a kernel address
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 0),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+		isa.LoadMapRef(isa.R1, "leakmap"),
+		isa.Call(helperID(s, "bpf_map_lookup_elem")),
+		isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.StoreMem(isa.SizeDW, isa.R0, 0, isa.R7), // kernel pointer into map value
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, fmt.Errorf("buggy verifier rejected the program: %w", err)
+	}
+	ctx := k.Mem.Map(64, kernel.ProtRW, "ctx")
+	if _, err := l.Run(ebpf.RunOptions{CtxAddr: ctx.Base}); err != nil {
+		return nil, err
+	}
+	// "Userspace" reads the map and finds a kernel address.
+	addr, _ := m.Lookup(0, []byte{0, 0, 0, 0})
+	leaked, _ := k.Mem.LoadUint(addr, 8)
+	if leaked < kernel.KernelBase {
+		return nil, fmt.Errorf("no kernel address leaked (%#x)", leaked)
+	}
+	return &Evidence{Summary: fmt.Sprintf("map value readable by userspace now holds kernel address %#x", leaked)}, nil
+}
+
+func reproVerifierUseAfterRelease() (*Evidence, error) {
+	k, s := newStack()
+	s.VerifierConfig.Bugs = verifier.BugConfig{SkipReleaseScrub: true}
+	sock := k.Sockets().Add("tcp", 7, 80, 8, 9000)
+	insns := buildUseAfterRelease(s)
+	prog := &isa.Program{Name: "use_after_release", Type: isa.Tracing, Insns: insns}
+
+	// The fixed verifier rejects the stale use outright.
+	fixed := ebpf.NewStack(k)
+	if _, err := fixed.Load(&isa.Program{Name: "uar_fixed", Type: isa.Tracing, Insns: buildUseAfterRelease(fixed)}); err == nil {
+		return nil, fmt.Errorf("fixed verifier accepted a use-after-release program")
+	}
+
+	// The buggy verifier accepts it: the program dereferences a socket it
+	// no longer owns a reference to — on a real SMP kernel, a window for
+	// the object to be freed underneath it.
+	l, err := s.Load(prog)
+	if err != nil {
+		return nil, fmt.Errorf("buggy verifier rejected the program: %w", err)
+	}
+	rep, err := l.Run(ebpf.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if c := sock.Ref().Count(); c != 1 {
+		return nil, fmt.Errorf("refcount = %d after release", c)
+	}
+	_ = rep
+	return &Evidence{Summary: "buggy verifier admitted a dereference of a released socket pointer (fixed verifier rejects it); the program read object memory it held no reference to"}, nil
+}
+
+func buildUseAfterRelease(s *ebpf.Stack) []isa.Instruction {
+	return []isa.Instruction{
+		isa.LoadImm64(isa.R1, int64(uint64(7)|uint64(8)<<32)),
+		isa.StoreMem(isa.SizeDW, isa.R10, -16, isa.R1),
+		isa.LoadImm64(isa.R1, int64(uint64(80)|uint64(9000)<<16)),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		isa.Mov64Reg(isa.R1, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R1, -16),
+		isa.Mov64Imm(isa.R2, 12),
+		isa.Call(helperID(s, "bpf_sk_lookup_tcp")),
+		isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.Mov64Reg(isa.R6, isa.R0), // stale copy survives the release
+		isa.Mov64Reg(isa.R1, isa.R0),
+		isa.Call(helperID(s, "bpf_sk_release")),
+		isa.LoadMem(isa.SizeW, isa.R0, isa.R6, 0), // use after release
+		isa.Exit(),
+	}
+}
+
+func reproJITBranchBug() (*Evidence, error) {
+	k, s := newStack()
+	s.JITConfig = jit.Config{InjectBranchBug: true}
+	if _, err := s.CreateMap(maps.Spec{Name: "v", Type: maps.Array, KeySize: 4, ValueSize: 64, MaxEntries: 1}); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{Name: "jit_bug", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R6, isa.R1, 0),
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 0),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+		isa.LoadMapRef(isa.R1, "v"),
+		isa.Call(helperID(s, "bpf_map_lookup_elem")),
+		isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.JmpImm(isa.OpJge, isa.R6, 57, 3), // correct check, miscompiled as >
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R6),
+		isa.Mov64Imm(isa.R1, 0xff),
+		isa.StoreMem(isa.SizeDW, isa.R0, 0, isa.R1),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+	l, err := s.Load(prog) // verification passes: the bytecode is safe
+	if err != nil {
+		return nil, fmt.Errorf("safe program rejected: %w", err)
+	}
+	ctx := k.Mem.Map(64, kernel.ProtRW, "ctx")
+	k.Mem.StoreUint(ctx.Base, 8, 57)
+	_, err = l.Run(ebpf.RunOptions{CtxAddr: ctx.Base})
+	if !errors.Is(err, helpers.ErrKernelCrash) {
+		return nil, fmt.Errorf("expected crash, got %v", err)
+	}
+	return evidence(k, "JIT compiled a verified >= check as >, letting index 57 corrupt memory past the map value")
+}

@@ -1,0 +1,416 @@
+// Package asm implements a two-way text format for the bytecode of package
+// isa: an assembler whose syntax matches the disassembly produced by
+// Instruction.String (bpftool/clang flavoured), with labels, named map
+// references, named helper calls and callback function references. The
+// kexasm tool and the examples use it so programs appear as readable
+// listings instead of builder chains.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/isa"
+)
+
+// SyntaxError reports an assembly failure with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("asm:%d: %s", e.Line, e.Msg) }
+
+// Assemble parses program text into instructions. Helper calls may use
+// names when a registry is supplied ("call bpf_map_lookup_elem"); map
+// references use "r1 = map[name]"; jump targets may be labels or numeric
+// offsets; callback references use "r2 = func[label]".
+func Assemble(src string, reg *helpers.Registry) ([]isa.Instruction, error) {
+	a := &assembler{reg: reg, labels: map[string]int{}}
+	// First pass: strip comments/blank lines, record labels.
+	type srcLine struct {
+		text string
+		num  int
+	}
+	var lines []srcLine
+	for num, raw := range strings.Split(src, "\n") {
+		text := raw
+		if i := strings.IndexAny(text, ";#"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		for strings.HasSuffix(text, ":") || strings.Contains(text, ": ") {
+			var label string
+			if i := strings.Index(text, ":"); i >= 0 {
+				label = strings.TrimSpace(text[:i])
+				text = strings.TrimSpace(text[i+1:])
+			}
+			if !isIdent(label) {
+				return nil, &SyntaxError{num + 1, fmt.Sprintf("bad label %q", label)}
+			}
+			if _, dup := a.labels[label]; dup {
+				return nil, &SyntaxError{num + 1, "duplicate label " + label}
+			}
+			a.labels[label] = len(lines)
+			if text == "" {
+				break
+			}
+		}
+		if text != "" {
+			lines = append(lines, srcLine{text, num + 1})
+		}
+	}
+	// Second pass: parse instructions.
+	for i, ln := range lines {
+		a.pc, a.line = i, ln.num
+		ins, err := a.parse(ln.text)
+		if err != nil {
+			return nil, err
+		}
+		a.out = append(a.out, ins)
+	}
+	// Patch label references.
+	for _, fix := range a.fixes {
+		target, ok := a.labels[fix.label]
+		if !ok {
+			return nil, &SyntaxError{fix.line, "undefined label " + fix.label}
+		}
+		delta := target - fix.pc - 1
+		if fix.isCall {
+			a.out[fix.pc].Imm = int32(delta)
+		} else if fix.isFuncRef {
+			a.out[fix.pc].Const = int64(target)
+			a.out[fix.pc].Imm = int32(target)
+		} else {
+			a.out[fix.pc].Off = int16(delta)
+		}
+	}
+	return a.out, nil
+}
+
+// Disassemble renders instructions as assemblable text.
+func Disassemble(insns []isa.Instruction) string {
+	var sb strings.Builder
+	for i, ins := range insns {
+		fmt.Fprintf(&sb, "%4d: %v\n", i, ins)
+	}
+	return sb.String()
+}
+
+type fixup struct {
+	pc        int
+	line      int
+	label     string
+	isCall    bool
+	isFuncRef bool
+}
+
+type assembler struct {
+	reg    *helpers.Registry
+	labels map[string]int
+	out    []isa.Instruction
+	fixes  []fixup
+	pc     int
+	line   int
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &SyntaxError{a.line, fmt.Sprintf(format, args...)}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseReg accepts r0-r10 and w0-w9; wide reports the w spelling.
+func parseReg(s string) (r isa.Register, is32 bool, ok bool) {
+	if len(s) < 2 {
+		return 0, false, false
+	}
+	prefix := s[0]
+	if prefix != 'r' && prefix != 'w' {
+		return 0, false, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= int(isa.NumRegisters) {
+		return 0, false, false
+	}
+	return isa.Register(n), prefix == 'w', true
+}
+
+func parseInt(s string) (int64, bool) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	return v, err == nil
+}
+
+var aluOps = map[string]uint8{
+	"+=": isa.OpAdd, "-=": isa.OpSub, "*=": isa.OpMul, "/=": isa.OpDiv,
+	"%=": isa.OpMod, "&=": isa.OpAnd, "|=": isa.OpOr, "^=": isa.OpXor,
+	"<<=": isa.OpLsh, ">>=": isa.OpRsh, "s>>=": isa.OpArsh, "=": isa.OpMov,
+}
+
+var jmpOps = map[string]uint8{
+	"==": isa.OpJeq, "!=": isa.OpJne, ">": isa.OpJgt, ">=": isa.OpJge,
+	"<": isa.OpJlt, "<=": isa.OpJle, "s>": isa.OpJsgt, "s>=": isa.OpJsge,
+	"s<": isa.OpJslt, "s<=": isa.OpJsle, "&": isa.OpJset,
+}
+
+var sizeNames = map[string]uint8{"u8": isa.SizeB, "u16": isa.SizeH, "u32": isa.SizeW, "u64": isa.SizeDW}
+
+func (a *assembler) parse(text string) (isa.Instruction, error) {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case "exit":
+		return isa.Exit(), nil
+	case "goto":
+		if len(fields) != 2 {
+			return isa.Instruction{}, a.errf("goto takes one target")
+		}
+		return a.jump(isa.Ja(0), fields[1])
+	case "call":
+		return a.call(fields[1:])
+	case "if":
+		return a.branch(fields[1:])
+	case "lock":
+		return a.atomic(strings.TrimSpace(strings.TrimPrefix(text, "lock")))
+	}
+	if strings.HasPrefix(fields[0], "*(") {
+		return a.store(text)
+	}
+	return a.aluOrLoad(text, fields)
+}
+
+// jump resolves a target: "+N", "-N" or a label.
+func (a *assembler) jump(ins isa.Instruction, target string) (isa.Instruction, error) {
+	if v, ok := parseInt(target); ok {
+		ins.Off = int16(v)
+		return ins, nil
+	}
+	if !isIdent(target) {
+		return isa.Instruction{}, a.errf("bad jump target %q", target)
+	}
+	a.fixes = append(a.fixes, fixup{pc: a.pc, line: a.line, label: target})
+	return ins, nil
+}
+
+func (a *assembler) call(args []string) (isa.Instruction, error) {
+	if len(args) == 0 {
+		return isa.Instruction{}, a.errf("call needs a target")
+	}
+	if args[0] == "func" {
+		// call func +N | call func label
+		if len(args) != 2 {
+			return isa.Instruction{}, a.errf("call func takes one target")
+		}
+		if v, ok := parseInt(args[1]); ok {
+			return isa.CallBPF(int32(v)), nil
+		}
+		a.fixes = append(a.fixes, fixup{pc: a.pc, line: a.line, label: args[1], isCall: true})
+		return isa.CallBPF(0), nil
+	}
+	if v, ok := parseInt(args[0]); ok {
+		return isa.Call(int32(v)), nil
+	}
+	if a.reg == nil {
+		return isa.Instruction{}, a.errf("named helper call %q without a registry", args[0])
+	}
+	spec, ok := a.reg.ByName(args[0])
+	if !ok {
+		return isa.Instruction{}, a.errf("unknown helper %q", args[0])
+	}
+	return isa.Call(int32(spec.ID)), nil
+}
+
+// branch parses "if <reg> <op> <operand> goto <target>".
+func (a *assembler) branch(args []string) (isa.Instruction, error) {
+	if len(args) != 5 || args[3] != "goto" {
+		return isa.Instruction{}, a.errf("branch syntax: if rX <op> <val> goto <target>")
+	}
+	dst, is32, ok := parseReg(args[0])
+	if !ok {
+		return isa.Instruction{}, a.errf("bad register %q", args[0])
+	}
+	op, ok := jmpOps[args[1]]
+	if !ok {
+		return isa.Instruction{}, a.errf("unknown comparison %q", args[1])
+	}
+	var ins isa.Instruction
+	if src, srcIs32, isReg := parseReg(args[2]); isReg {
+		if srcIs32 != is32 {
+			return isa.Instruction{}, a.errf("mixed register widths in comparison")
+		}
+		if is32 {
+			ins = isa.Jmp32Reg(op, dst, src, 0)
+		} else {
+			ins = isa.JmpReg(op, dst, src, 0)
+		}
+	} else if v, isImm := parseInt(args[2]); isImm {
+		if is32 {
+			ins = isa.Jmp32Imm(op, dst, int32(v), 0)
+		} else {
+			ins = isa.JmpImm(op, dst, int32(v), 0)
+		}
+	} else {
+		return isa.Instruction{}, a.errf("bad comparison operand %q", args[2])
+	}
+	return a.jump(ins, args[4])
+}
+
+// memRef parses "*(size *)(rX +off)" and returns (size, reg, off, rest).
+func (a *assembler) memRef(text string) (uint8, isa.Register, int16, string, error) {
+	if !strings.HasPrefix(text, "*(") {
+		return 0, 0, 0, "", a.errf("expected memory reference, got %q", text)
+	}
+	starEnd := strings.Index(text, "*)")
+	if starEnd < 0 {
+		return 0, 0, 0, "", a.errf("malformed memory reference")
+	}
+	size, ok := sizeNames[strings.TrimSpace(text[2:starEnd])]
+	if !ok {
+		return 0, 0, 0, "", a.errf("bad access size %q", text[2:starEnd])
+	}
+	rest := strings.TrimSpace(text[starEnd+2:])
+	if !strings.HasPrefix(rest, "(") {
+		return 0, 0, 0, "", a.errf("malformed memory reference")
+	}
+	close := strings.Index(rest, ")")
+	if close < 0 {
+		return 0, 0, 0, "", a.errf("malformed memory reference")
+	}
+	inner := strings.Fields(rest[1:close])
+	if len(inner) != 2 {
+		return 0, 0, 0, "", a.errf("memory reference needs register and offset")
+	}
+	reg, is32, ok := parseReg(inner[0])
+	if !ok || is32 {
+		return 0, 0, 0, "", a.errf("bad base register %q", inner[0])
+	}
+	off, ok := parseInt(inner[1])
+	if !ok {
+		return 0, 0, 0, "", a.errf("bad offset %q", inner[1])
+	}
+	return size, reg, int16(off), strings.TrimSpace(rest[close+1:]), nil
+}
+
+// store parses "*(size *)(rX +off) = rY|imm".
+func (a *assembler) store(text string) (isa.Instruction, error) {
+	size, base, off, rest, err := a.memRef(text)
+	if err != nil {
+		return isa.Instruction{}, err
+	}
+	if !strings.HasPrefix(rest, "=") {
+		return isa.Instruction{}, a.errf("store needs '='")
+	}
+	val := strings.TrimSpace(rest[1:])
+	if src, is32, ok := parseReg(val); ok && !is32 {
+		return isa.StoreMem(size, base, off, src), nil
+	}
+	if v, ok := parseInt(val); ok {
+		return isa.StoreImm(size, base, off, int32(v)), nil
+	}
+	return isa.Instruction{}, a.errf("bad store value %q", val)
+}
+
+// atomic parses "*(u64 *)(rX +off) += rY" after the "lock" keyword.
+func (a *assembler) atomic(text string) (isa.Instruction, error) {
+	size, base, off, rest, err := a.memRef(text)
+	if err != nil {
+		return isa.Instruction{}, err
+	}
+	if size != isa.SizeDW && size != isa.SizeW {
+		return isa.Instruction{}, a.errf("atomic size must be u32 or u64")
+	}
+	if !strings.HasPrefix(rest, "+=") {
+		return isa.Instruction{}, a.errf("only atomic add is supported")
+	}
+	src, is32, ok := parseReg(strings.TrimSpace(rest[2:]))
+	if !ok || is32 {
+		return isa.Instruction{}, a.errf("bad atomic operand")
+	}
+	return isa.Instruction{Op: isa.ClassSTX | isa.ModeATOMIC | size, Dst: base, Src: src, Off: off, Imm: isa.AtomicAdd}, nil
+}
+
+// aluOrLoad parses register-destination statements: moves, arithmetic,
+// loads, wide immediates, map/func references, negation.
+func (a *assembler) aluOrLoad(text string, fields []string) (isa.Instruction, error) {
+	dst, is32, ok := parseReg(fields[0])
+	if !ok {
+		return isa.Instruction{}, a.errf("expected register, got %q", fields[0])
+	}
+	if len(fields) < 3 {
+		return isa.Instruction{}, a.errf("incomplete statement %q", text)
+	}
+	op, ok := aluOps[fields[1]]
+	if !ok {
+		return isa.Instruction{}, a.errf("unknown operator %q", fields[1])
+	}
+	rhs := strings.TrimSpace(strings.Join(fields[2:], " "))
+
+	if op == isa.OpMov {
+		switch {
+		case strings.HasPrefix(rhs, "*("):
+			if is32 {
+				return isa.Instruction{}, a.errf("loads use 64-bit registers")
+			}
+			size, base, off, rest, err := a.memRef(rhs)
+			if err != nil {
+				return isa.Instruction{}, err
+			}
+			if rest != "" {
+				return isa.Instruction{}, a.errf("trailing %q after load", rest)
+			}
+			return isa.LoadMem(size, dst, base, off), nil
+		case strings.HasPrefix(rhs, "map[") && strings.HasSuffix(rhs, "]"):
+			return isa.LoadMapRef(dst, rhs[4:len(rhs)-1]), nil
+		case strings.HasPrefix(rhs, "func[") && strings.HasSuffix(rhs, "]"):
+			label := rhs[5 : len(rhs)-1]
+			if v, ok := parseInt(label); ok {
+				return isa.LoadFuncRef(dst, int32(v)), nil
+			}
+			a.fixes = append(a.fixes, fixup{pc: a.pc, line: a.line, label: label, isFuncRef: true})
+			return isa.LoadFuncRef(dst, 0), nil
+		case strings.HasSuffix(rhs, " ll"):
+			v, ok := parseInt(strings.TrimSpace(strings.TrimSuffix(rhs, " ll")))
+			if !ok {
+				return isa.Instruction{}, a.errf("bad wide immediate %q", rhs)
+			}
+			return isa.LoadImm64(dst, v), nil
+		case rhs == "-"+fields[0]:
+			if is32 {
+				return isa.Instruction{}, a.errf("32-bit negation unsupported")
+			}
+			return isa.Neg64(dst), nil
+		}
+	}
+
+	if src, srcIs32, isReg := parseReg(rhs); isReg {
+		if srcIs32 != is32 {
+			return isa.Instruction{}, a.errf("mixed register widths")
+		}
+		if is32 {
+			return isa.ALU32Reg(op, dst, src), nil
+		}
+		return isa.ALU64Reg(op, dst, src), nil
+	}
+	if v, isImm := parseInt(rhs); isImm {
+		if is32 {
+			return isa.ALU32Imm(op, dst, int32(v)), nil
+		}
+		return isa.ALU64Imm(op, dst, int32(v)), nil
+	}
+	return isa.Instruction{}, a.errf("bad operand %q", rhs)
+}

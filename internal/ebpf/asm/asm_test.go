@@ -1,0 +1,220 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"kex/internal/ebpf"
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/maps"
+	"kex/internal/kernel"
+)
+
+var testReg = helpers.NewRegistry()
+
+func assemble(t *testing.T, src string) []isa.Instruction {
+	t.Helper()
+	insns, err := Assemble(src, testReg)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return insns
+}
+
+func TestAssembleBasicForms(t *testing.T) {
+	insns := assemble(t, `
+		; a comment
+		r0 = 42            # trailing comment
+		r1 = r0
+		w2 = 7
+		r1 += 5
+		r1 *= r0
+		w2 <<= 3
+		r3 = 0x123456789 ll
+		r4 = *(u32 *)(r1 +4)
+		*(u64 *)(r10 -8) = r1
+		*(u8 *)(r10 -1) = 7
+		lock *(u64 *)(r10 -8) += r1
+		r5 = map[counts]
+		r0 = -r0
+		exit
+	`)
+	want := []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 42),
+		isa.Mov64Reg(isa.R1, isa.R0),
+		isa.Mov32Imm(isa.R2, 7),
+		isa.ALU64Imm(isa.OpAdd, isa.R1, 5),
+		isa.ALU64Reg(isa.OpMul, isa.R1, isa.R0),
+		isa.ALU32Imm(isa.OpLsh, isa.R2, 3),
+		isa.LoadImm64(isa.R3, 0x123456789),
+		isa.LoadMem(isa.SizeW, isa.R4, isa.R1, 4),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		isa.StoreImm(isa.SizeB, isa.R10, -1, 7),
+		isa.AtomicAdd64(isa.R10, -8, isa.R1),
+		isa.LoadMapRef(isa.R5, "counts"),
+		isa.Neg64(isa.R0),
+		isa.Exit(),
+	}
+	if len(insns) != len(want) {
+		t.Fatalf("got %d insns, want %d:\n%s", len(insns), len(want), Disassemble(insns))
+	}
+	for i := range want {
+		if insns[i] != want[i] {
+			t.Errorf("insn %d: got %v, want %v", i, insns[i], want[i])
+		}
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	insns := assemble(t, `
+		r0 = 0
+	loop:
+		r0 += 1
+		if r0 < 10 goto loop
+		if r0 == 10 goto done
+		r0 = 99
+	done:
+		exit
+	`)
+	// "goto loop" from insn 2 back to insn 1: off = -2.
+	if insns[2].Off != -2 {
+		t.Fatalf("back branch off = %d", insns[2].Off)
+	}
+	// "goto done" from insn 3 to insn 5: off = +1.
+	if insns[3].Off != 1 {
+		t.Fatalf("forward branch off = %d", insns[3].Off)
+	}
+}
+
+func TestAssembleCalls(t *testing.T) {
+	insns := assemble(t, `
+		call bpf_ktime_get_ns
+		call 7
+		call func helper
+		exit
+	helper:
+		r0 = 1
+		exit
+	`)
+	ktime, _ := testReg.ByName("bpf_ktime_get_ns")
+	if insns[0].Imm != int32(ktime.ID) {
+		t.Fatalf("named call imm = %d", insns[0].Imm)
+	}
+	if insns[1].Imm != 7 || !insns[1].IsCall() {
+		t.Fatalf("numeric call = %v", insns[1])
+	}
+	if !insns[2].IsBPFCall() || insns[2].Imm != 1 { // target 4, pc 2: 4-2-1
+		t.Fatalf("func call = %v imm=%d", insns[2], insns[2].Imm)
+	}
+}
+
+func TestAssembleFuncRef(t *testing.T) {
+	insns := assemble(t, `
+		r2 = func[cb]
+		exit
+	cb:
+		r0 = 0
+		exit
+	`)
+	if !insns[0].IsFuncRef() || insns[0].Const != 2 {
+		t.Fatalf("func ref = %+v", insns[0])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus",
+		"r0 = ",
+		"r11 = 4",
+		"r0 ?= 4",
+		"if r0 ~ 4 goto x",
+		"goto missing",
+		"call no_such_helper",
+		"*(u7 *)(r1 +0) = r2",
+		"r0 = *(u32 *)(w1 +0)",
+		"w1 = r2",
+		"dup: \n dup: exit",
+		"lock *(u8 *)(r1 +0) += r2",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, testReg); err == nil {
+			t.Errorf("assembled invalid %q", src)
+		}
+	}
+}
+
+// Round trip: disassembling and re-assembling yields identical code.
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		r6 = 100
+		r7 = 0x1234 ll
+	top:
+		r6 -= 1
+		w7 ^= 5
+		if r6 s> 0 goto top
+		*(u64 *)(r10 -16) = r6
+		r0 = *(u64 *)(r10 -16)
+		exit
+	`
+	first := assemble(t, src)
+	// Strip the "%4d: " prefixes that Disassemble adds.
+	var lines []string
+	for _, l := range strings.Split(Disassemble(first), "\n") {
+		if i := strings.Index(l, ": "); i >= 0 {
+			lines = append(lines, l[i+2:])
+		}
+	}
+	second, err := Assemble(strings.Join(lines, "\n"), testReg)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, Disassemble(first))
+	}
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("insn %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// End to end: an assembled program runs through the full pipeline.
+func TestAssembledProgramRuns(t *testing.T) {
+	k := kernel.NewDefault()
+	s := ebpf.NewStack(k)
+	if _, err := s.CreateMap(maps.Spec{Name: "hits", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1}); err != nil {
+		t.Fatal(err)
+	}
+	insns, err := Assemble(`
+		*(u32 *)(r10 -4) = 0
+		r2 = r10
+		r2 += -4
+		r1 = map[hits]
+		call bpf_map_lookup_elem
+		if r0 != 0 goto hit
+		r0 = 0
+		exit
+	hit:
+		r1 = 1
+		lock *(u64 *)(r0 +0) += r1
+		r0 = *(u64 *)(r0 +0)
+		exit
+	`, s.Helpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &isa.Program{Name: "asm_counter", Type: isa.Tracing, Insns: insns}
+	l, err := s.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Run(ebpf.RunOptions{})
+	if err != nil || rep.R0 != 1 {
+		t.Fatalf("R0 = %d, %v", rep.R0, err)
+	}
+	rep, _ = l.Run(ebpf.RunOptions{})
+	if rep.R0 != 2 {
+		t.Fatalf("second run R0 = %d", rep.R0)
+	}
+}

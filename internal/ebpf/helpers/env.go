@@ -1,0 +1,159 @@
+package helpers
+
+import (
+	"fmt"
+
+	"kex/internal/ebpf/maps"
+	"kex/internal/kernel"
+)
+
+// BugConfig gates the deliberately reintroduced helper bugs used by the
+// Table 1 corpus and the §2.2 exploits. The zero value is the "all fixed"
+// configuration; experiments enable the bug they demonstrate.
+type BugConfig struct {
+	// SysBpfNullDeref reproduces CVE-2022-2785: bpf_sys_bpf dereferences a
+	// pointer field inside its union argument without a NULL check.
+	SysBpfNullDeref bool
+	// TaskStorageNullDeref reproduces the bpf_task_storage_get owner-NULL
+	// bug (commit 1a9c72ad4c26): a NULL task pointer is dereferenced.
+	TaskStorageNullDeref bool
+	// GetTaskStackRefLeak reproduces commit 06ab134ce8ec: the helper walks
+	// a task stack without taking a reference, racing with task exit.
+	GetTaskStackRefLeak bool
+	// SkLookupRefLeak reproduces commit 3046a827316c: an internal lookup
+	// path acquires a reference it never hands to the program, leaking one
+	// count per call.
+	SkLookupRefLeak bool
+	// StrtolOverflow reproduces the integer-overflow class of Table 1:
+	// out-of-range input wraps instead of saturating with -ERANGE.
+	StrtolOverflow bool
+	// RingbufDoubleSubmit omits the reservation-ownership check, so a
+	// program can submit a bogus record address (misc memory corruption).
+	RingbufDoubleSubmit bool
+}
+
+// Env is the kernel-side environment one program execution sees. Both the
+// interpreter and the JIT construct an Env per run; helpers do all their
+// kernel work through it.
+type Env struct {
+	K    *kernel.Kernel
+	Ctx  *kernel.Context
+	Maps *maps.Registry
+	Bugs BugConfig
+
+	// CtxAddr is the address of the program's context object (e.g. the
+	// skb), what R1 points to at entry.
+	CtxAddr uint64
+
+	// CallFunc re-enters the execution engine to run a BPF-to-BPF function
+	// starting at instruction element pc, used by callback helpers
+	// (bpf_loop, bpf_for_each_map_elem). Engines install it.
+	CallFunc func(pc int32, r1, r2, r3 uint64) (uint64, error)
+
+	// TailCall restarts execution in another program of the attached
+	// program array. Engines install it; depth limiting is the engine's
+	// job (the kernel allows 33).
+	TailCall func(index uint64) error
+
+	// LockTable maps a map-value address to its spin lock, shared across
+	// runs of programs attached to the same maps.
+	LockTable map[uint64]*kernel.SpinLock
+
+	// Trace accumulates bpf_trace_printk output.
+	Trace []string
+
+	// Scratch carries engine-specific per-run state (the safext runtime
+	// hangs its resource-record table here); helper code that does not
+	// know about it must leave it alone.
+	Scratch any
+
+	// randState drives bpf_get_prandom_u32 deterministically.
+	randState uint64
+}
+
+// NewEnv builds an execution environment on the given kernel and maps.
+func NewEnv(k *kernel.Kernel, ctx *kernel.Context, reg *maps.Registry) *Env {
+	return &Env{
+		K: k, Ctx: ctx, Maps: reg,
+		LockTable: make(map[uint64]*kernel.SpinLock),
+		randState: 0x2545F4914F6CDD1D,
+	}
+}
+
+// crash records the fault as a kernel oops and returns ErrKernelCrash.
+func (e *Env) crash(f *kernel.Fault) error {
+	e.K.FaultOops(f, e.Ctx.CPUID)
+	return ErrKernelCrash
+}
+
+// ReadMem reads size bytes of kernel memory, crashing the kernel on fault —
+// helpers run in kernel mode, so their bad accesses are oopses, not
+// recoverable errors.
+func (e *Env) ReadMem(addr, size uint64) ([]byte, error) {
+	b, f := e.K.Mem.Read(addr, size)
+	if f != nil {
+		return nil, e.crash(f)
+	}
+	return b, nil
+}
+
+// WriteMem writes kernel memory, crashing on fault.
+func (e *Env) WriteMem(addr uint64, data []byte) error {
+	if f := e.K.Mem.Write(addr, data); f != nil {
+		return e.crash(f)
+	}
+	return nil
+}
+
+// LoadUint reads an integer, crashing on fault.
+func (e *Env) LoadUint(addr uint64, size int) (uint64, error) {
+	v, f := e.K.Mem.LoadUint(addr, size)
+	if f != nil {
+		return 0, e.crash(f)
+	}
+	return v, nil
+}
+
+// StoreUint writes an integer, crashing on fault.
+func (e *Env) StoreUint(addr uint64, size int, v uint64) error {
+	if f := e.K.Mem.StoreUint(addr, size, v); f != nil {
+		return e.crash(f)
+	}
+	return nil
+}
+
+// Charge accounts n instructions' worth of work to the running context —
+// helpers that do real work (loops, copies) consume time like the program
+// itself, which is what lets bpf_loop drive the RCU-stall experiment.
+func (e *Env) Charge(n uint64) { e.Ctx.Tick(n) }
+
+// Rand returns the next deterministic pseudo-random u32 (xorshift*).
+func (e *Env) Rand() uint32 {
+	x := e.randState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.randState = x
+	return uint32((x * 0x2545F4914F6CDD1D) >> 32)
+}
+
+// LockAt returns the spin lock backing the given map-value address,
+// creating it on first use.
+func (e *Env) LockAt(addr uint64) *kernel.SpinLock {
+	if l, ok := e.LockTable[addr]; ok {
+		return l
+	}
+	l := e.K.LockDep().NewLock(fmt.Sprintf("bpf_spin_lock@%#x", addr))
+	e.LockTable[addr] = l
+	return l
+}
+
+// MapByHandle resolves a map handle argument, failing like the kernel
+// (with an abort, not a crash) when the handle is bogus.
+func (e *Env) MapByHandle(h uint64) (maps.Map, error) {
+	m, ok := e.Maps.ByHandle(h)
+	if !ok {
+		return nil, fmt.Errorf("%w: bad map handle %#x", ErrAbort, h)
+	}
+	return m, nil
+}

@@ -1,0 +1,266 @@
+package helpers
+
+import (
+	"strings"
+	"testing"
+
+	"kex/internal/ebpf/maps"
+	"kex/internal/kernel"
+)
+
+// Second helper-implementation batch: the less-travelled helpers and the
+// error paths of the travelled ones.
+
+func TestProbeReadStr(t *testing.T) {
+	k, e := newEnv(t)
+	src := putString(k, "hello")
+	dst := k.Mem.Map(16, kernel.ProtRW, "dst")
+	n, err := call(t, "bpf_probe_read_str", e, dst.Base, 16, src)
+	if err != nil || n != 6 { // "hello" + NUL
+		t.Fatalf("n = %d, %v", int64(n), err)
+	}
+	s, _ := k.Mem.CString(dst.Base, 16)
+	if s != "hello" {
+		t.Fatalf("copied %q", s)
+	}
+	// Bad source is graceful.
+	n, err = call(t, "bpf_probe_read_str", e, dst.Base, 16, 0)
+	if err != nil || int64(n) != -EFAULT {
+		t.Fatalf("bad src: %d, %v", int64(n), err)
+	}
+	// Zero-size copy is a no-op.
+	if n, err := call(t, "bpf_probe_read_str", e, dst.Base, 0, src); err != nil || n != 0 {
+		t.Fatalf("zero size: %d, %v", int64(n), err)
+	}
+}
+
+func TestTracePrintkFormats(t *testing.T) {
+	k, e := newEnv(t)
+	f := putString(k, "u=%u x=%x d=%d extra=%d")
+	if _, err := call(t, "bpf_trace_printk", e, f, 24, 10, 255, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Trace[0]
+	if !strings.Contains(got, "u=10") || !strings.Contains(got, "x=ff") || !strings.Contains(got, "d=-1") {
+		t.Fatalf("trace = %q", got)
+	}
+	// The fourth %d has no vararg left: copied literally.
+	if !strings.Contains(got, "extra=%d") {
+		t.Fatalf("trace = %q", got)
+	}
+}
+
+func TestStrtoul(t *testing.T) {
+	k, e := newEnv(t)
+	res := k.Mem.Map(8, kernel.ProtRW, "res")
+	s := putString(k, "18446744073709551615") // max u64
+	n, err := call(t, "bpf_strtoul", e, s, 21, 10, res.Base)
+	if err != nil || int64(n) != 20 {
+		t.Fatalf("consumed = %d, %v", int64(n), err)
+	}
+	v, _ := k.Mem.LoadUint(res.Base, 8)
+	if v != ^uint64(0) {
+		t.Fatalf("value = %d", v)
+	}
+	// One digit more overflows.
+	big := putString(k, "184467440737095516159")
+	if n, _ := call(t, "bpf_strtoul", e, big, 22, 10, res.Base); int64(n) != -ERANGE {
+		t.Fatalf("overflow = %d", int64(n))
+	}
+	bad := putString(k, "zz")
+	if n, _ := call(t, "bpf_strtoul", e, bad, 3, 10, res.Base); int64(n) != -EINVAL {
+		t.Fatalf("bad input = %d", int64(n))
+	}
+}
+
+func TestCsumDiff(t *testing.T) {
+	k, e := newEnv(t)
+	from := k.Mem.Map(8, kernel.ProtRW, "from")
+	to := k.Mem.Map(8, kernel.ProtRW, "to")
+	copy(from.Data, []byte{1, 2, 3, 4})
+	copy(to.Data, []byte{5, 6, 7, 8})
+	sum, err := call(t, "bpf_csum_diff", e, from.Base, 4, to.Base, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(100 - (1 + 2 + 3 + 4) + (5 + 6 + 7 + 8))
+	if uint32(sum) != uint32(want) {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	// Zero-length sides allowed.
+	if _, err := call(t, "bpf_csum_diff", e, 0, 0, to.Base, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJiffiesAndNuma(t *testing.T) {
+	k, e := newEnv(t)
+	k.Clock.Advance(25_000_000) // 25ms = 2 jiffies at 100Hz
+	j, err := call(t, "bpf_jiffies64", e)
+	if err != nil || j != 2 {
+		t.Fatalf("jiffies = %d, %v", j, err)
+	}
+	n, err := call(t, "bpf_get_numa_node_id", e)
+	if err != nil || n != 0 {
+		t.Fatalf("numa = %d, %v", n, err)
+	}
+}
+
+func TestGetSocketCookieStable(t *testing.T) {
+	k, e := newEnv(t)
+	s := k.Sockets().Add("udp", 1, 2, 3, 4)
+	c1, err := call(t, "bpf_get_socket_cookie", e, s.Struct.Base)
+	if err != nil || c1 == 0 {
+		t.Fatalf("cookie = %d, %v", c1, err)
+	}
+	c2, _ := call(t, "bpf_get_socket_cookie", e, s.Struct.Base)
+	if c1 != c2 {
+		t.Fatal("cookie not stable")
+	}
+	if miss, _ := call(t, "bpf_get_socket_cookie", e, 0x1234); miss != 0 {
+		t.Fatalf("bogus sock cookie = %d", miss)
+	}
+}
+
+func TestPerfEventOutput(t *testing.T) {
+	k, e := newEnv(t)
+	m, h, _ := e.Maps.Create(k, maps.Spec{Name: "events", Type: maps.RingBuf, MaxEntries: 128})
+	data := k.Mem.Map(8, kernel.ProtRW, "payload")
+	k.Mem.StoreUint(data.Base, 8, 0xfeed)
+	// (ctx, map, flags, data, size)
+	if ret, err := call(t, "bpf_perf_event_output", e, 0, h, 0, data.Base, 8); err != nil || ret != 0 {
+		t.Fatalf("output = %d, %v", int64(ret), err)
+	}
+	rec := m.(maps.RingMap).Consume()
+	if len(rec) != 8 || rec[0] != 0xed {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestSendSignal(t *testing.T) {
+	k, e := newEnv(t)
+	task := k.NewTask("victim")
+	k.SetCurrent(0, task)
+	if ret, err := call(t, "bpf_send_signal", e, 9); err != nil || ret != 0 {
+		t.Fatalf("signal = %d, %v", int64(ret), err)
+	}
+	if len(e.Trace) != 1 || !strings.Contains(e.Trace[0], "signal 9") {
+		t.Fatalf("trace = %v", e.Trace)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	k, e := newEnv(t)
+	m, h, _ := e.Maps.Create(k, maps.Spec{Name: "iter", Type: maps.Hash, KeySize: 1, ValueSize: 8, MaxEntries: 8})
+	for i := byte(0); i < 5; i++ {
+		m.Update(0, []byte{i}, make([]byte, 8), maps.UpdateAny)
+	}
+	calls := 0
+	e.CallFunc = func(pc int32, valAddr, cbCtx, _ uint64) (uint64, error) {
+		calls++
+		if calls == 2 {
+			return 1, nil // stop after two
+		}
+		return 0, nil
+	}
+	n, err := call(t, "bpf_for_each_map_elem", e, h, 0, 0, 0)
+	if err != nil || n != 2 || calls != 2 {
+		t.Fatalf("n=%d calls=%d err=%v", n, calls, err)
+	}
+	// Non-iterable map type errors gracefully.
+	_, ha, _ := e.Maps.Create(k, maps.Spec{Name: "arr", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	if ret, err := call(t, "bpf_for_each_map_elem", e, ha, 0, 0, 0); err != nil || int64(ret) != -EINVAL {
+		t.Fatalf("array iterate = %d, %v", int64(ret), err)
+	}
+}
+
+func TestRingbufDiscardAndOverflow(t *testing.T) {
+	k, e := newEnv(t)
+	m, h, _ := e.Maps.Create(k, maps.Spec{Name: "rb", Type: maps.RingBuf, MaxEntries: 64})
+	rb := m.(maps.RingMap)
+	addr, _ := call(t, "bpf_ringbuf_reserve", e, h, 8, 0)
+	if _, err := call(t, "bpf_ringbuf_discard", e, h, addr); err != nil {
+		t.Fatal(err)
+	}
+	if rec := rb.Consume(); rec != nil {
+		t.Fatalf("discarded record consumed: %v", rec)
+	}
+	// Output into a full ring reports -ENOSPC.
+	data := k.Mem.Map(48, kernel.ProtRW, "d")
+	call(t, "bpf_ringbuf_output", e, h, data.Base, 48, 0)
+	if ret, _ := call(t, "bpf_ringbuf_output", e, h, data.Base, 48, 0); int64(ret) != -ENOSPC {
+		t.Fatalf("full ring output = %d", int64(ret))
+	}
+	// Reserve/submit against a non-ring map aborts.
+	_, ha, _ := e.Maps.Create(k, maps.Spec{Name: "notring", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	if _, err := call(t, "bpf_ringbuf_reserve", e, ha, 8, 0); err == nil {
+		t.Fatal("reserve on array succeeded")
+	}
+}
+
+func TestSysBpfMapLookupCommand(t *testing.T) {
+	k, e := newEnv(t)
+	m, h, _ := e.Maps.Create(k, maps.Spec{Name: "target", Type: maps.Hash, KeySize: 4, ValueSize: 8, MaxEntries: 4})
+	m.Update(0, []byte{7, 0, 0, 0}, []byte{9, 0, 0, 0, 0, 0, 0, 0}, maps.UpdateAny)
+
+	buf := k.Mem.Map(64, kernel.ProtRW, "bufs")
+	keyAddr, valAddr := buf.Base, buf.Base+16
+	k.Mem.StoreUint(keyAddr, 4, 7)
+	attr := k.Mem.Map(24, kernel.ProtRW, "attr")
+	k.Mem.StoreUint(attr.Base+0, 8, h)
+	k.Mem.StoreUint(attr.Base+8, 8, keyAddr)
+	k.Mem.StoreUint(attr.Base+16, 8, valAddr)
+	ret, err := call(t, "bpf_sys_bpf", e, SysBpfMapLookup, attr.Base, 24)
+	if err != nil || ret != 0 {
+		t.Fatalf("lookup cmd = %d, %v", int64(ret), err)
+	}
+	v, _ := k.Mem.LoadUint(valAddr, 8)
+	if v != 9 {
+		t.Fatalf("value = %d", v)
+	}
+	// Miss path.
+	k.Mem.StoreUint(keyAddr, 4, 99)
+	if ret, _ := call(t, "bpf_sys_bpf", e, SysBpfMapLookup, attr.Base, 24); int64(ret) != -ENOENT {
+		t.Fatalf("miss = %d", int64(ret))
+	}
+	// Undersized attr and unknown command.
+	if ret, _ := call(t, "bpf_sys_bpf", e, SysBpfMapLookup, attr.Base, 8); int64(ret) != -EINVAL {
+		t.Fatalf("short attr = %d", int64(ret))
+	}
+	if ret, _ := call(t, "bpf_sys_bpf", e, 99, attr.Base, 24); int64(ret) != -EINVAL {
+		t.Fatalf("bad cmd = %d", int64(ret))
+	}
+}
+
+func TestSkbStoreOutOfBounds(t *testing.T) {
+	k, e := newEnv(t)
+	ctx, _ := makeSkbCtx(k, []byte{1, 2, 3, 4})
+	buf := k.Mem.Map(8, kernel.ProtRW, "b")
+	if ret, err := call(t, "bpf_skb_store_bytes", e, ctx, 2, buf.Base, 4, 0); err != nil || int64(ret) != -EFAULT {
+		t.Fatalf("oob store = %d, %v", int64(ret), err)
+	}
+	if !k.Healthy() {
+		t.Fatal("oob store oopsed")
+	}
+}
+
+func TestGetCurrentCommZeroSize(t *testing.T) {
+	k, e := newEnv(t)
+	buf := k.Mem.Map(8, kernel.ProtRW, "c")
+	if ret, _ := call(t, "bpf_get_current_comm", e, buf.Base, 0); int64(ret) != -EINVAL {
+		t.Fatalf("zero size = %d", int64(ret))
+	}
+}
+
+func TestTaskHelpersNoCurrent(t *testing.T) {
+	k, e := newEnv(t)
+	// CPU 1 has no current task.
+	ctx := k.NewContext(1)
+	e2 := NewEnv(k, ctx, e.Maps)
+	if ret, _ := call(t, "bpf_get_current_pid_tgid", e2); int64(ret) != -EINVAL {
+		t.Fatalf("no-current pid_tgid = %d", int64(ret))
+	}
+	if ret, _ := call(t, "bpf_get_current_task", e2); ret != 0 {
+		t.Fatalf("no-current task = %#x", ret)
+	}
+}

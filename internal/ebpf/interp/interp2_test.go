@@ -1,0 +1,147 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/kernel"
+)
+
+// Second interpreter batch: atomic variants, watchdog, error paths.
+
+func TestInterpAtomicVariants(t *testing.T) {
+	f := newFixture(t)
+	got, err := f.run(t, []isa.Instruction{
+		isa.Mov64Imm(isa.R1, 10),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		isa.Mov64Imm(isa.R2, 5),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R2, Off: -8, Imm: isa.AtomicAdd | isa.AtomicFetch},
+		isa.Mov64Imm(isa.R3, 100),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R3, Off: -8, Imm: isa.AtomicXchg},
+		isa.Mov64Imm(isa.R0, 100),
+		isa.Mov64Imm(isa.R4, 7),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R4, Off: -8, Imm: isa.AtomicCmpXchg},
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R2),
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R3),
+		isa.LoadMem(isa.SizeDW, isa.R5, isa.R10, -8),
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R5),
+		isa.Exit(),
+	}, Options{})
+	if err != nil || got != 100+10+15+7 {
+		t.Fatalf("R0 = %d, %v", got, err)
+	}
+	// Failed cmpxchg leaves memory alone and returns the old value.
+	got, err = f.run(t, []isa.Instruction{
+		isa.Mov64Imm(isa.R1, 10),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		isa.Mov64Imm(isa.R0, 99), // expectation mismatch
+		isa.Mov64Imm(isa.R4, 7),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R4, Off: -8, Imm: isa.AtomicCmpXchg},
+		isa.LoadMem(isa.SizeDW, isa.R5, isa.R10, -8),
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R5),
+		isa.Exit(),
+	}, Options{})
+	if err != nil || got != 10+10 {
+		t.Fatalf("failed cmpxchg: R0 = %d, %v", got, err)
+	}
+}
+
+func TestInterpAtomicUnknownOp(t *testing.T) {
+	f := newFixture(t)
+	_, err := f.run(t, []isa.Instruction{
+		isa.Mov64Imm(isa.R1, 0),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R1, Off: -8, Imm: 0x55},
+		isa.Exit(),
+	}, Options{})
+	if err == nil {
+		t.Fatal("unknown atomic executed")
+	}
+}
+
+func TestInterpWatchdog(t *testing.T) {
+	f := newFixture(t)
+	_, err := f.run(t, []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Ja(-1),
+		isa.Exit(),
+	}, Options{WatchdogNs: 500_000})
+	if !errors.Is(err, ErrWatchdogExpired) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterpUnknownHelper(t *testing.T) {
+	f := newFixture(t)
+	_, err := f.run(t, []isa.Instruction{
+		isa.Call(32000),
+		isa.Exit(),
+	}, Options{})
+	if err == nil {
+		t.Fatal("unknown helper ran")
+	}
+}
+
+func TestInterpUnimplementedHelper(t *testing.T) {
+	f := newFixture(t)
+	spec, ok := f.m.Helpers.ByName("bpf_d_path") // metadata-only
+	if !ok || spec.Impl != nil {
+		t.Skip("bpf_d_path unexpectedly implemented")
+	}
+	_, err := f.run(t, []isa.Instruction{
+		isa.Call(int32(spec.ID)),
+		isa.Exit(),
+	}, Options{})
+	if err == nil {
+		t.Fatal("metadata-only helper executed")
+	}
+}
+
+func TestInterpStoreImmFaults(t *testing.T) {
+	f := newFixture(t)
+	_, err := f.run(t, []isa.Instruction{
+		isa.Mov64Imm(isa.R1, 64), // inside the NULL guard
+		isa.StoreImm(isa.SizeW, isa.R1, 0, 5),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}, Options{})
+	if err == nil {
+		t.Fatal("store to NULL guard succeeded")
+	}
+	if o := f.k.LastOops(); o == nil || o.Kind != kernel.OopsNullDeref {
+		t.Fatalf("oops = %v", o)
+	}
+}
+
+func TestInterpVirtualTimeAdvances(t *testing.T) {
+	f := newFixture(t)
+	before := f.k.Clock.Now()
+	_, err := f.run(t, []isa.Instruction{
+		isa.Mov64Imm(isa.R6, 1000),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.ALU64Imm(isa.OpSub, isa.R6, 1),
+		isa.JmpImm(isa.OpJne, isa.R6, 0, -2),
+		isa.Exit(),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := f.k.Clock.Now() - before
+	// 2 setup + 1000×2 loop + exit ≈ 2003 instructions at 1ns each.
+	if elapsed < 1950 || elapsed > 2100 {
+		t.Fatalf("virtual time advanced %dns", elapsed)
+	}
+}
+
+func TestRelocatePreservesResolved(t *testing.T) {
+	f := newFixture(t)
+	// An already-resolved LDDW (no MapName) passes through unchanged.
+	insns := []isa.Instruction{isa.LoadImm64(isa.R1, 77), isa.Exit()}
+	if err := Relocate(insns, f.m.Maps); err != nil {
+		t.Fatal(err)
+	}
+	if insns[0].Const != 77 {
+		t.Fatalf("resolved LDDW altered: %+v", insns[0])
+	}
+}

@@ -1,0 +1,122 @@
+package isa
+
+// Constructors for the instruction forms the toolchains emit. They exist so
+// that programs built in Go read like assembly listings; the text assembler
+// in package asm produces identical Instruction values.
+
+// Mov64Imm emits dst = imm (64-bit).
+func Mov64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | OpMov | SrcK, Dst: dst, Imm: imm}
+}
+
+// Mov64Reg emits dst = src (64-bit).
+func Mov64Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | OpMov | SrcX, Dst: dst, Src: src}
+}
+
+// Mov32Imm emits dst = imm with the upper 32 bits zeroed.
+func Mov32Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU | OpMov | SrcK, Dst: dst, Imm: imm}
+}
+
+// Mov32Reg emits dst = lower32(src) with the upper 32 bits zeroed.
+func Mov32Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU | OpMov | SrcX, Dst: dst, Src: src}
+}
+
+// ALU64Imm emits dst = dst <op> imm (64-bit). op is one of the Op* ALU
+// constants.
+func ALU64Imm(op uint8, dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | op | SrcK, Dst: dst, Imm: imm}
+}
+
+// ALU64Reg emits dst = dst <op> src (64-bit).
+func ALU64Reg(op uint8, dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | op | SrcX, Dst: dst, Src: src}
+}
+
+// ALU32Imm emits dst = lower32(dst) <op> imm.
+func ALU32Imm(op uint8, dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU | op | SrcK, Dst: dst, Imm: imm}
+}
+
+// ALU32Reg emits dst = lower32(dst) <op> lower32(src).
+func ALU32Reg(op uint8, dst, src Register) Instruction {
+	return Instruction{Op: ClassALU | op | SrcX, Dst: dst, Src: src}
+}
+
+// Neg64 emits dst = -dst.
+func Neg64(dst Register) Instruction {
+	return Instruction{Op: ClassALU64 | OpNeg, Dst: dst}
+}
+
+// LoadImm64 emits the wide dst = const instruction (LDDW).
+func LoadImm64(dst Register, v int64) Instruction {
+	return Instruction{Op: ClassLD | ModeIMM | SizeDW, Dst: dst, Const: v, Imm: int32(v)}
+}
+
+// LoadMapRef emits an LDDW whose immediate is a symbolic map reference,
+// resolved by the loader's relocation pass.
+func LoadMapRef(dst Register, mapName string) Instruction {
+	return Instruction{Op: ClassLD | ModeIMM | SizeDW, Dst: dst, Src: PseudoMapFD, MapName: mapName}
+}
+
+// LoadMem emits dst = *(size*)(src + off).
+func LoadMem(size uint8, dst, src Register, off int16) Instruction {
+	return Instruction{Op: ClassLDX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreMem emits *(size*)(dst + off) = src.
+func StoreMem(size uint8, dst Register, off int16, src Register) Instruction {
+	return Instruction{Op: ClassSTX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreImm emits *(size*)(dst + off) = imm.
+func StoreImm(size uint8, dst Register, off int16, imm int32) Instruction {
+	return Instruction{Op: ClassST | ModeMEM | size, Dst: dst, Off: off, Imm: imm}
+}
+
+// AtomicAdd64 emits an atomic *(u64*)(dst + off) += src.
+func AtomicAdd64(dst Register, off int16, src Register) Instruction {
+	return Instruction{Op: ClassSTX | ModeATOMIC | SizeDW, Dst: dst, Src: src, Off: off, Imm: AtomicAdd}
+}
+
+// Ja emits an unconditional pc-relative jump.
+func Ja(off int16) Instruction {
+	return Instruction{Op: ClassJMP | OpJa, Off: off}
+}
+
+// JmpImm emits if dst <op> imm goto +off (64-bit compare).
+func JmpImm(op uint8, dst Register, imm int32, off int16) Instruction {
+	return Instruction{Op: ClassJMP | op | SrcK, Dst: dst, Imm: imm, Off: off}
+}
+
+// JmpReg emits if dst <op> src goto +off (64-bit compare).
+func JmpReg(op uint8, dst, src Register, off int16) Instruction {
+	return Instruction{Op: ClassJMP | op | SrcX, Dst: dst, Src: src, Off: off}
+}
+
+// Jmp32Imm emits if lower32(dst) <op> imm goto +off.
+func Jmp32Imm(op uint8, dst Register, imm int32, off int16) Instruction {
+	return Instruction{Op: ClassJMP32 | op | SrcK, Dst: dst, Imm: imm, Off: off}
+}
+
+// Jmp32Reg emits if lower32(dst) <op> lower32(src) goto +off.
+func Jmp32Reg(op uint8, dst, src Register, off int16) Instruction {
+	return Instruction{Op: ClassJMP32 | op | SrcX, Dst: dst, Src: src, Off: off}
+}
+
+// Call emits a helper call by helper id.
+func Call(helperID int32) Instruction {
+	return Instruction{Op: ClassJMP | OpCall, Imm: helperID}
+}
+
+// CallBPF emits a BPF-to-BPF call to the instruction at pc+1+off.
+func CallBPF(off int32) Instruction {
+	return Instruction{Op: ClassJMP | OpCall, Src: PseudoCall, Imm: off}
+}
+
+// Exit emits the function return instruction.
+func Exit() Instruction {
+	return Instruction{Op: ClassJMP | OpExit}
+}

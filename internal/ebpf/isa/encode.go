@@ -1,0 +1,160 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InsnSize is the encoded size of one instruction slot in bytes.
+const InsnSize = 8
+
+// In the decoded []Instruction representation an LDDW is a single element,
+// and jump offsets (and BPF-to-BPF call immediates) count elements. On the
+// wire — as in the kernel — an LDDW occupies two 8-byte slots and offsets
+// count slots. Encode and Decode translate between the two offset spaces,
+// and Decode rejects bytecode whose jumps land inside a wide instruction.
+
+// slotIndexes returns, for each instruction element, the index of its first
+// encoding slot, plus the total slot count.
+func slotIndexes(insns []Instruction) ([]int, int) {
+	idx := make([]int, len(insns))
+	slot := 0
+	for i, ins := range insns {
+		idx[i] = slot
+		slot++
+		if ins.IsWide() {
+			slot++
+		}
+	}
+	return idx, slot
+}
+
+// Encode serialises instructions to the on-the-wire eBPF format. Symbolic
+// map references must be relocated before encoding.
+func Encode(insns []Instruction) ([]byte, error) {
+	slotOf, total := slotIndexes(insns)
+	elemAt := make(map[int]int, len(insns)) // slot -> element
+	for i, s := range slotOf {
+		elemAt[s] = i
+	}
+	targetSlot := func(i int, offElems int) (int, error) {
+		target := i + 1 + offElems
+		if target < 0 || target > len(insns) {
+			return 0, fmt.Errorf("isa: instruction %d jumps to element %d, out of range", i, target)
+		}
+		if target == len(insns) {
+			return total, nil // jump to one-past-end is representable, verifier rejects it later
+		}
+		return slotOf[target], nil
+	}
+
+	out := make([]byte, 0, total*InsnSize)
+	for i, ins := range insns {
+		if ins.MapName != "" {
+			return nil, fmt.Errorf("isa: instruction %d has unresolved map reference %q", i, ins.MapName)
+		}
+		off, imm := ins.Off, ins.Imm
+		if ins.IsJump() || ins.IsUnconditionalJump() {
+			ts, err := targetSlot(i, int(ins.Off))
+			if err != nil {
+				return nil, err
+			}
+			off = int16(ts - slotOf[i] - 1)
+		}
+		if ins.IsBPFCall() {
+			ts, err := targetSlot(i, int(ins.Imm))
+			if err != nil {
+				return nil, err
+			}
+			imm = int32(ts - slotOf[i] - 1)
+		}
+
+		var slot [InsnSize]byte
+		slot[0] = ins.Op
+		slot[1] = uint8(ins.Src)<<4 | uint8(ins.Dst)
+		binary.LittleEndian.PutUint16(slot[2:], uint16(off))
+		if ins.IsWide() {
+			binary.LittleEndian.PutUint32(slot[4:], uint32(ins.Const))
+			out = append(out, slot[:]...)
+			var hi [InsnSize]byte
+			binary.LittleEndian.PutUint32(hi[4:], uint32(ins.Const>>32))
+			out = append(out, hi[:]...)
+			continue
+		}
+		binary.LittleEndian.PutUint32(slot[4:], uint32(imm))
+		out = append(out, slot[:]...)
+	}
+	return out, nil
+}
+
+// Decode parses the on-the-wire format back into instructions, translating
+// slot-relative jump offsets to element-relative ones.
+func Decode(raw []byte) ([]Instruction, error) {
+	if len(raw)%InsnSize != 0 {
+		return nil, fmt.Errorf("isa: bytecode length %d not a multiple of %d", len(raw), InsnSize)
+	}
+	var out []Instruction
+	slotToElem := make(map[int]int)
+	var elemSlots []int
+	for off, slot := 0, 0; off < len(raw); off += InsnSize {
+		b := raw[off : off+InsnSize]
+		ins := Instruction{
+			Op:  b[0],
+			Dst: Register(b[1] & 0x0f),
+			Src: Register(b[1] >> 4),
+			Off: int16(binary.LittleEndian.Uint16(b[2:])),
+			Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+		}
+		slotToElem[slot] = len(out)
+		elemSlots = append(elemSlots, slot)
+		if ins.IsWide() {
+			off += InsnSize
+			slot++
+			if off >= len(raw) {
+				return nil, fmt.Errorf("isa: truncated LDDW at slot %d", slot-1)
+			}
+			hi := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+			ins.Const = int64(uint64(uint32(ins.Imm)) | uint64(hi)<<32)
+		}
+		slot++
+		out = append(out, ins)
+	}
+	totalSlots := len(raw) / InsnSize
+	// Second pass: translate slot offsets to element offsets.
+	for i := range out {
+		ins := &out[i]
+		fix := func(offSlots int) (int, error) {
+			target := elemSlots[i] + 1 + offSlots
+			if target == totalSlots {
+				return len(out) - i - 1, nil
+			}
+			e, ok := slotToElem[target]
+			if !ok {
+				return 0, fmt.Errorf("isa: instruction %d jumps into the middle of a wide instruction (slot %d)", i, target)
+			}
+			return e - i - 1, nil
+		}
+		if ins.IsJump() || ins.IsUnconditionalJump() {
+			e, err := fix(int(ins.Off))
+			if err != nil {
+				return nil, err
+			}
+			ins.Off = int16(e)
+		}
+		if ins.IsBPFCall() {
+			e, err := fix(int(ins.Imm))
+			if err != nil {
+				return nil, err
+			}
+			ins.Imm = int32(e)
+		}
+	}
+	return out, nil
+}
+
+// EncodedLen returns the number of encoding slots the instructions occupy
+// (LDDW counts twice), matching the kernel's program-size accounting.
+func EncodedLen(insns []Instruction) int {
+	_, total := slotIndexes(insns)
+	return total
+}

@@ -1,0 +1,204 @@
+// Package isa defines the bytecode instruction set of the simulated eBPF
+// machine: a faithful subset of the Linux eBPF ISA (64-bit fixed-width
+// instructions, eleven registers, ALU/ALU64/JMP/JMP32/LDX/ST/STX classes,
+// wide LDDW immediates, helper calls and BPF-to-BPF calls). Both execution
+// stacks in this reproduction — the verified-eBPF pipeline and the safext
+// trusted toolchain — target this ISA, so their loaders and runtimes are
+// directly comparable.
+package isa
+
+import "fmt"
+
+// Register names R0 through R10, with the eBPF calling convention:
+// R0 return value, R1-R5 arguments (clobbered by calls), R6-R9 callee-saved,
+// R10 read-only frame pointer.
+type Register uint8
+
+const (
+	R0 Register = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10          // frame pointer, read-only
+	NumRegisters = 11
+)
+
+func (r Register) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Instruction classes (low 3 bits of the opcode).
+const (
+	ClassLD    = 0x00 // wide immediate loads
+	ClassLDX   = 0x01 // memory -> register
+	ClassST    = 0x02 // immediate -> memory
+	ClassSTX   = 0x03 // register -> memory
+	ClassALU   = 0x04 // 32-bit arithmetic
+	ClassJMP   = 0x05 // 64-bit conditionals, call, exit
+	ClassJMP32 = 0x06 // 32-bit conditionals
+	ClassALU64 = 0x07 // 64-bit arithmetic
+)
+
+// Source bit (bit 3): operate on immediate (K) or register (X).
+const (
+	SrcK = 0x00
+	SrcX = 0x08
+)
+
+// ALU operations (high 4 bits for ALU/ALU64).
+const (
+	OpAdd  = 0x00
+	OpSub  = 0x10
+	OpMul  = 0x20
+	OpDiv  = 0x30
+	OpOr   = 0x40
+	OpAnd  = 0x50
+	OpLsh  = 0x60
+	OpRsh  = 0x70
+	OpNeg  = 0x80
+	OpMod  = 0x90
+	OpXor  = 0xa0
+	OpMov  = 0xb0
+	OpArsh = 0xc0
+	OpEnd  = 0xd0 // byte swap; unused by the toolchains but decoded
+)
+
+// Jump operations (high 4 bits for JMP/JMP32).
+const (
+	OpJa   = 0x00
+	OpJeq  = 0x10
+	OpJgt  = 0x20
+	OpJge  = 0x30
+	OpJset = 0x40
+	OpJne  = 0x50
+	OpJsgt = 0x60
+	OpJsge = 0x70
+	OpCall = 0x80
+	OpExit = 0x90
+	OpJlt  = 0xa0
+	OpJle  = 0xb0
+	OpJslt = 0xc0
+	OpJsle = 0xd0
+)
+
+// Memory access sizes (bits 3-4 for load/store classes).
+const (
+	SizeW  = 0x00 // 4 bytes
+	SizeH  = 0x08 // 2 bytes
+	SizeB  = 0x10 // 1 byte
+	SizeDW = 0x18 // 8 bytes
+)
+
+// Memory access modes (high 3 bits for load/store classes).
+const (
+	ModeIMM    = 0x00 // LDDW wide immediate
+	ModeMEM    = 0x60 // regular memory access
+	ModeATOMIC = 0xc0 // atomic read-modify-write
+)
+
+// Atomic operation immediates (subset used by the reproduction).
+const (
+	AtomicAdd     = 0x00
+	AtomicFetch   = 0x01 // OR-ed flag: return the old value in src reg
+	AtomicXchg    = 0xe1
+	AtomicCmpXchg = 0xf1
+)
+
+// Pseudo source-register values for LDDW and CALL.
+const (
+	// PseudoMapFD in LDDW.Src marks the immediate as a map handle to be
+	// relocated at load time.
+	PseudoMapFD = 1
+	// PseudoCall in CALL.Src marks a BPF-to-BPF call (imm = pc-relative
+	// offset to the callee) rather than a helper call.
+	PseudoCall = 1
+)
+
+// SizeBytes maps a size encoding to its byte width.
+func SizeBytes(size uint8) int {
+	switch size {
+	case SizeB:
+		return 1
+	case SizeH:
+		return 2
+	case SizeW:
+		return 4
+	case SizeDW:
+		return 8
+	}
+	return 0
+}
+
+// Instruction is one decoded eBPF instruction. LDDW occupies two encoded
+// slots but decodes to a single Instruction with a 64-bit constant.
+type Instruction struct {
+	Op  uint8
+	Dst Register
+	Src Register
+	Off int16
+	Imm int32
+
+	// Const holds the full 64-bit immediate of an LDDW. For all other
+	// instructions it is zero and Imm carries the constant.
+	Const int64
+
+	// MapName carries the symbolic map reference of an LDDW with
+	// Src == PseudoMapFD before relocation; loaders resolve it and write
+	// the map handle into Const.
+	MapName string
+}
+
+// Class returns the instruction class bits.
+func (ins Instruction) Class() uint8 { return ins.Op & 0x07 }
+
+// ALUOp returns the operation bits for ALU/ALU64/JMP/JMP32 instructions.
+func (ins Instruction) ALUOp() uint8 { return ins.Op & 0xf0 }
+
+// UsesX reports whether the instruction's second operand is a register.
+func (ins Instruction) UsesX() bool { return ins.Op&SrcX != 0 }
+
+// Size returns the size bits of a load/store instruction.
+func (ins Instruction) Size() uint8 { return ins.Op & 0x18 }
+
+// Mode returns the mode bits of a load/store instruction.
+func (ins Instruction) Mode() uint8 { return ins.Op & 0xe0 }
+
+// IsWide reports whether the instruction occupies two encoding slots.
+func (ins Instruction) IsWide() bool {
+	return ins.Class() == ClassLD && ins.Mode() == ModeIMM && ins.Size() == SizeDW
+}
+
+// IsCall reports whether the instruction is a helper call.
+func (ins Instruction) IsCall() bool {
+	return ins.Class() == ClassJMP && ins.ALUOp() == OpCall && ins.Src != PseudoCall
+}
+
+// IsBPFCall reports whether the instruction is a BPF-to-BPF call.
+func (ins Instruction) IsBPFCall() bool {
+	return ins.Class() == ClassJMP && ins.ALUOp() == OpCall && ins.Src == PseudoCall
+}
+
+// IsExit reports whether the instruction ends the current function.
+func (ins Instruction) IsExit() bool {
+	return ins.Class() == ClassJMP && ins.ALUOp() == OpExit
+}
+
+// IsJump reports whether the instruction may transfer control (excluding
+// call/exit).
+func (ins Instruction) IsJump() bool {
+	cls := ins.Class()
+	if cls != ClassJMP && cls != ClassJMP32 {
+		return false
+	}
+	op := ins.ALUOp()
+	return op != OpCall && op != OpExit
+}
+
+// IsUnconditionalJump reports whether the instruction always jumps.
+func (ins Instruction) IsUnconditionalJump() bool {
+	return ins.Class() == ClassJMP && ins.ALUOp() == OpJa
+}

@@ -1,0 +1,221 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassAccessors(t *testing.T) {
+	cases := []struct {
+		ins     Instruction
+		class   uint8
+		wide    bool
+		call    bool
+		bpfCall bool
+		exit    bool
+		jump    bool
+	}{
+		{Mov64Imm(R0, 1), ClassALU64, false, false, false, false, false},
+		{Mov32Reg(R1, R2), ClassALU, false, false, false, false, false},
+		{LoadImm64(R1, 1<<40), ClassLD, true, false, false, false, false},
+		{LoadMem(SizeW, R0, R1, 4), ClassLDX, false, false, false, false, false},
+		{StoreMem(SizeDW, R10, -8, R1), ClassSTX, false, false, false, false, false},
+		{StoreImm(SizeB, R10, -1, 7), ClassST, false, false, false, false, false},
+		{Call(12), ClassJMP, false, true, false, false, false},
+		{CallBPF(5), ClassJMP, false, false, true, false, false},
+		{Exit(), ClassJMP, false, false, false, true, false},
+		{JmpImm(OpJeq, R1, 0, 3), ClassJMP, false, false, false, false, true},
+		{Jmp32Reg(OpJlt, R1, R2, -2), ClassJMP32, false, false, false, false, true},
+		{Ja(4), ClassJMP, false, false, false, false, true},
+	}
+	for _, c := range cases {
+		ins := c.ins
+		if ins.Class() != c.class {
+			t.Errorf("%v: class %#x, want %#x", ins, ins.Class(), c.class)
+		}
+		if ins.IsWide() != c.wide || ins.IsCall() != c.call || ins.IsBPFCall() != c.bpfCall ||
+			ins.IsExit() != c.exit || ins.IsJump() != c.jump {
+			t.Errorf("%v: predicates wide=%v call=%v bpfcall=%v exit=%v jump=%v",
+				ins, ins.IsWide(), ins.IsCall(), ins.IsBPFCall(), ins.IsExit(), ins.IsJump())
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	want := map[uint8]int{SizeB: 1, SizeH: 2, SizeW: 4, SizeDW: 8}
+	for size, n := range want {
+		if got := SizeBytes(size); got != n {
+			t.Errorf("SizeBytes(%#x) = %d, want %d", size, got, n)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := []Instruction{
+		Mov64Imm(R6, 100),
+		LoadImm64(R1, 0x1234_5678_9abc_def0),
+		JmpReg(OpJgt, R6, R1, 2), // jumps over the store, in element units
+		StoreMem(SizeDW, R10, -8, R6),
+		Ja(1),
+		Mov64Imm(R0, 0),
+		Exit(),
+	}
+	raw, err := Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != (len(prog)+1)*InsnSize { // one wide instruction
+		t.Fatalf("encoded %d bytes, want %d", len(raw), (len(prog)+1)*InsnSize)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, prog) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, prog)
+	}
+}
+
+func TestEncodeTranslatesJumpOverWide(t *testing.T) {
+	// A jump across an LDDW must grow by one slot on the wire.
+	prog := []Instruction{
+		JmpImm(OpJeq, R1, 0, 2), // over the LDDW and the mov
+		LoadImm64(R2, 1),
+		Mov64Imm(R3, 1),
+		Exit(),
+	}
+	raw, err := Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First slot's off field must be 3 (slot units), not 2.
+	off := int16(uint16(raw[2]) | uint16(raw[3])<<8)
+	if off != 3 {
+		t.Fatalf("wire offset = %d, want 3", off)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Off != 2 {
+		t.Fatalf("decoded offset = %d, want 2", back[0].Off)
+	}
+}
+
+func TestEncodeTranslatesBPFCall(t *testing.T) {
+	prog := []Instruction{
+		CallBPF(2), // call the function starting after Exit
+		Exit(),
+		LoadImm64(R0, 7), // callee (element 2, slot 2)
+		Exit(),
+	}
+	raw, err := Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Imm != 2 {
+		t.Fatalf("decoded call imm = %d, want 2", back[0].Imm)
+	}
+}
+
+func TestDecodeRejectsJumpIntoWide(t *testing.T) {
+	// Hand-craft: jump with slot offset 1 targeting the second slot of the
+	// following LDDW.
+	prog := []Instruction{
+		Ja(0), // placeholder; fix wire offset below
+		LoadImm64(R1, 42),
+		Exit(),
+	}
+	raw, err := Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[2] = 1 // off = 1 slot: middle of LDDW
+	raw[3] = 0
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("decode accepted a jump into the middle of LDDW")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	if _, err := Decode(make([]byte, 7)); err == nil {
+		t.Fatal("odd length accepted")
+	}
+	raw, _ := Encode([]Instruction{LoadImm64(R1, 1)})
+	if _, err := Decode(raw[:8]); err == nil {
+		t.Fatal("truncated LDDW accepted")
+	}
+}
+
+func TestEncodeRejectsUnresolvedMapRef(t *testing.T) {
+	if _, err := Encode([]Instruction{LoadMapRef(R1, "counts")}); err == nil {
+		t.Fatal("unresolved map ref encoded")
+	}
+}
+
+func TestEncodedLen(t *testing.T) {
+	prog := []Instruction{Mov64Imm(R0, 0), LoadImm64(R1, 1), Exit()}
+	if got := EncodedLen(prog); got != 4 {
+		t.Fatalf("EncodedLen = %d, want 4", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Mov64Imm(R0, 42), "r0 = 42"},
+		{Mov32Imm(R1, -1), "w1 = -1"},
+		{ALU64Reg(OpAdd, R1, R2), "r1 += r2"},
+		{ALU32Imm(OpLsh, R3, 4), "w3 <<= 4"},
+		{Neg64(R5), "r5 = -r5"},
+		{LoadImm64(R1, 7), "r1 = 7 ll"},
+		{LoadMapRef(R2, "m"), "r2 = map[m]"},
+		{LoadMem(SizeW, R0, R1, 4), "r0 = *(u32 *)(r1 +4)"},
+		{StoreMem(SizeDW, R10, -8, R1), "*(u64 *)(r10 -8) = r1"},
+		{StoreImm(SizeB, R10, -1, 7), "*(u8 *)(r10 -1) = 7"},
+		{AtomicAdd64(R1, 0, R2), "lock *(u64 *)(r1 +0) += r2"},
+		{Ja(3), "goto +3"},
+		{JmpImm(OpJsge, R1, -5, 2), "if r1 s>= -5 goto +2"},
+		{Jmp32Reg(OpJne, R1, R2, -1), "if w1 != w2 goto -1"},
+		{Call(5), "call 5"},
+		{CallBPF(9), "call func +9"},
+		{Exit(), "exit"},
+	}
+	for _, c := range cases {
+		if got := c.ins.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary valid ALU instructions.
+func TestRoundTripProperty(t *testing.T) {
+	ops := []uint8{OpAdd, OpSub, OpMul, OpDiv, OpOr, OpAnd, OpLsh, OpRsh, OpMod, OpXor, OpMov, OpArsh}
+	f := func(opIdx, dst, src uint8, imm int32, useReg bool) bool {
+		op := ops[int(opIdx)%len(ops)]
+		d := Register(dst % 10)
+		s := Register(src % 10)
+		var ins Instruction
+		if useReg {
+			ins = ALU64Reg(op, d, s)
+		} else {
+			ins = ALU64Imm(op, d, imm)
+		}
+		raw, err := Encode([]Instruction{ins, Exit()})
+		if err != nil {
+			return false
+		}
+		back, err := Decode(raw)
+		return err == nil && len(back) == 2 && back[0] == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package jit
+
+import (
+	"errors"
+	"testing"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/interp"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/maps"
+)
+
+// Second JIT batch: the compiled paths the first suite left cold —
+// atomic variants, callback helpers, tail calls, watchdog, 32-bit ops.
+
+func TestJITAtomicVariants(t *testing.T) {
+	f := newFixture(t)
+	got, err := f.jitRun(t, []isa.Instruction{
+		// slot = 10
+		isa.Mov64Imm(isa.R1, 10),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		// fetch-add 5: r2 gets the old value (10), slot becomes 15
+		isa.Mov64Imm(isa.R2, 5),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R2, Off: -8, Imm: isa.AtomicAdd | isa.AtomicFetch},
+		// xchg 100: r3 gets 15, slot becomes 100
+		isa.Mov64Imm(isa.R3, 100),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R3, Off: -8, Imm: isa.AtomicXchg},
+		// cmpxchg(expect r0=100 -> 7): succeeds; r0 gets old (100)
+		isa.Mov64Imm(isa.R0, 100),
+		isa.Mov64Imm(isa.R4, 7),
+		{Op: isa.ClassSTX | isa.ModeATOMIC | isa.SizeDW, Dst: isa.R10, Src: isa.R4, Off: -8, Imm: isa.AtomicCmpXchg},
+		// r0 = old(100) + fetched(10) + xchged(15) + slot(7)
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R2),
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R3),
+		isa.LoadMem(isa.SizeDW, isa.R5, isa.R10, -8),
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R5),
+		isa.Exit(),
+	}, Config{})
+	if err != nil || got != 100+10+15+7 {
+		t.Fatalf("R0 = %d, %v", got, err)
+	}
+}
+
+func TestJITLoopCallback(t *testing.T) {
+	f := newFixture(t)
+	loop, _ := f.m.Helpers.ByName("bpf_loop")
+	got, err := f.jitRun(t, []isa.Instruction{
+		isa.StoreImm(isa.SizeDW, isa.R10, -8, 0),
+		isa.Mov64Imm(isa.R1, 5),
+		isa.LoadFuncRef(isa.R2, 9),
+		isa.Mov64Reg(isa.R3, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R3, -8),
+		isa.Mov64Imm(isa.R4, 0),
+		isa.Call(int32(loop.ID)),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, -8),
+		isa.Exit(),
+		// callback(i, ctx): *ctx += i*i
+		isa.Mov64Reg(isa.R3, isa.R1),
+		isa.ALU64Reg(isa.OpMul, isa.R3, isa.R1),
+		isa.LoadMem(isa.SizeDW, isa.R4, isa.R2, 0),
+		isa.ALU64Reg(isa.OpAdd, isa.R4, isa.R3),
+		isa.StoreMem(isa.SizeDW, isa.R2, 0, isa.R4),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}, Config{})
+	if err != nil || got != 0+1+4+9+16 {
+		t.Fatalf("sum of squares = %d, %v", got, err)
+	}
+}
+
+func TestJITTailCall(t *testing.T) {
+	f := newFixture(t)
+	tail, _ := f.m.Helpers.ByName("bpf_tail_call")
+	_, _, err := f.m.Maps.Create(f.k, maps.Spec{Name: "progs", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &isa.Program{Name: "t", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 77),
+		isa.Exit(),
+	}}
+	insns := []isa.Instruction{
+		isa.LoadMapRef(isa.R2, "progs"),
+		isa.Mov64Imm(isa.R3, 0),
+		isa.Call(int32(tail.ID)),
+		isa.Mov64Imm(isa.R0, 1),
+		isa.Exit(),
+	}
+	if err := interp.Relocate(insns, f.m.Maps); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(&isa.Program{Name: "c", Type: isa.Tracing, Insns: insns}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(f.m, f.env, interp.Options{ProgArray: []*isa.Program{target}})
+	if err != nil || got != 77 {
+		t.Fatalf("R0 = %d, %v", got, err)
+	}
+}
+
+func TestJITWatchdog(t *testing.T) {
+	f := newFixture(t)
+	prog := &isa.Program{Name: "spin", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Ja(-1),
+		isa.Exit(),
+	}}
+	c, err := Compile(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(f.m, f.env, interp.Options{WatchdogNs: 1_000_000})
+	if !errors.Is(err, interp.ErrWatchdogExpired) {
+		t.Fatalf("err = %v, want watchdog", err)
+	}
+}
+
+func TestJIT32BitOps(t *testing.T) {
+	f := newFixture(t)
+	got, err := f.jitRun(t, []isa.Instruction{
+		isa.LoadImm64(isa.R1, 0x1_0000_0010),
+		isa.Mov32Reg(isa.R0, isa.R1), // truncates to 0x10
+		isa.ALU32Imm(isa.OpAdd, isa.R0, 2),
+		isa.Jmp32Imm(isa.OpJeq, isa.R0, 0x12, 1),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}, Config{})
+	if err != nil || got != 0x12 {
+		t.Fatalf("R0 = %#x, %v", got, err)
+	}
+}
+
+func TestJITSignedJumps(t *testing.T) {
+	f := newFixture(t)
+	got, err := f.jitRun(t, []isa.Instruction{
+		isa.Mov64Imm(isa.R1, -5),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.JmpImm(isa.OpJslt, isa.R1, 0, 1), // -5 s< 0: taken
+		isa.Exit(),
+		isa.Mov64Imm(isa.R0, 1),
+		isa.Exit(),
+	}, Config{})
+	if err != nil || got != 1 {
+		t.Fatalf("R0 = %d, %v", got, err)
+	}
+}
+
+func TestJITHelperErrorPropagates(t *testing.T) {
+	f := newFixture(t)
+	sysbpf, _ := f.m.Helpers.ByName("bpf_sys_bpf")
+	f.env.Bugs = helpers.BugConfig{SysBpfNullDeref: true}
+	insns := []isa.Instruction{
+		isa.StoreImm(isa.SizeDW, isa.R10, -24, 0),
+		isa.StoreImm(isa.SizeDW, isa.R10, -16, 0),
+		isa.StoreImm(isa.SizeDW, isa.R10, -8, 0),
+		isa.Mov64Imm(isa.R1, helpers.SysBpfProgLoad),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -24),
+		isa.Mov64Imm(isa.R3, 24),
+		isa.Call(int32(sysbpf.ID)),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}
+	c, err := Compile(&isa.Program{Name: "x", Type: isa.Syscall, Insns: insns}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(f.m, f.env, interp.Options{Bugs: f.env.Bugs})
+	if !errors.Is(err, helpers.ErrKernelCrash) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJITRejectsStructurallyInvalid(t *testing.T) {
+	if _, err := Compile(&isa.Program{Name: "bad", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 0),
+	}}, Config{}); err == nil {
+		t.Fatal("program without exit compiled")
+	}
+}

@@ -1,0 +1,142 @@
+package maps
+
+import (
+	"sync"
+
+	"kex/internal/kernel"
+)
+
+// hashMap is the BPF_MAP_TYPE_HASH / BPF_MAP_TYPE_LRU_HASH analogue. Each
+// entry's value lives in its own kernel region, allocated on insert and
+// unmapped on delete — so a program holding a pointer to a deleted value
+// faults on its next access, the simulator's use-after-free.
+type hashMap struct {
+	k    *kernel.Kernel
+	spec Spec
+	lru  bool
+
+	mu      sync.Mutex
+	entries map[string]*kernel.Region
+	order   []string // LRU order, least recent first; maintained when lru
+}
+
+func newHash(k *kernel.Kernel, spec Spec, lru bool) *hashMap {
+	return &hashMap{k: k, spec: spec, lru: lru, entries: make(map[string]*kernel.Region)}
+}
+
+func (m *hashMap) Spec() Spec { return m.spec }
+
+func (m *hashMap) touch(key string) {
+	if !m.lru {
+		return
+	}
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.order = append(m.order, key)
+}
+
+func (m *hashMap) Lookup(_ int, key []byte) (uint64, bool) {
+	if len(key) != m.spec.KeySize {
+		return 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.entries[string(key)]
+	if !ok {
+		return 0, false
+	}
+	m.touch(string(key))
+	return r.Base, true
+}
+
+func (m *hashMap) Update(_ int, key, value []byte, flags uint64) error {
+	if err := checkSizes(m.spec, key, value, true); err != nil {
+		return err
+	}
+	if flags > UpdateExist {
+		return ErrBadFlags
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ks := string(key)
+	if r, ok := m.entries[ks]; ok {
+		if flags == UpdateNoExist {
+			return ErrExists
+		}
+		copy(r.Data, value)
+		m.touch(ks)
+		return nil
+	}
+	if flags == UpdateExist {
+		return ErrNotFound
+	}
+	if len(m.entries) >= m.spec.MaxEntries {
+		if !m.lru {
+			return ErrNoSpace
+		}
+		// LRU eviction: drop the least recently used entry.
+		victim := m.order[0]
+		m.order = m.order[1:]
+		m.k.Mem.Unmap(m.entries[victim])
+		delete(m.entries, victim)
+	}
+	r := m.k.Mem.Map(m.spec.ValueSize, kernel.ProtRW, "map_hash_val:"+m.spec.Name)
+	copy(r.Data, value)
+	m.entries[ks] = r
+	if m.lru {
+		m.order = append(m.order, ks)
+	}
+	return nil
+}
+
+func (m *hashMap) Delete(key []byte) error {
+	if len(key) != m.spec.KeySize {
+		return ErrKeySize
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ks := string(key)
+	r, ok := m.entries[ks]
+	if !ok {
+		return ErrNotFound
+	}
+	m.k.Mem.Unmap(r)
+	delete(m.entries, ks)
+	if m.lru {
+		for i, k := range m.order {
+			if k == ks {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (m *hashMap) Entries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Keys returns a snapshot of the current keys, for iteration helpers and
+// userspace-style inspection in examples.
+func (m *hashMap) Keys() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]byte, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, []byte(k))
+	}
+	return out
+}
+
+// KeyedMap is implemented by map types whose keys can be enumerated.
+type KeyedMap interface {
+	Map
+	Keys() [][]byte
+}

@@ -1,0 +1,199 @@
+// Package maps implements the eBPF map types the extension programs and
+// helper functions operate on: array, hash, per-CPU array, LRU hash, and a
+// ring buffer. Map value storage lives in the simulated kernel address
+// space, so programs hold real (simulated) kernel pointers into map values
+// — which is exactly what makes stale map pointers dangerous and gives the
+// verifier something to track.
+package maps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"kex/internal/kernel"
+)
+
+// MapType enumerates the supported map types.
+type MapType int
+
+const (
+	Array MapType = iota
+	Hash
+	PerCPUArray
+	LRUHash
+	RingBuf
+	Queue
+)
+
+func (t MapType) String() string {
+	switch t {
+	case Array:
+		return "array"
+	case Hash:
+		return "hash"
+	case PerCPUArray:
+		return "percpu_array"
+	case LRUHash:
+		return "lru_hash"
+	case RingBuf:
+		return "ringbuf"
+	case Queue:
+		return "queue"
+	}
+	return fmt.Sprintf("maptype(%d)", int(t))
+}
+
+// Update flags, matching the kernel's BPF_ANY/BPF_NOEXIST/BPF_EXIST.
+const (
+	UpdateAny     uint64 = 0
+	UpdateNoExist uint64 = 1
+	UpdateExist   uint64 = 2
+)
+
+// Errors returned by map operations.
+var (
+	ErrKeySize   = errors.New("maps: key size mismatch")
+	ErrValueSize = errors.New("maps: value size mismatch")
+	ErrNoSpace   = errors.New("maps: map is full")
+	ErrNotFound  = errors.New("maps: key not found")
+	ErrExists    = errors.New("maps: key already exists")
+	ErrBadFlags  = errors.New("maps: invalid update flags")
+	ErrBadOp     = errors.New("maps: operation not supported by map type")
+)
+
+// Spec declares a map to be created.
+type Spec struct {
+	Name       string
+	Type       MapType
+	KeySize    int
+	ValueSize  int
+	MaxEntries int
+
+	// HasLock marks value layouts whose first 8 bytes hold a bpf_spin_lock
+	// header. The verifier fences direct access to that region and
+	// bpf_spin_lock requires it.
+	HasLock bool
+}
+
+// Map is the interface all map types implement. Lookup returns the
+// simulated kernel address of the value so programs can read and write it
+// in place, per the eBPF contract.
+type Map interface {
+	Spec() Spec
+	// Lookup returns the address of the value for key on the given CPU
+	// (the CPU only matters for per-CPU maps). ok is false on miss.
+	Lookup(cpu int, key []byte) (addr uint64, ok bool)
+	// Update inserts or replaces the value for key.
+	Update(cpu int, key, value []byte, flags uint64) error
+	// Delete removes key.
+	Delete(key []byte) error
+	// Entries returns the number of live entries.
+	Entries() int
+}
+
+// Registry hands out map handles: opaque 64-bit values that LDDW
+// instructions carry after relocation and helpers resolve back to maps.
+// Handles point into an unmapped carve-out of the address space, so a
+// program that dereferences a map handle directly faults rather than reads
+// kernel memory.
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[uint64]Map
+	byName map[string]Map
+	next   uint64
+}
+
+// HandleBase is the start of the map-handle carve-out.
+const HandleBase uint64 = 0xffff_c000_0000_0000
+
+// NewRegistry returns an empty map registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[uint64]Map), byName: make(map[string]Map), next: HandleBase}
+}
+
+// Create builds a map from its spec and registers it.
+func (r *Registry) Create(k *kernel.Kernel, spec Spec) (Map, uint64, error) {
+	if spec.KeySize <= 0 && spec.Type != RingBuf && spec.Type != Queue {
+		return nil, 0, fmt.Errorf("maps: %q: key size %d invalid", spec.Name, spec.KeySize)
+	}
+	if spec.ValueSize <= 0 && spec.Type != RingBuf {
+		return nil, 0, fmt.Errorf("maps: %q: value size %d invalid", spec.Name, spec.ValueSize)
+	}
+	if spec.MaxEntries <= 0 {
+		return nil, 0, fmt.Errorf("maps: %q: max entries %d invalid", spec.Name, spec.MaxEntries)
+	}
+	var m Map
+	switch spec.Type {
+	case Array:
+		m = newArray(k, spec, false)
+	case Hash:
+		m = newHash(k, spec, false)
+	case PerCPUArray:
+		m = newPerCPUArray(k, spec)
+	case LRUHash:
+		m = newHash(k, spec, true)
+	case RingBuf:
+		m = newRingBuf(k, spec)
+	case Queue:
+		m = newQueue(k, spec)
+	default:
+		return nil, 0, fmt.Errorf("maps: unknown map type %v", spec.Type)
+	}
+	handle := r.register(spec.Name, m)
+	return m, handle, nil
+}
+
+func (r *Registry) register(name string, m Map) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.next
+	r.next += 8
+	r.byID[h] = m
+	if name != "" {
+		r.byName[name] = m
+	}
+	return h
+}
+
+// ByHandle resolves a handle to its map.
+func (r *Registry) ByHandle(h uint64) (Map, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.byID[h]
+	return m, ok
+}
+
+// ByName resolves a map name, for loader relocation.
+func (r *Registry) ByName(name string) (Map, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.byName[name]
+	return m, ok
+}
+
+// Handle returns the handle of a registered map.
+func (r *Registry) Handle(m Map) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for h, got := range r.byID {
+		if got == m {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// IsHandle reports whether an address lies in the handle carve-out —
+// useful to diagnose programs dereferencing map handles.
+func IsHandle(addr uint64) bool { return addr >= HandleBase }
+
+func checkSizes(spec Spec, key, value []byte, wantValue bool) error {
+	if len(key) != spec.KeySize {
+		return ErrKeySize
+	}
+	if wantValue && len(value) != spec.ValueSize {
+		return ErrValueSize
+	}
+	return nil
+}

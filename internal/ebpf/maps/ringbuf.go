@@ -1,0 +1,221 @@
+package maps
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"kex/internal/kernel"
+)
+
+// ringBuf is the BPF_MAP_TYPE_RINGBUF analogue: a byte ring the program
+// reserves records in and userspace consumes. Records carry a 4-byte length
+// header. MaxEntries is the ring capacity in bytes.
+type ringBuf struct {
+	spec   Spec
+	region *kernel.Region
+
+	mu       sync.Mutex
+	head     int            // producer offset into the ring
+	tail     int            // consumer offset
+	reserved map[uint64]int // outstanding reservations: addr -> size
+	dropped  uint64
+}
+
+func newRingBuf(k *kernel.Kernel, spec Spec) *ringBuf {
+	spec.KeySize, spec.ValueSize = 0, 0
+	return &ringBuf{
+		spec:     spec,
+		region:   k.Mem.Map(spec.MaxEntries, kernel.ProtRW, "map_ringbuf:"+spec.Name),
+		reserved: make(map[uint64]int),
+	}
+}
+
+func (m *ringBuf) Spec() Spec { return m.spec }
+
+// Lookup, Update and Delete are not meaningful for a ring buffer.
+func (m *ringBuf) Lookup(int, []byte) (uint64, bool)        { return 0, false }
+func (m *ringBuf) Update(int, []byte, []byte, uint64) error { return ErrBadOp }
+func (m *ringBuf) Delete([]byte) error                      { return ErrBadOp }
+
+func (m *ringBuf) Entries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return (m.head - m.tail + m.spec.MaxEntries) % m.spec.MaxEntries
+}
+
+const recordHeader = 4
+
+// discardBit marks a record the consumer must skip, like the kernel's
+// BPF_RINGBUF_DISCARD_BIT.
+const discardBit = 1 << 31
+
+// Reserve allocates size bytes in the ring and returns the address of the
+// record payload, or 0 if the ring is full. The record is invisible to the
+// consumer until Submit.
+func (m *ringBuf) Reserve(size int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	need := size + recordHeader
+	if size <= 0 || need > m.freeLocked() {
+		m.dropped++
+		return 0
+	}
+	// Simplification: records never wrap; if the record doesn't fit before
+	// the end, skip the remainder (the kernel's ring does the same with pad
+	// records).
+	if m.head+need > m.spec.MaxEntries {
+		if m.tail <= need { // would collide with unconsumed data at start
+			m.dropped++
+			return 0
+		}
+		m.head = 0
+	}
+	off := m.head
+	binary.LittleEndian.PutUint32(m.region.Data[off:], uint32(size))
+	m.head += need
+	addr := m.region.Base + uint64(off+recordHeader)
+	m.reserved[addr] = size
+	return addr
+}
+
+func (m *ringBuf) freeLocked() int {
+	used := (m.head - m.tail + m.spec.MaxEntries) % m.spec.MaxEntries
+	return m.spec.MaxEntries - used - 1
+}
+
+// Submit publishes a previously reserved record.
+func (m *ringBuf) Submit(addr uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.reserved[addr]; !ok {
+		return false
+	}
+	delete(m.reserved, addr)
+	return true
+}
+
+// Discard abandons a reservation without publishing: the record becomes a
+// pad record the consumer skips, as in the kernel.
+func (m *ringBuf) Discard(addr uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.reserved[addr]; !ok {
+		return false
+	}
+	delete(m.reserved, addr)
+	off := int(addr-m.region.Base) - recordHeader
+	hdr := binary.LittleEndian.Uint32(m.region.Data[off:])
+	binary.LittleEndian.PutUint32(m.region.Data[off:], hdr|discardBit)
+	return true
+}
+
+// Consume reads the oldest published record, skipping discarded pad
+// records; it returns nil if the ring is empty or the oldest record is
+// still reserved.
+func (m *ringBuf) Consume() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.tail == m.head {
+			return nil
+		}
+		if m.tail+recordHeader > m.spec.MaxEntries {
+			m.tail = 0
+			if m.tail == m.head {
+				return nil
+			}
+		}
+		hdr := binary.LittleEndian.Uint32(m.region.Data[m.tail:])
+		size := int(hdr &^ uint32(discardBit))
+		addr := m.region.Base + uint64(m.tail+recordHeader)
+		if _, stillReserved := m.reserved[addr]; stillReserved {
+			return nil
+		}
+		m.tail += size + recordHeader
+		if m.tail >= m.spec.MaxEntries {
+			m.tail = 0
+		}
+		if hdr&discardBit != 0 {
+			continue // pad record
+		}
+		out := make([]byte, size)
+		copy(out, m.region.Data[int(addr-m.region.Base):int(addr-m.region.Base)+size])
+		return out
+	}
+}
+
+// Dropped returns the number of failed reservations.
+func (m *ringBuf) Dropped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// RingMap is the extended interface ring buffers implement.
+type RingMap interface {
+	Map
+	Reserve(size int) uint64
+	Submit(addr uint64) bool
+	Discard(addr uint64) bool
+	Consume() []byte
+	Dropped() uint64
+}
+
+// queue is the BPF_MAP_TYPE_QUEUE analogue: FIFO of fixed-size values, no
+// keys. Push and Pop copy values; there are no stable value pointers.
+type queue struct {
+	k    *kernel.Kernel
+	spec Spec
+
+	mu   sync.Mutex
+	vals [][]byte
+}
+
+func newQueue(k *kernel.Kernel, spec Spec) *queue {
+	spec.KeySize = 0
+	return &queue{k: k, spec: spec}
+}
+
+func (m *queue) Spec() Spec { return m.spec }
+
+func (m *queue) Lookup(int, []byte) (uint64, bool) { return 0, false }
+
+// Update pushes a value (flags ignored, as BPF_ANY pushes).
+func (m *queue) Update(_ int, _ []byte, value []byte, _ uint64) error {
+	if len(value) != m.spec.ValueSize {
+		return ErrValueSize
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.vals) >= m.spec.MaxEntries {
+		return ErrNoSpace
+	}
+	m.vals = append(m.vals, append([]byte(nil), value...))
+	return nil
+}
+
+func (m *queue) Delete([]byte) error { return ErrBadOp }
+
+// Pop removes and returns the oldest value.
+func (m *queue) Pop() ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.vals) == 0 {
+		return nil, false
+	}
+	v := m.vals[0]
+	m.vals = m.vals[1:]
+	return v, true
+}
+
+func (m *queue) Entries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.vals)
+}
+
+// QueueMap is the extended interface queues implement.
+type QueueMap interface {
+	Map
+	Pop() ([]byte, bool)
+}

@@ -1,0 +1,162 @@
+// Package ebpf assembles the verified-extension pipeline of Figure 1: user
+// programs arrive as bytecode, the in-kernel verifier vets them at load
+// time, the JIT compiles them, and at runtime they interact with unsafe
+// kernel code through helper functions. This package is the one downstream
+// users touch; the pieces live in the sub-packages.
+package ebpf
+
+import (
+	"fmt"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/interp"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/jit"
+	"kex/internal/ebpf/maps"
+	"kex/internal/ebpf/verifier"
+	"kex/internal/kernel"
+)
+
+// Stack is one kernel's eBPF subsystem: helper registry, map registry,
+// verifier configuration, and execution engines.
+type Stack struct {
+	K       *kernel.Kernel
+	Helpers *helpers.Registry
+	Maps    *maps.Registry
+	Machine *interp.Machine
+
+	// VerifierConfig is applied to every Load.
+	VerifierConfig verifier.Config
+	// UseJIT selects the execution engine (Figure 1 shows the JIT path).
+	UseJIT bool
+	// JITConfig carries the backend bug toggles.
+	JITConfig jit.Config
+
+	mapMeta map[string]*verifier.MapMeta
+}
+
+// NewStack boots an eBPF subsystem on the kernel.
+func NewStack(k *kernel.Kernel) *Stack {
+	h := helpers.NewRegistry()
+	m := maps.NewRegistry()
+	return &Stack{
+		K:              k,
+		Helpers:        h,
+		Maps:           m,
+		Machine:        interp.NewMachine(k, h, m),
+		VerifierConfig: verifier.DefaultConfig(),
+		UseJIT:         true,
+		mapMeta:        make(map[string]*verifier.MapMeta),
+	}
+}
+
+// CreateMap creates and registers a map, making it referenceable from
+// programs by name.
+func (s *Stack) CreateMap(spec maps.Spec) (maps.Map, error) {
+	m, _, err := s.Maps.Create(s.K, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mapMeta[spec.Name] = &verifier.MapMeta{
+		Name:      spec.Name,
+		KeySize:   m.Spec().KeySize,
+		ValueSize: m.Spec().ValueSize,
+		HasLock:   spec.HasLock,
+	}
+	return m, nil
+}
+
+// Loaded is a program that passed verification and load-time fixup.
+type Loaded struct {
+	Prog     *isa.Program
+	Verdict  *verifier.Result
+	stack    *Stack
+	compiled *jit.Compiled
+	// ProgArray holds tail-call targets.
+	ProgArray []*isa.Program
+
+	// defaultCtx backs invocations that supply no context address. The
+	// verifier's acceptance assumes R1 points at a live context object —
+	// a guarantee the attach point provides on a real kernel — so the
+	// harness must never run a verified program against address zero.
+	defaultCtx *kernel.Region
+}
+
+// Load runs the Figure 1 loading pipeline: verify, relocate, JIT-compile.
+// Programs that fail verification never reach the kernel proper.
+func (s *Stack) Load(prog *isa.Program) (*Loaded, error) {
+	res, err := verifier.Verify(prog, s.Helpers, s.mapMeta, s.VerifierConfig)
+	if err != nil {
+		return nil, fmt.Errorf("ebpf: load of %q rejected: %w", prog.Name, err)
+	}
+	insns := append([]isa.Instruction(nil), prog.Insns...)
+	if err := interp.Relocate(insns, s.Maps); err != nil {
+		return nil, err
+	}
+	fixed := &isa.Program{Name: prog.Name, Type: prog.Type, License: prog.License, Insns: insns}
+	l := &Loaded{Prog: fixed, Verdict: res, stack: s}
+	l.defaultCtx = s.K.Mem.Map(64, kernel.ProtRW, "bpf_ctx:"+prog.Name)
+	if s.UseJIT {
+		c, err := jit.Compile(fixed, s.JITConfig)
+		if err != nil {
+			return nil, fmt.Errorf("ebpf: JIT of %q failed: %w", prog.Name, err)
+		}
+		l.compiled = c
+	}
+	return l, nil
+}
+
+// RunReport describes one program invocation.
+type RunReport struct {
+	R0           uint64
+	Instructions uint64
+	RuntimeNs    int64
+	Trace        []string
+	ExitOopses   []*kernel.Oops
+}
+
+// RunOptions tunes one invocation.
+type RunOptions struct {
+	CPU     int
+	CtxAddr uint64
+	Bugs    helpers.BugConfig
+	// Fuel is zero for the verified stack: the verifier is trusted for
+	// termination. The safext runtime sets it.
+	Fuel uint64
+}
+
+// Run invokes the program once on the given CPU. The returned error
+// reports abnormal termination (kernel crash, fuel exhaustion); kernel
+// damage is also visible in the report's ExitOopses and on the kernel.
+func (l *Loaded) Run(opts RunOptions) (*RunReport, error) {
+	ctx := l.stack.K.NewContext(opts.CPU)
+	env := helpers.NewEnv(l.stack.K, ctx, l.stack.Maps)
+	env.CtxAddr = opts.CtxAddr
+	if env.CtxAddr == 0 {
+		env.CtxAddr = l.defaultCtx.Base
+	}
+	start := l.stack.K.Clock.Now()
+
+	// Extensions run inside an RCU read-side critical section, as on
+	// Linux — which is what turns a non-terminating program into an RCU
+	// stall (§2.2).
+	l.stack.K.RCU().ReadLock(ctx)
+	iopts := interp.Options{Fuel: opts.Fuel, Bugs: opts.Bugs, ProgArray: l.ProgArray}
+	var r0 uint64
+	var err error
+	if l.compiled != nil {
+		r0, err = l.compiled.Run(l.stack.Machine, env, iopts)
+	} else {
+		r0, err = l.stack.Machine.Run(l.Prog, env, iopts)
+	}
+	l.stack.K.RCU().ReadUnlock(ctx)
+
+	report := &RunReport{
+		R0:           r0,
+		Instructions: ctx.Instructions,
+		RuntimeNs:    l.stack.K.Clock.Now() - start,
+		Trace:        env.Trace,
+	}
+	report.ExitOopses = ctx.ExitAudit()
+	return report, err
+}

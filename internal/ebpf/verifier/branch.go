@@ -1,0 +1,392 @@
+package verifier
+
+import (
+	"math"
+
+	"kex/internal/ebpf/isa"
+)
+
+// checkBranch handles conditional jumps: evaluating feasibility, refining
+// bounds on each side, handling pointer null checks and packet range
+// comparisons. It returns the fall-through continuation and, when feasible,
+// the taken-branch state.
+func (v *Verifier) checkBranch(st *state, ins isa.Instruction) (bool, *state, error) {
+	op := ins.ALUOp()
+	is32 := ins.Class() == isa.ClassJMP32
+	dst := st.reg(ins.Dst)
+	if dst.Type == NotInit {
+		return false, nil, v.errf(st.pc, "R%d !read_ok", ins.Dst)
+	}
+
+	var src Reg
+	var srcReg *Reg
+	if ins.UsesX() {
+		srcReg = st.reg(ins.Src)
+		if srcReg.Type == NotInit {
+			return false, nil, v.errf(st.pc, "R%d !read_ok", ins.Src)
+		}
+		src = *srcReg
+	} else {
+		src = constScalar(uint64(int64(ins.Imm)))
+	}
+
+	// Pointer null checks: ptr ==/!= 0.
+	if dst.Type.IsPointer() && dst.MaybeNull && src.IsConst() && src.ConstValue() == 0 && !is32 {
+		switch op {
+		case isa.OpJeq, isa.OpJne:
+			taken := st.clone()
+			taken.pc = st.pc + 1 + int(ins.Off)
+			st.pc++
+			var nullSt, okSt *state
+			if op == isa.OpJeq {
+				nullSt, okSt = taken, st
+			} else {
+				nullSt, okSt = st, taken
+			}
+			v.markNull(nullSt, ins.Dst)
+			okSt.reg(ins.Dst).MaybeNull = false
+			return true, taken, nil
+		}
+	}
+
+	// Packet range comparisons: pkt vs pkt_end.
+	if srcReg != nil && !is32 {
+		if done, taken := v.checkPktBranch(st, ins, dst, &src); done {
+			return true, taken, nil
+		}
+	}
+
+	if dst.Type.IsPointer() || src.Type.IsPointer() {
+		// Comparing pointers (other than the cases above) reveals kernel
+		// addresses; the kernel restricts it, and so do we.
+		if dst.Type == src.Type && (op == isa.OpJeq || op == isa.OpJne) {
+			// Same-type equality comparison is allowed; no refinement.
+			taken := st.clone()
+			taken.pc = st.pc + 1 + int(ins.Off)
+			st.pc++
+			return true, taken, nil
+		}
+		return false, nil, v.errf(st.pc, "R%d pointer comparison prohibited", ins.Dst)
+	}
+
+	canTrue, canFalse := branchFeasible(op, dst, &src, is32)
+
+	// refine tightens the dst (and live src) bounds of one state for one
+	// branch direction. Immediate comparisons refine against a local copy
+	// of the folded constant.
+	refine := func(s *state, takenSide bool) {
+		if is32 {
+			return // 32-bit comparisons: skip refinement, stay conservative
+		}
+		var sp *Reg
+		if srcReg != nil {
+			sp = s.reg(ins.Src)
+		} else {
+			tmp := src
+			sp = &tmp
+		}
+		d := s.reg(ins.Dst)
+		refineBranch(op, takenSide, d, sp)
+		if v.cfg.Bugs.OffByOneJle && op == isa.OpJle && takenSide && d.Type == Scalar && d.UMax > 0 {
+			// Reintroduced off-by-one: conclude v <= imm-1, one tighter
+			// than the runtime truth.
+			d.UMax--
+			d.knownBounds()
+		}
+	}
+
+	switch {
+	case !canTrue && !canFalse:
+		// Contradictory bounds; treat as fall-through (dead branch).
+		st.pc++
+		return true, nil, nil
+	case !canTrue:
+		refine(st, false)
+		st.pc++
+		return true, nil, nil
+	case !canFalse:
+		refine(st, true)
+		st.pc += 1 + int(ins.Off)
+		return true, nil, nil
+	}
+
+	taken := st.clone()
+	taken.pc = st.pc + 1 + int(ins.Off)
+	refine(taken, true)
+	refine(st, false)
+	st.pc++
+	return true, taken, nil
+}
+
+// markNull turns a maybe-null pointer into the constant 0 on the null
+// branch and discharges its reference obligation (the acquisition never
+// happened if the helper returned NULL).
+func (v *Verifier) markNull(st *state, r isa.Register) {
+	reg := st.reg(r)
+	if reg.RefID != 0 {
+		st.releaseRef(reg.RefID)
+		st.dropRefEverywhere(reg.RefID)
+	}
+	*st.reg(r) = constScalar(0)
+}
+
+// checkPktBranch recognises comparisons between a packet pointer and
+// data_end and extends the proven packet range on the safe side.
+func (v *Verifier) checkPktBranch(st *state, ins isa.Instruction, dst, src *Reg) (bool, *state) {
+	op := ins.ALUOp()
+	var pkt *Reg
+	var pktOnDst bool
+	switch {
+	case dst.Type == PtrToPacket && src.Type == PtrToPacketEnd:
+		pkt, pktOnDst = dst, true
+	case dst.Type == PtrToPacketEnd && src.Type == PtrToPacket:
+		pkt, pktOnDst = src, false
+	default:
+		return false, nil
+	}
+	if !pkt.Tnum.IsConst() || pkt.UMax != 0 {
+		// Variable-offset packet pointers cannot extend the range.
+		pkt = nil
+	}
+
+	// Determine on which side (taken/fallthrough) pkt <= end holds.
+	var safeOnTaken, safeOnFall bool
+	if pktOnDst {
+		switch op {
+		case isa.OpJgt, isa.OpJge: // if pkt >/>= end goto: fall-through is safe
+			safeOnFall = true
+		case isa.OpJlt, isa.OpJle: // if pkt </<= end goto: taken is safe
+			safeOnTaken = true
+		}
+	} else {
+		switch op {
+		case isa.OpJgt, isa.OpJge: // if end >/>= pkt goto: taken is safe
+			safeOnTaken = true
+		case isa.OpJlt, isa.OpJle: // if end </<= pkt goto: fall-through is safe
+			safeOnFall = true
+		}
+	}
+	if !safeOnTaken && !safeOnFall {
+		return false, nil
+	}
+
+	taken := st.clone()
+	taken.pc = st.pc + 1 + int(ins.Off)
+	if pkt != nil {
+		if safeOnTaken {
+			extendPktRange(taken, pkt.Off)
+		}
+		if safeOnFall {
+			extendPktRange(st, pkt.Off)
+		}
+	}
+	st.pc++
+	return true, taken
+}
+
+// extendPktRange grants all packet pointers in the state a proven range of
+// at least bytes — the kernel's find_good_pkt_pointers.
+func extendPktRange(st *state, bytes int64) {
+	for _, f := range st.frames {
+		for i := range f.regs {
+			if f.regs[i].Type == PtrToPacket && f.regs[i].PktRange < bytes {
+				f.regs[i].PktRange = bytes
+			}
+		}
+		for i := range f.stack {
+			if f.stack[i].kind == slotSpill && f.stack[i].spill.Type == PtrToPacket &&
+				f.stack[i].spill.PktRange < bytes {
+				f.stack[i].spill.PktRange = bytes
+			}
+		}
+	}
+}
+
+// branchFeasible decides which sides of a comparison are possible given
+// the operands' bounds.
+func branchFeasible(op uint8, dst, src *Reg, is32 bool) (canTrue, canFalse bool) {
+	if is32 && (dst.UMax > math.MaxUint32 || src.UMax > math.MaxUint32) {
+		// 32-bit comparison on a value we only track in 64 bits: assume
+		// either side possible.
+		return true, true
+	}
+	switch op {
+	case isa.OpJeq:
+		overlap := dst.UMin <= src.UMax && src.UMin <= dst.UMax
+		bothSingle := dst.UMin == dst.UMax && src.UMin == src.UMax
+		return overlap, !(bothSingle && dst.UMin == src.UMin)
+	case isa.OpJne:
+		canTrue, canFalse = branchFeasible(isa.OpJeq, dst, src, is32)
+		return canFalse, canTrue
+	case isa.OpJgt:
+		return dst.UMax > src.UMin, dst.UMin <= src.UMax
+	case isa.OpJge:
+		return dst.UMax >= src.UMin, dst.UMin < src.UMax
+	case isa.OpJlt:
+		t, f := branchFeasible(isa.OpJge, dst, src, is32)
+		return f, t
+	case isa.OpJle:
+		t, f := branchFeasible(isa.OpJgt, dst, src, is32)
+		return f, t
+	case isa.OpJsgt:
+		return dst.SMax > src.SMin, dst.SMin <= src.SMax
+	case isa.OpJsge:
+		return dst.SMax >= src.SMin, dst.SMin < src.SMax
+	case isa.OpJslt:
+		t, f := branchFeasible(isa.OpJsge, dst, src, is32)
+		return f, t
+	case isa.OpJsle:
+		t, f := branchFeasible(isa.OpJsgt, dst, src, is32)
+		return f, t
+	case isa.OpJset:
+		if dst.IsConst() && src.IsConst() {
+			set := dst.ConstValue()&src.ConstValue() != 0
+			return set, !set
+		}
+		return true, true
+	}
+	return true, true
+}
+
+// refineBranch tightens bounds on one side of a comparison. src may be nil
+// (immediate comparisons refine via the constant folded into a Reg by the
+// caller — in that case no source refinement happens).
+func refineBranch(op uint8, taken bool, dst, src *Reg) {
+	if dst.Type != Scalar {
+		return
+	}
+	// Materialise the comparison value: src's bounds (a constant when the
+	// comparison was against an immediate — the caller folded it).
+	var sUMin, sUMax uint64
+	var sSMin, sSMax int64
+	var sTnum Tnum
+	srcScalar := src != nil && src.Type == Scalar
+	if srcScalar {
+		sUMin, sUMax, sSMin, sSMax, sTnum = src.UMin, src.UMax, src.SMin, src.SMax, src.Tnum
+	} else if src == nil {
+		return
+	} else {
+		return
+	}
+
+	switch op {
+	case isa.OpJeq:
+		if taken {
+			dst.UMin, dst.UMax = maxU64(dst.UMin, sUMin), minU64(dst.UMax, sUMax)
+			dst.SMin, dst.SMax = maxI64(dst.SMin, sSMin), int64min(dst.SMax, sSMax)
+			dst.Tnum = dst.Tnum.Intersect(sTnum)
+			if srcScalar {
+				src.UMin, src.UMax = dst.UMin, dst.UMax
+				src.SMin, src.SMax = dst.SMin, dst.SMax
+				src.Tnum = dst.Tnum
+			}
+		} else if sUMin == sUMax {
+			// dst != const: nibble the endpoints.
+			if dst.UMin == sUMin && dst.UMin < math.MaxUint64 {
+				dst.UMin++
+			}
+			if dst.UMax == sUMin && dst.UMax > 0 {
+				dst.UMax--
+			}
+		}
+	case isa.OpJne:
+		refineBranch(isa.OpJeq, !taken, dst, src)
+		return
+	case isa.OpJgt:
+		if taken {
+			dst.UMin = maxU64(dst.UMin, addSat(sUMin, 1))
+			src.UMax = minU64(src.UMax, subSat(dst.UMax, 1))
+		} else {
+			dst.UMax = minU64(dst.UMax, sUMax)
+			src.UMin = maxU64(src.UMin, dst.UMin)
+		}
+	case isa.OpJge:
+		if taken {
+			dst.UMin = maxU64(dst.UMin, sUMin)
+			src.UMax = minU64(src.UMax, dst.UMax)
+		} else {
+			dst.UMax = minU64(dst.UMax, subSat(sUMax, 1))
+			src.UMin = maxU64(src.UMin, addSat(dst.UMin, 1))
+		}
+	case isa.OpJlt:
+		refineBranch(isa.OpJge, !taken, dst, src)
+		return
+	case isa.OpJle:
+		refineBranch(isa.OpJgt, !taken, dst, src)
+		return
+	case isa.OpJsgt:
+		if taken {
+			dst.SMin = maxI64(dst.SMin, sAddSat(sSMin, 1))
+			src.SMax = int64min(src.SMax, sSubSat(dst.SMax, 1))
+		} else {
+			dst.SMax = int64min(dst.SMax, sSMax)
+			src.SMin = maxI64(src.SMin, dst.SMin)
+		}
+	case isa.OpJsge:
+		if taken {
+			dst.SMin = maxI64(dst.SMin, sSMin)
+			src.SMax = int64min(src.SMax, dst.SMax)
+		} else {
+			dst.SMax = int64min(dst.SMax, sSubSat(sSMax, 1))
+			src.SMin = maxI64(src.SMin, sAddSat(dst.SMin, 1))
+		}
+	case isa.OpJslt:
+		refineBranch(isa.OpJsge, !taken, dst, src)
+		return
+	case isa.OpJsle:
+		refineBranch(isa.OpJsgt, !taken, dst, src)
+		return
+	case isa.OpJset:
+		if !taken && sTnum.IsConst() {
+			// All bits of the constant are known clear.
+			c := sTnum.Value
+			dst.Tnum = Tnum{Value: dst.Tnum.Value &^ c, Mask: dst.Tnum.Mask &^ c}
+		}
+	}
+	dst.knownBounds()
+	if srcScalar {
+		src.knownBounds()
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func addSat(a uint64, d uint64) uint64 {
+	if a > math.MaxUint64-d {
+		return math.MaxUint64
+	}
+	return a + d
+}
+
+func subSat(a uint64, d uint64) uint64 {
+	if a < d {
+		return 0
+	}
+	return a - d
+}
+
+func sAddSat(a int64, d int64) int64 {
+	if a > math.MaxInt64-d {
+		return math.MaxInt64
+	}
+	return a + d
+}
+
+func sSubSat(a int64, d int64) int64 {
+	if a < math.MinInt64+d {
+		return math.MinInt64
+	}
+	return a - d
+}

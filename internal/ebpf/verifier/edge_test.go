@@ -1,0 +1,224 @@
+package verifier
+
+import (
+	"testing"
+
+	"kex/internal/ebpf/isa"
+)
+
+// Edge cases around shift semantics, atomics, 32-bit branches, and the
+// interactions the fuzz pointed at.
+
+func TestRegisterShiftsAcceptedUnbounded(t *testing.T) {
+	// Register shift amounts mask at runtime, so an unbounded shift count
+	// verifies (immediates >= width are still rejected elsewhere).
+	mustVerify(t, isa.Tracing, []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R2, isa.R1, 0), // unbounded scalar
+		isa.Mov64Imm(isa.R0, 1),
+		isa.ALU64Reg(isa.OpLsh, isa.R0, isa.R2),
+		isa.ALU64Reg(isa.OpRsh, isa.R0, isa.R2),
+		isa.ALU64Reg(isa.OpArsh, isa.R0, isa.R2),
+		isa.Exit(),
+	})
+}
+
+func TestImmediateShiftWidthChecked(t *testing.T) {
+	mustReject(t, isa.Tracing, []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 1),
+		isa.ALU64Imm(isa.OpLsh, isa.R0, 64),
+		isa.Exit(),
+	}, "invalid shift")
+	// 32-bit immediate shifts are capped at 32.
+	mustReject(t, isa.Tracing, []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 1),
+		isa.ALU32Imm(isa.OpLsh, isa.R0, 32),
+		isa.Exit(),
+	}, "invalid shift")
+	// Boundary values are fine.
+	mustVerify(t, isa.Tracing, []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 1),
+		isa.ALU64Imm(isa.OpLsh, isa.R0, 63),
+		isa.ALU32Imm(isa.OpRsh, isa.R0, 31),
+		isa.Exit(),
+	})
+}
+
+func TestAtomicOnStackAndMapValue(t *testing.T) {
+	// Atomic add to the stack verifies.
+	mustVerify(t, isa.Tracing, []isa.Instruction{
+		isa.Mov64Imm(isa.R1, 0),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		isa.Mov64Imm(isa.R2, 5),
+		isa.AtomicAdd64(isa.R10, -8, isa.R2),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, -8),
+		isa.Exit(),
+	})
+	// Atomic to a map value verifies through the lookup idiom.
+	mustVerify(t, isa.Tracing, mapLookupProg([]isa.Instruction{
+		isa.Mov64Imm(isa.R1, 1),
+		isa.AtomicAdd64(isa.R0, 0, isa.R1),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}))
+	// Atomic with a pointer operand is rejected.
+	mustReject(t, isa.Tracing, []isa.Instruction{
+		isa.Mov64Imm(isa.R1, 0),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1),
+		isa.AtomicAdd64(isa.R10, -8, isa.R10),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}, "must be scalar")
+	// Atomic to ctx memory is rejected.
+	mustReject(t, isa.Tracing, []isa.Instruction{
+		isa.Mov64Imm(isa.R2, 1),
+		isa.AtomicAdd64(isa.R1, 0, isa.R2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}, "atomic access")
+}
+
+func TestJmp32BranchesExploreBothSides(t *testing.T) {
+	// JMP32 refinement is conservative; both sides must still verify.
+	mustVerify(t, isa.Tracing, []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R2, isa.R1, 0),
+		isa.Jmp32Imm(isa.OpJeq, isa.R2, 7, 2),
+		isa.Mov64Imm(isa.R0, 1),
+		isa.Exit(),
+		isa.Mov64Imm(isa.R0, 2),
+		isa.Exit(),
+	})
+}
+
+func TestNegativeImmediateComparisonSigned(t *testing.T) {
+	// if r2 s> -5: bounds refinement on the signed side must not confuse
+	// the unsigned interval into a contradiction.
+	mustVerify(t, isa.Tracing, []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R2, isa.R1, 0),
+		isa.JmpImm(isa.OpJsgt, isa.R2, -5, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.Mov64Reg(isa.R0, isa.R2),
+		isa.Exit(),
+	})
+}
+
+func TestPacketEndComparedBothWays(t *testing.T) {
+	// "if data_end > data + n" (end on the left) also grants range.
+	prog := []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R2, isa.R1, 0), // data
+		isa.LoadMem(isa.SizeDW, isa.R3, isa.R1, 8), // data_end
+		isa.Mov64Reg(isa.R4, isa.R2),
+		isa.ALU64Imm(isa.OpAdd, isa.R4, 4),
+		isa.JmpReg(isa.OpJge, isa.R3, isa.R4, 2), // end >= data+4: taken is safe
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.LoadMem(isa.SizeW, isa.R0, isa.R2, 0),
+		isa.Exit(),
+	}
+	mustVerify(t, isa.SocketFilter, prog)
+}
+
+func TestSpilledPacketPointerKeepsRange(t *testing.T) {
+	// Range extension must reach pointers spilled to the stack.
+	prog := []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R2, isa.R1, 0),
+		isa.LoadMem(isa.SizeDW, isa.R3, isa.R1, 8),
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R2), // spill pkt ptr
+		isa.Mov64Reg(isa.R4, isa.R2),
+		isa.ALU64Imm(isa.OpAdd, isa.R4, 2),
+		isa.JmpReg(isa.OpJgt, isa.R4, isa.R3, 3),
+		isa.LoadMem(isa.SizeDW, isa.R5, isa.R10, -8), // fill it back
+		isa.LoadMem(isa.SizeB, isa.R0, isa.R5, 1),    // within the proven 2
+		isa.Exit(),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}
+	mustVerify(t, isa.SocketFilter, prog)
+}
+
+func TestStackSlotPartialOverwriteInvalidatesSpill(t *testing.T) {
+	// Writing one byte over a spilled pointer turns the slot into data; a
+	// later full read yields an unknown scalar, and dereferencing it must
+	// be rejected.
+	mustReject(t, isa.Tracing, []isa.Instruction{
+		isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R1), // spill ctx ptr
+		isa.Mov64Imm(isa.R2, 0xff),
+		isa.StoreMem(isa.SizeB, isa.R10, -8, isa.R2), // clobber one byte
+		isa.LoadMem(isa.SizeDW, isa.R3, isa.R10, -8),
+		isa.LoadMem(isa.SizeW, isa.R0, isa.R3, 0), // deref the mixture
+		isa.Exit(),
+	}, "invalid mem access")
+}
+
+func TestDeadBranchNotVerified(t *testing.T) {
+	// Constant feasibility: the impossible branch's body may contain code
+	// that would not verify, and must be skipped like the kernel does.
+	mustVerify(t, isa.Tracing, []isa.Instruction{
+		isa.Mov64Imm(isa.R2, 5),
+		isa.JmpImm(isa.OpJeq, isa.R2, 6, 2), // never taken
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		// Dead: NULL dereference, reachable only via the impossible branch.
+		isa.Mov64Imm(isa.R3, 0),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R3, 0),
+		isa.Exit(),
+	})
+}
+
+func TestExitInsideCallbackChecked(t *testing.T) {
+	// A callback that leaks a reference is rejected even though the leak
+	// is confined to the callback body.
+	prog := append(skLookupSeq(),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	)
+	// skLookupSeq acquires; no release before exit: rejected.
+	mustReject(t, isa.Tracing, prog, "Unreleased reference")
+}
+
+func TestMapHandleDereferenceRejected(t *testing.T) {
+	mustReject(t, isa.Tracing, []isa.Instruction{
+		isa.LoadMapRef(isa.R1, "counts"),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R1, 0),
+		isa.Exit(),
+	}, "invalid mem access")
+}
+
+func TestNullCheckViaJneZeroImmediate(t *testing.T) {
+	// The inverse null-check polarity: if r0 == 0 goto miss.
+	prog := []isa.Instruction{
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 0),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+		isa.LoadMapRef(isa.R1, "counts"),
+		isa.Call(int32(mustHelperID("bpf_map_lookup_elem"))),
+		isa.JmpImm(isa.OpJeq, isa.R0, 0, 2),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R0, 0), // non-null side
+		isa.Exit(),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}
+	mustVerify(t, isa.Tracing, prog)
+}
+
+func TestBoundsThroughAndMask(t *testing.T) {
+	// idx &= 56 proves idx <= 56 via tnums: access verifies without an
+	// explicit comparison — tristate-number precision at work.
+	prog := []isa.Instruction{
+		isa.LoadMem(isa.SizeDW, isa.R6, isa.R1, 0),
+		isa.ALU64Imm(isa.OpAnd, isa.R6, 56),
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 0),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+		isa.LoadMapRef(isa.R1, "big"), // 64-byte values
+		isa.Call(int32(mustHelperID("bpf_map_lookup_elem"))),
+		isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R6),
+		isa.LoadMem(isa.SizeDW, isa.R1, isa.R0, 0), // 56+8 = 64: exactly fits
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}
+	mustVerify(t, isa.Tracing, prog)
+}

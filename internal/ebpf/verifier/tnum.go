@@ -1,0 +1,175 @@
+// Package verifier implements the in-kernel eBPF verifier this paper
+// argues against: a path-sensitive symbolic executor over the bytecode of
+// package isa. It tracks register types and provenance, tristate-number
+// and signed/unsigned interval abstractions of scalars, stack contents,
+// acquired references and held locks, prunes states, and enforces the
+// complexity budgets that cap program size — faithfully reproducing both
+// the power and the architectural weaknesses (§2.1, §2.2) of the original.
+package verifier
+
+import "fmt"
+
+// Tnum is a tristate number: an abstraction of a 64-bit value where every
+// bit is 0, 1, or unknown. Value holds the known bits, Mask the unknown
+// ones; Value&Mask == 0 is the representation invariant. This is the same
+// domain as the kernel's struct tnum (Vishwanathan et al., CGO'22).
+type Tnum struct {
+	Value uint64
+	Mask  uint64
+}
+
+// TnumConst returns the tnum representing exactly v.
+func TnumConst(v uint64) Tnum { return Tnum{Value: v} }
+
+// TnumUnknown is the tnum with every bit unknown.
+var TnumUnknown = Tnum{Mask: ^uint64(0)}
+
+// IsConst reports whether the tnum represents a single value.
+func (t Tnum) IsConst() bool { return t.Mask == 0 }
+
+// Contains reports whether the concrete value v is represented by t.
+func (t Tnum) Contains(v uint64) bool { return (v &^ t.Mask) == t.Value }
+
+// TnumRange returns a tnum covering at least [min, max] (unsigned), the
+// kernel's tnum_range.
+func TnumRange(min, max uint64) Tnum {
+	chi := min ^ max
+	bits := 64 - leadingZeros(chi)
+	if bits > 63 {
+		return TnumUnknown
+	}
+	delta := (uint64(1) << bits) - 1
+	return Tnum{Value: min &^ delta, Mask: delta}
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Add returns the tnum of a+b (kernel tnum_add).
+func (a Tnum) Add(b Tnum) Tnum {
+	sm := a.Mask + b.Mask
+	sv := a.Value + b.Value
+	sigma := sm + sv
+	chi := sigma ^ sv
+	mu := chi | a.Mask | b.Mask
+	return Tnum{Value: sv &^ mu, Mask: mu}
+}
+
+// Sub returns the tnum of a-b (kernel tnum_sub).
+func (a Tnum) Sub(b Tnum) Tnum {
+	dv := a.Value - b.Value
+	alpha := dv + a.Mask
+	beta := dv - b.Mask
+	chi := alpha ^ beta
+	mu := chi | a.Mask | b.Mask
+	return Tnum{Value: dv &^ mu, Mask: mu}
+}
+
+// And returns the tnum of a&b.
+func (a Tnum) And(b Tnum) Tnum {
+	alpha := a.Value | a.Mask
+	beta := b.Value | b.Mask
+	v := a.Value & b.Value
+	return Tnum{Value: v, Mask: alpha & beta &^ v}
+}
+
+// Or returns the tnum of a|b.
+func (a Tnum) Or(b Tnum) Tnum {
+	v := a.Value | b.Value
+	mu := a.Mask | b.Mask
+	return Tnum{Value: v, Mask: mu &^ v}
+}
+
+// Xor returns the tnum of a^b.
+func (a Tnum) Xor(b Tnum) Tnum {
+	v := a.Value ^ b.Value
+	mu := a.Mask | b.Mask
+	return Tnum{Value: v &^ mu, Mask: mu}
+}
+
+// Lshift returns the tnum of a << shift.
+func (a Tnum) Lshift(shift uint8) Tnum {
+	return Tnum{Value: a.Value << shift, Mask: a.Mask << shift}
+}
+
+// Rshift returns the tnum of a >> shift (logical).
+func (a Tnum) Rshift(shift uint8) Tnum {
+	return Tnum{Value: a.Value >> shift, Mask: a.Mask >> shift}
+}
+
+// Arshift returns the tnum of a >> shift (arithmetic, 64-bit).
+func (a Tnum) Arshift(shift uint8) Tnum {
+	return Tnum{
+		Value: uint64(int64(a.Value) >> shift),
+		Mask:  uint64(int64(a.Mask) >> shift),
+	}
+}
+
+// Mul returns a tnum of a*b (kernel tnum_mul: shift-and-add over known
+// bits, degrading unknown bits pessimistically).
+func (a Tnum) Mul(b Tnum) Tnum {
+	acc := TnumConst(0)
+	for a.Value != 0 || a.Mask != 0 {
+		if a.Value&1 != 0 {
+			acc = acc.Add(Tnum{Value: 0, Mask: b.Mask}).Add(Tnum{Value: b.Value, Mask: 0})
+		} else if a.Mask&1 != 0 {
+			acc = acc.Add(Tnum{Value: 0, Mask: b.Value | b.Mask})
+		}
+		a = a.Rshift(1)
+		b = b.Lshift(1)
+	}
+	return acc
+}
+
+// Intersect returns a tnum representing values in both a and b. The caller
+// must know the intersection is non-empty (e.g. after a comparison).
+func (a Tnum) Intersect(b Tnum) Tnum {
+	v := a.Value | b.Value
+	mu := a.Mask & b.Mask
+	return Tnum{Value: v &^ mu, Mask: mu}
+}
+
+// Union returns a tnum covering every value of a and of b.
+func (a Tnum) Union(b Tnum) Tnum {
+	chi := a.Value ^ b.Value
+	mu := a.Mask | b.Mask | chi
+	return Tnum{Value: a.Value &^ mu, Mask: mu}
+}
+
+// Subset reports whether every value of b is also a value of a (a is at
+// least as general).
+func (a Tnum) Subset(b Tnum) bool {
+	// Every bit known in a must be known in b with the same value.
+	if b.Mask&^a.Mask != 0 {
+		return false
+	}
+	return a.Value == b.Value&^a.Mask
+}
+
+// Cast32 truncates the tnum to its low 32 bits (the ALU32 semantics).
+func (a Tnum) Cast32() Tnum {
+	return Tnum{Value: uint64(uint32(a.Value)), Mask: uint64(uint32(a.Mask))}
+}
+
+// UnsignedBounds derives the tightest unsigned interval covered by the tnum.
+func (a Tnum) UnsignedBounds() (min, max uint64) {
+	return a.Value, a.Value | a.Mask
+}
+
+func (a Tnum) String() string {
+	if a.IsConst() {
+		return fmt.Sprintf("%#x", a.Value)
+	}
+	if a == TnumUnknown {
+		return "unknown"
+	}
+	return fmt.Sprintf("(value=%#x, mask=%#x)", a.Value, a.Mask)
+}

@@ -1,0 +1,228 @@
+package verifier
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegType is the verifier's pointer-provenance lattice: what kind of value
+// a register holds. It mirrors the kernel's bpf_reg_type, reduced to the
+// cases this ISA produces.
+type RegType int
+
+const (
+	// NotInit marks a register that has never been written; reading it is
+	// an error.
+	NotInit RegType = iota
+	// Scalar is a plain integer with tnum and interval bounds.
+	Scalar
+	// PtrToCtx points at the program's context object.
+	PtrToCtx
+	// PtrToStack points into the program's 512-byte stack frame.
+	PtrToStack
+	// PtrToMapValue points into a map value of a known map.
+	PtrToMapValue
+	// ConstPtrToMap is a map handle loaded by LDDW, usable only as a
+	// helper argument.
+	ConstPtrToMap
+	// PtrToMem points into a fixed-size kernel allocation (e.g. a ringbuf
+	// record).
+	PtrToMem
+	// PtrToPacket points into packet data (direct packet access).
+	PtrToPacket
+	// PtrToPacketEnd is the data_end sentinel used to bound packet access.
+	PtrToPacketEnd
+	// PtrToSock points to a socket object.
+	PtrToSock
+	// PtrToTask points to a task_struct.
+	PtrToTask
+	// PtrToFunc is a callback-function reference (BPF_PSEUDO_FUNC).
+	PtrToFunc
+)
+
+func (t RegType) String() string {
+	names := [...]string{
+		"not_init", "scalar", "ctx", "stack", "map_value", "map_ptr",
+		"mem", "pkt", "pkt_end", "sock", "task", "func",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("regtype(%d)", int(t))
+}
+
+// IsPointer reports whether the type is any pointer kind.
+func (t RegType) IsPointer() bool { return t != NotInit && t != Scalar }
+
+// readableMem reports whether loads through this pointer type are allowed.
+func (t RegType) readableMem() bool {
+	switch t {
+	case PtrToCtx, PtrToStack, PtrToMapValue, PtrToMem, PtrToPacket, PtrToSock, PtrToTask:
+		return true
+	}
+	return false
+}
+
+// MapMeta identifies the map a pointer or handle refers to.
+type MapMeta struct {
+	Name      string
+	KeySize   int
+	ValueSize int
+	HasLock   bool // value contains a spin lock region at offset 0
+}
+
+// Reg is the abstract state of one register. For scalars the tnum and the
+// four interval bounds abstract the runtime value; for pointers Off is the
+// fixed byte offset added so far and the scalar abstraction describes the
+// *variable* part of the offset.
+type Reg struct {
+	Type RegType
+
+	// Scalar abstraction (also the variable offset of a pointer).
+	Tnum Tnum
+	SMin int64
+	SMax int64
+	UMin uint64
+	UMax uint64
+
+	// Off is the fixed offset for pointer types.
+	Off int64
+
+	// Map is set for ConstPtrToMap and PtrToMapValue.
+	Map *MapMeta
+
+	// MemSize is the allocation size for PtrToMem.
+	MemSize int64
+
+	// PktRange is the number of bytes proven accessible past Off for
+	// PtrToPacket (established by data_end comparisons).
+	PktRange int64
+
+	// MaybeNull marks pointer types that may be NULL and must be
+	// null-checked before use.
+	MaybeNull bool
+
+	// RefID ties the register to an acquired reference obligation.
+	RefID int
+
+	// FuncPC is the callback entry instruction for PtrToFunc.
+	FuncPC int32
+}
+
+// unknownScalar returns a scalar with no information.
+func unknownScalar() Reg {
+	return Reg{Type: Scalar, Tnum: TnumUnknown, SMin: math.MinInt64, SMax: math.MaxInt64, UMin: 0, UMax: math.MaxUint64}
+}
+
+// constScalar returns a scalar known to be exactly v.
+func constScalar(v uint64) Reg {
+	return Reg{Type: Scalar, Tnum: TnumConst(v), SMin: int64(v), SMax: int64(v), UMin: v, UMax: v}
+}
+
+// IsConst reports whether the register is a scalar with one known value.
+func (r *Reg) IsConst() bool { return r.Type == Scalar && r.Tnum.IsConst() }
+
+// ConstValue returns the known value of a const scalar.
+func (r *Reg) ConstValue() uint64 { return r.Tnum.Value }
+
+// knownBounds reconciles the tnum with the interval bounds, tightening
+// each from the other — a simplified reg_bounds_sync.
+func (r *Reg) knownBounds() {
+	if r.Type != Scalar {
+		return
+	}
+	tmin, tmax := r.Tnum.UnsignedBounds()
+	if tmin > r.UMin {
+		r.UMin = tmin
+	}
+	if tmax < r.UMax {
+		r.UMax = tmax
+	}
+	if r.UMin > r.UMax {
+		// Contradiction: the state is unreachable; collapse to a benign
+		// constant (the kernel marks the path dead similarly).
+		*r = constScalar(r.UMin)
+		return
+	}
+	// If the unsigned range does not cross the sign boundary, it implies
+	// signed bounds.
+	if int64(r.UMin) <= int64(r.UMax) {
+		if int64(r.UMin) > r.SMin {
+			r.SMin = int64(r.UMin)
+		}
+		if int64(r.UMax) < r.SMax {
+			r.SMax = int64(r.UMax)
+		}
+	}
+	// Non-negative signed range implies unsigned bounds.
+	if r.SMin >= 0 {
+		if uint64(r.SMin) > r.UMin {
+			r.UMin = uint64(r.SMin)
+		}
+		if uint64(r.SMax) < r.UMax {
+			r.UMax = uint64(r.SMax)
+		}
+	}
+	if r.SMin > r.SMax {
+		*r = unknownScalar()
+	}
+}
+
+// generalizes reports whether r describes a superset of the values other
+// describes — the per-register half of state pruning (kernel regsafe).
+func (r *Reg) generalizes(o *Reg) bool {
+	if r.Type == NotInit {
+		// If verification succeeded with the register unreadable, no path
+		// from here reads it, so any concrete content in o is covered.
+		return true
+	}
+	if r.Type != o.Type {
+		return false
+	}
+	switch r.Type {
+	case Scalar:
+		return r.SMin <= o.SMin && r.SMax >= o.SMax &&
+			r.UMin <= o.UMin && r.UMax >= o.UMax &&
+			r.Tnum.Subset(o.Tnum)
+	case PtrToStack, PtrToCtx:
+		return r.Off == o.Off
+	case PtrToMapValue:
+		return r.Off == o.Off && r.Map == o.Map && r.MaybeNull == o.MaybeNull &&
+			r.UMin <= o.UMin && r.UMax >= o.UMax
+	case ConstPtrToMap:
+		return r.Map == o.Map
+	case PtrToMem:
+		return r.Off == o.Off && r.MemSize == o.MemSize && r.MaybeNull == o.MaybeNull && r.RefID == o.RefID
+	case PtrToPacket:
+		return r.Off == o.Off && r.PktRange <= o.PktRange
+	case PtrToPacketEnd:
+		return true
+	case PtrToSock, PtrToTask:
+		return r.Off == o.Off && r.MaybeNull == o.MaybeNull && r.RefID == o.RefID
+	case PtrToFunc:
+		return r.FuncPC == o.FuncPC
+	}
+	return false
+}
+
+func (r *Reg) String() string {
+	switch r.Type {
+	case NotInit:
+		return "?"
+	case Scalar:
+		if r.IsConst() {
+			return fmt.Sprintf("%d", int64(r.ConstValue()))
+		}
+		return fmt.Sprintf("scalar(umin=%d,umax=%d,smin=%d,smax=%d,%v)", r.UMin, r.UMax, r.SMin, r.SMax, r.Tnum)
+	default:
+		null := ""
+		if r.MaybeNull {
+			null = "_or_null"
+		}
+		ref := ""
+		if r.RefID != 0 {
+			ref = fmt.Sprintf(",ref=%d", r.RefID)
+		}
+		return fmt.Sprintf("%v%s(off=%d%s)", r.Type, null, r.Off, ref)
+	}
+}

@@ -1,0 +1,153 @@
+// Package evo holds the historical evolution data behind Figures 2 and 4
+// of the paper — the growth of the in-kernel verifier and of the helper
+// interface — together with the trend analysis the paper's argument rests
+// on ("roughly 50 helper functions are added every two years", "we do not
+// expect the growth to subside").
+//
+// The per-version verifier line counts are digitised from Figure 2 (they
+// measure kernel/bpf/verifier.c at each release). The reproduction cannot
+// re-run cloc against kernel git history offline, so this dataset is the
+// primary source; the companion experiment cross-checks its *shape* against
+// the simulated verifier's feature growth (verifier.EraConfig), and the
+// helper counts are recomputed live from the helper registry.
+package evo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VersionPoint is one kernel release on the Figure 2/4 time axis.
+type VersionPoint struct {
+	Version string
+	Year    int
+	// VerifierLoC is the size of the eBPF verifier at this release
+	// (Figure 2's y-axis).
+	VerifierLoC int
+}
+
+// History is the Figure 2 dataset: verifier size by release. v3.18 is the
+// initial eBPF verifier; by v6.1 it exceeds 12k lines.
+var History = []VersionPoint{
+	{"v3.18", 2014, 2000},
+	{"v4.3", 2015, 2800},
+	{"v4.9", 2016, 3500},
+	{"v4.14", 2017, 4600},
+	{"v4.20", 2018, 6300},
+	{"v5.4", 2019, 8000},
+	{"v5.10", 2020, 9700},
+	{"v5.15", 2021, 10700},
+	{"v6.1", 2022, 12200},
+}
+
+// Point returns the history entry for a version.
+func Point(version string) (VersionPoint, bool) {
+	for _, p := range History {
+		if p.Version == version {
+			return p, true
+		}
+	}
+	return VersionPoint{}, false
+}
+
+// Fit is a least-squares linear fit y = Slope*x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// Eval evaluates the fit at x.
+func (f Fit) Eval(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// LinearFit computes the least-squares line through (x, y) points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Fit{}
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R^2 against the mean model.
+	mean := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		ssTot += (ys[i] - mean) * (ys[i] - mean)
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// VerifierGrowthFit fits verifier LoC against year: the Figure 2 trend.
+func VerifierGrowthFit() Fit {
+	var xs, ys []float64
+	for _, p := range History {
+		xs = append(xs, float64(p.Year))
+		ys = append(ys, float64(p.VerifierLoC))
+	}
+	return LinearFit(xs, ys)
+}
+
+// HelperGrowthFit fits a cumulative helper-count series against year: the
+// Figure 4 trend. The paper reads the slope as ≈50 helpers per two years.
+func HelperGrowthFit(years []int, counts []int) Fit {
+	var xs, ys []float64
+	for i := range years {
+		xs = append(xs, float64(years[i]))
+		ys = append(ys, float64(counts[i]))
+	}
+	return LinearFit(xs, ys)
+}
+
+// SyscallSurface is the approximate number of Linux system calls, the
+// yardstick §2.2 uses: "in the next decade, the helper function interface
+// will be as wide as (or wider than) the system call interface".
+const SyscallSurface = 450
+
+// CrossoverYear projects when a growth fit reaches the syscall surface.
+func CrossoverYear(f Fit) float64 {
+	if f.Slope <= 0 {
+		return 0
+	}
+	return (SyscallSurface - f.Intercept) / f.Slope
+}
+
+// Render prints a series as the paper's figures would tabulate it.
+func Render(header string, versions []string, years []int, values []int) string {
+	out := header + "\n"
+	for i := range versions {
+		out += fmt.Sprintf("  %-6s %d  %6d\n", versions[i], years[i], values[i])
+	}
+	return out
+}
+
+// Years returns the sorted distinct years of the history.
+func Years() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range History {
+		if !seen[p.Year] {
+			seen[p.Year] = true
+			out = append(out, p.Year)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package evo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kex/internal/ebpf/helpers"
+)
+
+func TestHistoryShape(t *testing.T) {
+	if len(History) != 9 {
+		t.Fatalf("history points = %d", len(History))
+	}
+	// Monotone growth, anchored at the paper's endpoints (~2k at v3.18,
+	// ~12k at v6.1).
+	for i := 1; i < len(History); i++ {
+		if History[i].VerifierLoC <= History[i-1].VerifierLoC {
+			t.Fatalf("verifier LoC not growing at %s", History[i].Version)
+		}
+		if History[i].Year < History[i-1].Year {
+			t.Fatalf("years not ordered at %s", History[i].Version)
+		}
+	}
+	if History[0].VerifierLoC > 2500 == false {
+		// v3.18 starts around 2k lines.
+	}
+	last := History[len(History)-1]
+	if last.Version != "v6.1" || last.VerifierLoC < 12000 {
+		t.Fatalf("final point = %+v, want v6.1 >= 12000", last)
+	}
+}
+
+func TestPointLookup(t *testing.T) {
+	p, ok := Point("v5.4")
+	if !ok || p.Year != 2019 {
+		t.Fatalf("Point(v5.4) = %+v, %v", p, ok)
+	}
+	if _, ok := Point("v9.9"); ok {
+		t.Fatal("bogus version found")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 3x + 2 must be recovered exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{2, 5, 8, 11, 14}
+	f := LinearFit(xs, ys)
+	if math.Abs(f.Slope-3) > 1e-9 || math.Abs(f.Intercept-2) > 1e-9 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if f.R2 < 0.9999 {
+		t.Fatalf("R2 = %f", f.R2)
+	}
+	if got := f.Eval(10); math.Abs(got-32) > 1e-9 {
+		t.Fatalf("Eval(10) = %f", got)
+	}
+	// Degenerate inputs do not explode.
+	if f := LinearFit([]float64{1}, []float64{1}); f.Slope != 0 {
+		t.Fatal("single-point fit nonzero")
+	}
+	if f := LinearFit([]float64{2, 2}, []float64{1, 5}); f.Slope != 0 {
+		t.Fatal("vertical fit nonzero")
+	}
+}
+
+// Property: the least-squares line through noisy y = ax+b recovers a and b
+// within the noise scale.
+func TestLinearFitProperty(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		var xs, ys []float64
+		for x := 0; x < 10; x++ {
+			xs = append(xs, float64(x))
+			ys = append(ys, a*float64(x)+b)
+		}
+		fit := LinearFit(xs, ys)
+		return math.Abs(fit.Slope-a) < 1e-6 && math.Abs(fit.Intercept-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierGrowthFit(t *testing.T) {
+	f := VerifierGrowthFit()
+	// Figure 2: ~10k lines over 8 years ⇒ roughly 1.3k lines/year.
+	if f.Slope < 1000 || f.Slope > 1700 {
+		t.Fatalf("verifier growth slope = %.0f LoC/year", f.Slope)
+	}
+	if f.R2 < 0.95 {
+		t.Fatalf("verifier growth not near-linear: R2 = %.3f", f.R2)
+	}
+}
+
+func TestHelperGrowthMatchesPaperClaims(t *testing.T) {
+	reg := helpers.NewRegistry()
+	series := reg.GrowthSeries()
+	var years, counts []int
+	for _, p := range series {
+		years = append(years, p.Year)
+		counts = append(counts, p.Count)
+	}
+	f := HelperGrowthFit(years, counts)
+	// "Roughly 50 helper functions are added every two years" ⇒ slope
+	// ~25/year.
+	if f.Slope < 20 || f.Slope > 40 {
+		t.Fatalf("helper growth slope = %.1f per year, paper says ~25", f.Slope)
+	}
+	// The §2.2 projection: the helper interface reaches the syscall
+	// surface (~450) "in the next decade" from 2022.
+	year := CrossoverYear(f)
+	if year < 2023 || year > 2035 {
+		t.Fatalf("crossover year = %.0f, want within a decade of 2022", year)
+	}
+}
+
+func TestRenderAndYears(t *testing.T) {
+	out := Render("hdr", []string{"v1", "v2"}, []int{2014, 2015}, []int{1, 2})
+	if !strings.Contains(out, "hdr") || !strings.Contains(out, "v2") {
+		t.Fatalf("render = %q", out)
+	}
+	ys := Years()
+	if len(ys) == 0 || ys[0] != 2014 {
+		t.Fatalf("years = %v", ys)
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] <= ys[i-1] {
+			t.Fatal("years not sorted/unique")
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// Each experiment must regenerate its artifact and uphold the paper's
+// claim. These tests are the reproduction's acceptance suite.
+
+func checkHolds(t *testing.T, r *Result) {
+	t.Helper()
+	if len(r.Lines) == 0 {
+		t.Fatalf("%s produced no output", r.ID)
+	}
+	if !r.Holds {
+		t.Fatalf("%s does not uphold the paper's claim:\n%s", r.ID, r)
+	}
+	t.Logf("\n%s", r)
+}
+
+func TestFigure2(t *testing.T) { checkHolds(t, Figure2()) }
+func TestFigure3(t *testing.T) { checkHolds(t, Figure3()) }
+func TestFigure4(t *testing.T) { checkHolds(t, Figure4()) }
+func TestTable1(t *testing.T)  { checkHolds(t, Table1()) }
+func TestTable2(t *testing.T)  { checkHolds(t, Table2()) }
+func TestE1(t *testing.T)      { checkHolds(t, E1Crash()) }
+func TestE2(t *testing.T)      { checkHolds(t, E2Stall()) }
+func TestE3(t *testing.T)      { checkHolds(t, E3HelperStudy()) }
+func TestA1(t *testing.T)      { checkHolds(t, A1VerifierScaling()) }
+func TestA2(t *testing.T)      { checkHolds(t, A2LoadPath()) }
+func TestA3(t *testing.T)      { checkHolds(t, A3RuntimeTax()) }
+func TestA4(t *testing.T)      { checkHolds(t, A4Expressiveness()) }
+func TestX1(t *testing.T)      { checkHolds(t, X1Protection()) }
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("F2"); !ok {
+		t.Fatal("F2 missing")
+	}
+	if _, ok := ByID("f2"); !ok {
+		t.Fatal("lower-case id not accepted")
+	}
+	if _, ok := ByID("Z9"); ok {
+		t.Fatal("bogus id accepted")
+	}
+}

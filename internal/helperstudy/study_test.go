@@ -1,0 +1,90 @@
+package helperstudy
+
+import (
+	"strings"
+	"testing"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/kernel"
+	"kex/internal/safext/runtime"
+	"kex/internal/safext/toolchain"
+)
+
+func TestClassificationMatchesPaper(t *testing.T) {
+	entries := Classify(helpers.NewRegistry())
+	s := Summarize(entries)
+	if s.Total != 249 {
+		t.Fatalf("universe = %d, want 249", s.Total)
+	}
+	// §3.2: "16 of the helper functions fall in this category and may be
+	// retired".
+	if s.Retire != 16 {
+		t.Fatalf("retirable = %d, paper says 16", s.Retire)
+	}
+	if s.Simplify == 0 || s.Wrap == 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Retire+s.Simplify+s.Wrap+s.Keep != s.Total {
+		t.Fatalf("classes do not partition: %+v", s)
+	}
+}
+
+func TestEveryRetiredHelperExists(t *testing.T) {
+	reg := helpers.NewRegistry()
+	for name := range retired {
+		if _, ok := reg.ByName(name); !ok {
+			t.Errorf("retired helper %q not in registry", name)
+		}
+	}
+	for name := range simplified {
+		if _, ok := reg.ByName(name); !ok {
+			t.Errorf("simplified helper %q not in registry", name)
+		}
+	}
+	for name := range wrapped {
+		if _, ok := reg.ByName(name); !ok {
+			t.Errorf("wrapped helper %q not in registry", name)
+		}
+	}
+}
+
+// TestPortsRun executes the worked §3.2 replacements end to end through
+// the safext pipeline and checks their results.
+func TestPortsRun(t *testing.T) {
+	for _, p := range Ports {
+		p := p
+		t.Run(p.Helper, func(t *testing.T) {
+			k := kernel.NewDefault()
+			rt := runtime.New(k, runtime.DefaultConfig())
+			signer, err := toolchain.NewSigner()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt.AddKey(signer.PublicKey())
+			so, err := signer.BuildAndSign("port", p.Source)
+			if err != nil {
+				t.Fatalf("port does not build: %v", err)
+			}
+			ext, err := rt.Load(so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := ext.Run(runtime.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Completed || v.R0 != p.Want {
+				t.Fatalf("verdict = %+v, want R0 = %d", v, p.Want)
+			}
+		})
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(Summarize(Classify(helpers.NewRegistry())))
+	for _, want := range []string{"retire", "simplify", "wrap", "keep", "249"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

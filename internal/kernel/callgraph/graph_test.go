@@ -1,0 +1,161 @@
+package callgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	if g.AddNode("a") != a {
+		t.Fatal("duplicate AddNode returned new id")
+	}
+	g.AddEdge(a, b)
+	g.AddEdge(a, b) // duplicate edge ignored
+	g.AddEdge(b, c)
+	if g.OutDegree(a) != 1 || g.OutDegree(b) != 1 || g.OutDegree(c) != 0 {
+		t.Fatalf("out-degrees = %d %d %d", g.OutDegree(a), g.OutDegree(b), g.OutDegree(c))
+	}
+	if g.Len() != 3 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if id, ok := g.Lookup("b"); !ok || id != b {
+		t.Fatal("lookup failed")
+	}
+	if g.Name(c) != "c" {
+		t.Fatal("name failed")
+	}
+}
+
+func TestReachableCountChain(t *testing.T) {
+	g := New()
+	ids := make([]NodeID, 10)
+	for i := range ids {
+		ids[i] = g.AddNode(string(rune('a' + i)))
+		if i > 0 {
+			g.AddEdge(ids[i], ids[i-1])
+		}
+	}
+	for i, id := range ids {
+		if got := g.ReachableCount(id); got != i+1 {
+			t.Errorf("node %d reaches %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestReachableCountCycle(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, a) // cycle: recursion in the kernel
+	for _, id := range []NodeID{a, b, c} {
+		if got := g.ReachableCount(id); got != 3 {
+			t.Fatalf("cycle node reaches %d, want 3", got)
+		}
+	}
+}
+
+func TestReachableCountsMatchesSingle(t *testing.T) {
+	// Random DAG: batch API must agree with the one-root API.
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	var ids []NodeID
+	for i := 0; i < 200; i++ {
+		ids = append(ids, g.AddNode(string(rune(i))))
+		for e := 0; e < rng.Intn(4); e++ {
+			g.AddEdge(ids[i], ids[rng.Intn(i+1)])
+		}
+	}
+	batch := g.ReachableCounts(ids)
+	for i, id := range ids {
+		if one := g.ReachableCount(id); one != batch[i] {
+			t.Fatalf("node %d: batch %d != single %d", i, batch[i], one)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize([]int{1, 5, 30, 100, 500, 4845})
+	if d.N != 6 || d.Min != 1 || d.Max != 4845 {
+		t.Fatalf("dist = %+v", d)
+	}
+	if d.FracAtLeast30 != 4.0/6 || d.FracAtLeast500 != 2.0/6 {
+		t.Fatalf("fractions = %v %v", d.FracAtLeast30, d.FracAtLeast500)
+	}
+	// Log buckets: 1,5 -> bucket 0; 30 -> 1; 100,500 -> 2; 4845 -> 3.
+	want := [5]int{2, 1, 2, 1, 0}
+	if d.LogBuckets != want {
+		t.Fatalf("buckets = %v, want %v", d.LogBuckets, want)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summarize not zero")
+	}
+}
+
+func TestSynthesizeExactSizes(t *testing.T) {
+	specs := []HelperSpec{
+		{Name: "bpf_get_current_pid_tgid", Size: 1},
+		{Name: "bpf_probe_read", Size: 42},
+		{Name: "bpf_sk_lookup_tcp", Size: 700},
+		{Name: "bpf_sys_bpf", Size: 4845},
+	}
+	sk, err := Synthesize(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	counts := sk.Counts()
+	for i, spec := range specs {
+		if counts[i] != spec.Size {
+			t.Errorf("%s: %d, want %d", spec.Name, counts[i], spec.Size)
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadSpec(t *testing.T) {
+	if _, err := Synthesize([]HelperSpec{{Name: "x", Size: 0}}, 1); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	specs := []HelperSpec{{Name: "h1", Size: 10}, {Name: "h2", Size: 100}}
+	a, _ := Synthesize(specs, 99)
+	b, _ := Synthesize(specs, 99)
+	if a.Graph.Len() != b.Graph.Len() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := 0; i < a.Graph.Len(); i++ {
+		if a.Graph.OutDegree(NodeID(i)) != b.Graph.OutDegree(NodeID(i)) {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+// Property: for arbitrary positive sizes, synthesis is exact.
+func TestSynthesizeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		specs := make([]HelperSpec, len(raw))
+		for i, r := range raw {
+			specs[i] = HelperSpec{Name: string(rune('A' + i)), Size: int(r%2000) + 1}
+		}
+		sk, err := Synthesize(specs, 3)
+		return err == nil && sk.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package callgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// HelperSpec declares one helper root to plant in the synthetic kernel:
+// its name and the number of unique call-graph nodes it must reach
+// (including itself). Size 1 means the helper calls nothing, like
+// bpf_get_current_pid_tgid.
+type HelperSpec struct {
+	Name string
+	Size int
+}
+
+// SynthKernel is a synthetic kernel call graph with helper entry points
+// whose reachable-set sizes are exact by construction.
+//
+// Construction: a "core chain" of kernel utility functions where function i
+// calls function i-1 (plus extra downward edges for realistic out-degrees,
+// which cannot change reachable-set sizes because the closure of chain node
+// i is always exactly {0..i}). A helper that must reach s nodes gets an
+// edge to chain node s-2, giving a closure of itself plus s-1 chain nodes.
+// Sharing one chain mirrors reality: helpers overwhelmingly reach the same
+// common kernel infrastructure (memory allocation, locking, RCU).
+type SynthKernel struct {
+	Graph   *Graph
+	Helpers []NodeID
+	Specs   []HelperSpec
+}
+
+// Synthesize builds the kernel graph for the given helper specs. The seed
+// fixes the texture edges so the graph is reproducible.
+func Synthesize(specs []HelperSpec, seed int64) (*SynthKernel, error) {
+	maxSize := 1
+	for _, s := range specs {
+		if s.Size < 1 {
+			return nil, fmt.Errorf("callgraph: helper %q has size %d < 1", s.Name, s.Size)
+		}
+		if s.Size > maxSize {
+			maxSize = s.Size
+		}
+	}
+
+	g := New()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Core chain: maxSize-1 nodes suffice for the largest helper.
+	chainLen := maxSize - 1
+	chain := make([]NodeID, chainLen)
+	for i := 0; i < chainLen; i++ {
+		chain[i] = g.AddNode(fmt.Sprintf("kfunc_%05d", i))
+		if i > 0 {
+			g.AddEdge(chain[i], chain[i-1])
+			// Texture: a few extra downward edges so out-degrees look like a
+			// real kernel's (most functions call 1-8 others).
+			extra := rng.Intn(4)
+			for e := 0; e < extra; e++ {
+				g.AddEdge(chain[i], chain[rng.Intn(i)])
+			}
+		}
+	}
+
+	sk := &SynthKernel{Graph: g, Specs: specs}
+	for _, spec := range specs {
+		h := g.AddNode(spec.Name)
+		sk.Helpers = append(sk.Helpers, h)
+		if spec.Size == 1 {
+			continue // leaf helper: calls nothing
+		}
+		anchor := spec.Size - 2 // chain node whose closure has size-1 nodes
+		g.AddEdge(h, chain[anchor])
+		// Texture on the helper itself: extra edges strictly below the
+		// anchor keep the closure size exact.
+		if anchor > 0 {
+			for e := rng.Intn(3); e > 0; e-- {
+				g.AddEdge(h, chain[rng.Intn(anchor)])
+			}
+		}
+	}
+	return sk, nil
+}
+
+// Counts returns the reachable-node count of every helper, in spec order.
+func (sk *SynthKernel) Counts() []int {
+	return sk.Graph.ReachableCounts(sk.Helpers)
+}
+
+// Verify checks that every helper's measured reachable count equals its
+// spec — the construction invariant.
+func (sk *SynthKernel) Verify() error {
+	counts := sk.Counts()
+	for i, spec := range sk.Specs {
+		if counts[i] != spec.Size {
+			return fmt.Errorf("callgraph: helper %q reaches %d nodes, want %d", spec.Name, counts[i], spec.Size)
+		}
+	}
+	return nil
+}

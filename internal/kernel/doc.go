@@ -1,0 +1,25 @@
+// Package kernel implements a simulated operating-system kernel that serves
+// as the host environment for kernel extensions in this reproduction.
+//
+// The real paper runs its experiments against Linux; a Go library cannot be
+// loaded into Linux, so every kernel-side phenomenon the paper discusses is
+// modelled as a first-class, observable event in this simulator:
+//
+//   - Memory-safety violations: extensions and helpers access a simulated
+//     64-bit kernel address space (AddressSpace). Dereferencing an unmapped
+//     address — including the NULL page — raises a Fault which becomes an
+//     Oops, the simulator's analogue of a kernel crash.
+//   - RCU: read-side critical sections are tracked per execution context and
+//     a stall detector fires when a reader holds the read lock past a
+//     virtual-time threshold, reproducing the RCU-stall exploit of §2.2.
+//   - Locking: spin locks are tracked by a lightweight lockdep that reports
+//     double acquisition, locks leaked past program exit, and attempts to
+//     hold more than one extension lock at a time.
+//   - Resource lifetimes: reference-counted objects (tasks, sockets, task
+//     stacks) record acquisition and release, so a leaked reference count is
+//     detectable exactly the way Table 1's "reference count leak" bugs are.
+//
+// Time is virtual: a Clock advanced explicitly by the execution engines, so
+// every timing-related experiment (watchdogs, stalls, grace periods) is
+// deterministic and runs in microseconds of wall time.
+package kernel

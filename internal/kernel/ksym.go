@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"sort"
+	"sync"
+)
+
+// SymTable is the simulated kernel symbol table (kallsyms analogue). The
+// loaders use it for load-time fixup: resolving helper names to their
+// runtime addresses, the one job §3.1 leaves with the kernel after the
+// verifier is gone.
+type SymTable struct {
+	mu   sync.RWMutex
+	addr map[string]uint64
+	name map[uint64]string
+	next uint64
+}
+
+// NewSymTable returns an empty symbol table. Symbol addresses are assigned
+// from a dedicated carve-out below KernelBase so they can never collide
+// with data mappings.
+func NewSymTable() *SymTable {
+	return &SymTable{
+		addr: make(map[string]uint64),
+		name: make(map[uint64]string),
+		next: 0xffff_8000_0000_0000,
+	}
+}
+
+// Define registers a symbol and returns its address. Re-defining a symbol
+// returns the existing address, so registration is idempotent.
+func (s *SymTable) Define(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.addr[name]; ok {
+		return a
+	}
+	a := s.next
+	s.next += 16 // symbols are 16-byte aligned entry points
+	s.addr[name] = a
+	s.name[a] = name
+	return a
+}
+
+// Resolve returns the address of a symbol.
+func (s *SymTable) Resolve(name string) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.addr[name]
+	return a, ok
+}
+
+// NameAt returns the symbol name at an address.
+func (s *SymTable) NameAt(addr uint64) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.name[addr]
+	return n, ok
+}
+
+// Names returns all defined symbol names in sorted order.
+func (s *SymTable) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.addr))
+	for n := range s.addr {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,19 @@
+// Package mm provides the memory-management substrates the paper's design
+// depends on:
+//
+//   - Pool: a pre-allocated, fixed-capacity object pool usable from
+//     non-sleepable contexts. §3.1 proposes exactly this for the unwind
+//     context of safe termination ("a memory-pool-based allocation
+//     mechanism"), and §4 proposes it for extension dynamic allocation
+//     (citing the BPF-specific allocator work).
+//   - PerCPUPool: one Pool per simulated CPU, the "dedicated per-CPU region
+//     for storage" alternative from §3.1.
+//   - DomainSet: a software analogue of protection keys (MPK/PKS) over the
+//     simulated address space, the "lightweight hardware-supported memory
+//     protection" that §4 discusses for protecting safe code from unsafe
+//     kernel code.
+//
+// All allocation here is performed up front; the hot paths never allocate,
+// matching the constraint that extensions often run in interrupt context
+// where a general allocator is unavailable.
+package mm

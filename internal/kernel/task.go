@@ -1,0 +1,164 @@
+package kernel
+
+import "fmt"
+
+// Task models a simulated kernel task (thread). Extensions observe tasks
+// through helpers such as bpf_get_current_pid_tgid and acquire references
+// to task stacks through bpf_get_task_stack, so tasks carry exactly the
+// state those helpers need: identity, a stack region, and a refcount.
+type Task struct {
+	PID  int
+	TGID int
+	Comm string
+
+	// Stack is the task's kernel stack region. Helpers that walk a task's
+	// stack must hold a reference (stackRef) while doing so; forgetting the
+	// reference is the bpf_get_task_stack bug of Table 1.
+	Stack    *Region
+	stackRef *Ref
+
+	// Struct is the task_struct analogue: a small region extension
+	// programs receive pointers to (bpf_get_current_task). Layout:
+	// pid u32 @0, tgid u32 @4, uid u32 @8, comm [16]byte @12.
+	Struct *Region
+
+	// UID is the owning user, used by security-flavoured example programs.
+	UID int
+
+	k    *Kernel
+	dead bool
+}
+
+// Task struct field offsets, shared with helper implementations and the
+// safext kernel crate.
+const (
+	TaskOffPID     = 0
+	TaskOffTGID    = 4
+	TaskOffUID     = 8
+	TaskOffComm    = 12
+	TaskStructSize = 64
+)
+
+// NewTask creates a runnable task with a mapped kernel stack.
+func (k *Kernel) NewTask(comm string) *Task {
+	k.mu.Lock()
+	pid := k.nextPID
+	k.nextPID++
+	k.mu.Unlock()
+
+	t := &Task{PID: pid, TGID: pid, Comm: comm, k: k}
+	t.Stack = k.Mem.Map(16<<10, ProtRW, fmt.Sprintf("stack:pid=%d", pid))
+	t.stackRef = k.refs.New(fmt.Sprintf("task_stack:pid=%d", pid), func() {
+		k.Mem.Unmap(t.Stack)
+	})
+	t.Struct = k.Mem.Map(TaskStructSize, ProtRW, fmt.Sprintf("task_struct:pid=%d", pid))
+	t.syncStruct()
+	k.mu.Lock()
+	k.tasks[pid] = t
+	k.taskByAddr[t.Struct.Base] = t
+	k.mu.Unlock()
+	return t
+}
+
+// syncStruct mirrors the task's identity fields into its task_struct
+// region so programs reading through the pointer see current values.
+func (t *Task) syncStruct() {
+	binaryPut32(t.Struct.Data[TaskOffPID:], uint32(t.PID))
+	binaryPut32(t.Struct.Data[TaskOffTGID:], uint32(t.TGID))
+	binaryPut32(t.Struct.Data[TaskOffUID:], uint32(t.UID))
+	comm := t.Struct.Data[TaskOffComm : TaskOffComm+16]
+	clear(comm)
+	copy(comm, t.Comm)
+}
+
+// SetUID changes the task's owning user.
+func (t *Task) SetUID(uid int) {
+	t.UID = uid
+	t.syncStruct()
+}
+
+// TaskByAddr resolves a task_struct address back to its task, as helper
+// implementations must. Dead tasks still resolve — their struct stays
+// mapped — which is what makes the stale-task-pointer bugs expressible.
+func (k *Kernel) TaskByAddr(addr uint64) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.taskByAddr[addr]
+}
+
+// NewThread creates a task sharing the TGID of the given thread-group leader.
+func (k *Kernel) NewThread(leader *Task, comm string) *Task {
+	t := k.NewTask(comm)
+	t.TGID = leader.TGID
+	t.syncStruct()
+	return t
+}
+
+// binaryPut32 stores a little-endian u32; a local helper to keep the task
+// code free of encoding/binary noise.
+func binaryPut32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// Task looks up a live task by PID.
+func (k *Kernel) Task(pid int) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.tasks[pid]
+}
+
+// Tasks returns a snapshot of all live tasks.
+func (k *Kernel) Tasks() []*Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Task, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Exit terminates the task. Its stack is freed once the last stack
+// reference is dropped; a helper that held a reference past this point is a
+// use-after-free waiting to happen, which the address space will catch.
+func (t *Task) Exit() {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	t.k.mu.Lock()
+	delete(t.k.tasks, t.PID)
+	t.k.mu.Unlock()
+	t.stackRef.Put()
+}
+
+// Dead reports whether the task has exited.
+func (t *Task) Dead() bool { return t.dead }
+
+// GetStack acquires a counted reference to the task's stack, returning the
+// Ref the caller must Put when done. This is the correctly-written form of
+// the bpf_get_task_stack internals.
+func (t *Task) GetStack() *Ref {
+	t.stackRef.Get()
+	return t.stackRef
+}
+
+// SetCurrent installs t as the running task on the given CPU and returns
+// the task it displaced. Extension runs use it to model "current".
+func (k *Kernel) SetCurrent(cpu int, t *Task) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	prev := k.cpus[cpu].current
+	k.cpus[cpu].current = t
+	return prev
+}
+
+// Current returns the task running on the given CPU.
+func (k *Kernel) Current(cpu int) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.cpus[cpu].current
+}

@@ -1,0 +1,350 @@
+// Package compile translates checked SLX programs into the shared eBPF
+// bytecode. It is the code-generation half of the paper's trusted
+// toolchain: because the compiler is trusted, the output needs no in-kernel
+// verification — safety is compiled in instead of checked after the fact:
+//
+//   - every array access carries a bounds check that branches to the trap
+//     path (safe termination) instead of reading out of bounds;
+//   - division and modulo check the divisor and trap rather than fault;
+//   - shift amounts are masked to the operand width;
+//   - scoped resources (sockets, sync lock sections) release on every exit
+//     path — early return, break, continue, scope end — the RAII of §3.1;
+//   - the only kernel interactions are calls into the typed kernel crate.
+//
+// Loops and program size are deliberately unconstrained: termination is
+// enforced at runtime (fuel/watchdog), not by rejecting expressive code.
+package compile
+
+import (
+	"fmt"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/safext/lang"
+)
+
+// MapSpec is the object manifest entry for one declared map.
+type MapSpec struct {
+	Name    string
+	Kind    string // hash, array, percpu, ringbuf
+	KeySize int
+	ValSize int
+	Entries int64
+	// Locked marks maps used by sync sections; their values carry a lock
+	// header.
+	Locked bool
+}
+
+// Object is a compiled (not yet signed) extension.
+type Object struct {
+	Name   string
+	Insns  []isa.Instruction
+	Rodata []byte
+	Maps   []MapSpec
+	// Capabilities is the audited list of kernel-crate entry points the
+	// program can reach.
+	Capabilities []string
+	// EntryPC is the element index of main (always 0 today).
+	EntryPC int32
+}
+
+// Error is a compilation failure.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("slxc:%d: %s", e.Line, e.Msg) }
+
+// Trap codes delivered to the runtime's safe-termination path.
+const (
+	TrapExplicit  = 1 // trap; statement
+	TrapOOB       = 2 // array index out of bounds
+	TrapDivByZero = 3 // division or modulo by zero
+)
+
+// frameLimit matches the bytecode stack frame size.
+const frameLimit = 512
+
+// Compile lowers a checked program to bytecode.
+func Compile(name string, checked *lang.Checked) (*Object, error) {
+	c := &compiler{
+		checked: checked,
+		obj:     &Object{Name: name},
+		funcPCs: make(map[string]int32),
+	}
+	lockedMaps := map[string]bool{}
+	collectSyncMaps(checked.File, lockedMaps)
+	for _, m := range checked.File.Maps {
+		spec := MapSpec{Name: m.Name, Kind: m.Kind, Entries: m.Entries, Locked: lockedMaps[m.Name]}
+		if m.Kind != "ringbuf" {
+			spec.KeySize = 8 // crate keys are 64-bit scalars
+			spec.ValSize = 8
+			if spec.Locked {
+				spec.ValSize = 16 // lock header + value word
+			}
+		}
+		c.obj.Maps = append(c.obj.Maps, spec)
+	}
+	c.obj.Capabilities = append([]string(nil), checked.CrateCalls...)
+
+	// main is compiled first so the entry point is element 0.
+	if err := c.compileFunc(checked.File.Func("main")); err != nil {
+		return nil, err
+	}
+	for _, fn := range checked.File.Funcs {
+		if fn.Name == "main" {
+			continue
+		}
+		if err := c.compileFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	// Patch cross-function calls.
+	for _, fix := range c.callFixes {
+		target, ok := c.funcPCs[fix.name]
+		if !ok {
+			return nil, &Error{0, "call to uncompiled function " + fix.name}
+		}
+		c.obj.Insns[fix.pc].Imm = target - int32(fix.pc) - 1
+	}
+	return c.obj, nil
+}
+
+// collectSyncMaps marks maps guarded by sync sections.
+func collectSyncMaps(f *lang.File, out map[string]bool) {
+	var walk func(s lang.Stmt)
+	walkBlock := func(b *lang.Block) {
+		for _, s := range b.Stmts {
+			walk(s)
+		}
+	}
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			walkBlock(s)
+		case *lang.IfStmt:
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.WhileStmt:
+			walkBlock(s.Body)
+		case *lang.ForStmt:
+			walkBlock(s.Body)
+		case *lang.SyncStmt:
+			out[s.Map] = true
+			walkBlock(s.Body)
+		}
+	}
+	for _, fn := range f.Funcs {
+		walkBlock(fn.Body)
+	}
+}
+
+type callFix struct {
+	pc   int
+	name string
+}
+
+type compiler struct {
+	checked   *lang.Checked
+	obj       *Object
+	funcPCs   map[string]int32
+	callFixes []callFix
+}
+
+// rodata interns a string literal and returns (offset, length).
+func (c *compiler) rodata(s string) (int64, int64) {
+	off := int64(len(c.obj.Rodata))
+	c.obj.Rodata = append(c.obj.Rodata, []byte(s)...)
+	c.obj.Rodata = append(c.obj.Rodata, 0)
+	return off, int64(len(s))
+}
+
+// ---- per-function compilation ------------------------------------------------
+
+// cleanup is one pending scope-exit action.
+type cleanup struct {
+	kind    string // "sock" or "lock"
+	slot    int64  // sock handle slot, or lock key slot
+	mapName string // for locks
+	depth   int    // scope depth it belongs to
+}
+
+type funcComp struct {
+	c  *compiler
+	fn *lang.FuncDecl
+
+	insns []isa.Instruction
+
+	// locals maps a variable (per scope) to its frame offset (negative).
+	scopes []map[string]varInfo
+	// localsSize is the bytes of frame used by locals so far.
+	localsSize int64
+	// evalMax tracks the deepest eval stack used, for frame budgeting.
+	sp, evalMax int64
+
+	cleanups []cleanup
+	// loopDepths tracks cleanup depth at loop entry for break/continue.
+	loops []loopCtx
+
+	retSlot int64 // hidden slot holding the return value during cleanup
+
+	trapFixes []int // jumps to the trap block, patched at the end
+}
+
+type varInfo struct {
+	off   int64
+	typ   lang.Type
+	isArr bool
+}
+
+type loopCtx struct {
+	contFixes  *[]int
+	breakFixes *[]int
+	cleanupLen int
+}
+
+func (c *compiler) compileFunc(fn *lang.FuncDecl) error {
+	fc := &funcComp{c: c, fn: fn}
+	c.funcPCs[fn.Name] = int32(len(c.obj.Insns))
+	fc.push()
+
+	// Hidden return slot.
+	fc.retSlot = fc.alloc(8)
+
+	// Parameters arrive in R1..R5; store them into local slots.
+	for i, p := range fn.Params {
+		off := fc.alloc(8)
+		fc.declareVar(p.Name, varInfo{off: off, typ: p.Type})
+		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(off), isa.Register(i+1)))
+	}
+
+	if err := fc.block(fn.Body); err != nil {
+		return err
+	}
+	// Implicit fall-off return: unit functions return 0.
+	fc.emit(isa.Mov64Imm(isa.R0, 0))
+	fc.emitCleanups(0)
+	fc.emit(isa.Exit())
+
+	// Trap block: R6 holds the trap code (set at each trap site).
+	trapPC := len(fc.insns)
+	for _, site := range fc.trapFixes {
+		fc.insns[site].Off = int16(trapPC - site - 1)
+	}
+	fc.emit(isa.Mov64Reg(isa.R1, isa.R6))
+	fc.emitCrateCall("trap")
+	fc.emit(isa.Mov64Imm(isa.R0, -1))
+	fc.emit(isa.Exit())
+
+	if used := fc.localsSize + 8*fc.evalMax; used > frameLimit {
+		return &Error{fn.Line, fmt.Sprintf("function %q needs %d bytes of frame, limit %d", fn.Name, used, frameLimit)}
+	}
+	fc.pop()
+	c.obj.Insns = append(c.obj.Insns, fc.insns...)
+	return nil
+}
+
+func (fc *funcComp) emit(ins isa.Instruction) int {
+	fc.insns = append(fc.insns, ins)
+	return len(fc.insns) - 1
+}
+
+// emitCrateCall emits a call to a kernel-crate entry point by name.
+func (fc *funcComp) emitCrateCall(name string) {
+	id, ok := lang.CrateID(name)
+	if !ok {
+		panic("compile: unknown crate function " + name)
+	}
+	fc.emit(isa.Call(id))
+}
+
+// alloc reserves size bytes of frame and returns the (negative) offset.
+func (fc *funcComp) alloc(size int64) int64 {
+	size = (size + 7) &^ 7
+	fc.localsSize += size
+	return -fc.localsSize
+}
+
+func (fc *funcComp) push() { fc.scopes = append(fc.scopes, make(map[string]varInfo)) }
+
+// pop closes a scope, emitting releases for socks declared in it.
+func (fc *funcComp) popWithCleanups() {
+	depth := len(fc.scopes)
+	for len(fc.cleanups) > 0 && fc.cleanups[len(fc.cleanups)-1].depth >= depth {
+		cl := fc.cleanups[len(fc.cleanups)-1]
+		fc.cleanups = fc.cleanups[:len(fc.cleanups)-1]
+		fc.emitCleanup(cl)
+	}
+	fc.pop()
+}
+
+func (fc *funcComp) pop() { fc.scopes = fc.scopes[:len(fc.scopes)-1] }
+
+func (fc *funcComp) declareVar(name string, vi varInfo) {
+	fc.scopes[len(fc.scopes)-1][name] = vi
+}
+
+func (fc *funcComp) lookupVar(name string) (varInfo, bool) {
+	for i := len(fc.scopes) - 1; i >= 0; i-- {
+		if vi, ok := fc.scopes[i][name]; ok {
+			return vi, true
+		}
+	}
+	return varInfo{}, false
+}
+
+// ---- eval stack ------------------------------------------------------------
+
+// evalOff returns the frame offset of eval-stack slot i.
+func (fc *funcComp) evalOff(i int64) int16 {
+	return int16(-(fc.localsSize + 8*(i+1)))
+}
+
+// pushReg stores a register onto the eval stack.
+func (fc *funcComp) pushReg(r isa.Register) {
+	fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, fc.evalOff(fc.sp), r))
+	fc.sp++
+	if fc.sp > fc.evalMax {
+		fc.evalMax = fc.sp
+	}
+}
+
+// popReg loads the top of the eval stack into a register.
+func (fc *funcComp) popReg(r isa.Register) {
+	fc.sp--
+	fc.emit(isa.LoadMem(isa.SizeDW, r, isa.R10, fc.evalOff(fc.sp)))
+}
+
+// ---- trap sites ---------------------------------------------------------------
+
+// emitTrapIf emits: if <cond on R1 vs imm> then trap with code.
+// The caller emits the actual conditional jump; this helper emits the trap
+// jump site given that the conditional falls through to it.
+func (fc *funcComp) emitTrapJump(code int64) {
+	fc.emit(isa.Mov64Imm(isa.R6, int32(code)))
+	site := fc.emit(isa.Ja(0)) // patched to the trap block
+	fc.trapFixes = append(fc.trapFixes, site)
+}
+
+// emitCleanup releases one resource through the trusted crate.
+func (fc *funcComp) emitCleanup(cl cleanup) {
+	switch cl.kind {
+	case "sock":
+		fc.emit(isa.LoadMem(isa.SizeDW, isa.R1, isa.R10, int16(cl.slot)))
+		fc.emitCrateCall("sock_release")
+	case "lock":
+		fc.emit(isa.LoadMapRef(isa.R1, cl.mapName))
+		fc.emit(isa.LoadMem(isa.SizeDW, isa.R2, isa.R10, int16(cl.slot)))
+		fc.emitCrateCall("lock_release")
+	}
+}
+
+// emitCleanups emits releases for every cleanup deeper than keep, without
+// removing them from the compile-time stack (used before return/break).
+func (fc *funcComp) emitCleanups(keep int) {
+	for i := len(fc.cleanups) - 1; i >= keep; i-- {
+		fc.emitCleanup(fc.cleanups[i])
+	}
+}

@@ -1,0 +1,276 @@
+package compile
+
+import (
+	"fmt"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/safext/lang"
+)
+
+// expr compiles an expression, leaving its value on the eval stack.
+func (fc *funcComp) expr(e lang.Expr) error {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		if e.Value == int64(int32(e.Value)) {
+			fc.emit(isa.Mov64Imm(isa.R1, int32(e.Value)))
+		} else {
+			fc.emit(isa.LoadImm64(isa.R1, e.Value))
+		}
+		fc.pushReg(isa.R1)
+		return nil
+
+	case *lang.BoolLit:
+		v := int32(0)
+		if e.Value {
+			v = 1
+		}
+		fc.emit(isa.Mov64Imm(isa.R1, v))
+		fc.pushReg(isa.R1)
+		return nil
+
+	case *lang.StrLit:
+		return &Error{e.Line, "string literal outside crate-call argument"}
+
+	case *lang.VarRef:
+		vi, ok := fc.lookupVar(e.Name)
+		if !ok {
+			return &Error{e.Line, "undeclared variable " + e.Name}
+		}
+		if vi.isArr {
+			return &Error{e.Line, "arrays have no value; index them or pass them to crate calls"}
+		}
+		fc.emit(isa.LoadMem(isa.SizeDW, isa.R1, isa.R10, int16(vi.off)))
+		fc.pushReg(isa.R1)
+		return nil
+
+	case *lang.IndexExpr:
+		av := e.Arr.(*lang.VarRef)
+		vi, ok := fc.lookupVar(av.Name)
+		if !ok || !vi.isArr {
+			return &Error{e.Line, av.Name + " is not an array"}
+		}
+		if err := fc.expr(e.Idx); err != nil {
+			return err
+		}
+		fc.popReg(isa.R1)
+		fc.emitBoundsCheck(isa.R1, vi.typ.Len)
+		fc.emit(isa.Mov64Reg(isa.R2, isa.R10))
+		fc.emit(isa.ALU64Imm(isa.OpAdd, isa.R2, int32(vi.off)))
+		fc.emit(isa.ALU64Reg(isa.OpAdd, isa.R2, isa.R1))
+		fc.emit(isa.LoadMem(isa.SizeB, isa.R1, isa.R2, 0))
+		fc.pushReg(isa.R1)
+		return nil
+
+	case *lang.UnaryExpr:
+		if err := fc.expr(e.X); err != nil {
+			return err
+		}
+		fc.popReg(isa.R1)
+		switch e.Op {
+		case "-":
+			fc.emit(isa.Neg64(isa.R1))
+		case "!":
+			// !x: 1 if x == 0 else 0.
+			fc.emit(isa.Mov64Reg(isa.R2, isa.R1))
+			fc.emit(isa.Mov64Imm(isa.R1, 1))
+			fc.emit(isa.JmpImm(isa.OpJeq, isa.R2, 0, 1))
+			fc.emit(isa.Mov64Imm(isa.R1, 0))
+		default:
+			return &Error{e.Line, "unknown unary operator " + e.Op}
+		}
+		fc.pushReg(isa.R1)
+		return nil
+
+	case *lang.BinaryExpr:
+		return fc.binary(e)
+
+	case *lang.CallExpr:
+		if e.Ns == "kernel" {
+			return fc.crateCall(e)
+		}
+		return fc.userCall(e)
+	}
+	return fmt.Errorf("compile: unknown expression %T", e)
+}
+
+func (fc *funcComp) binary(e *lang.BinaryExpr) error {
+	switch e.Op {
+	case "&&", "||":
+		return fc.shortCircuit(e)
+	}
+
+	if err := fc.expr(e.L); err != nil {
+		return err
+	}
+	if err := fc.expr(e.R); err != nil {
+		return err
+	}
+	fc.popReg(isa.R2)
+	fc.popReg(isa.R1)
+
+	if cmpOp, isCmp := comparisonOps[e.Op]; isCmp {
+		op := cmpOp.unsigned
+		if fc.c.checked.SignedCmp[e] {
+			op = cmpOp.signed
+		}
+		// R3 = 1; if R1 op R2 skip; R3 = 0.
+		fc.emit(isa.Mov64Imm(isa.R3, 1))
+		fc.emit(isa.JmpReg(op, isa.R1, isa.R2, 1))
+		fc.emit(isa.Mov64Imm(isa.R3, 0))
+		fc.pushReg(isa.R3)
+		return nil
+	}
+
+	if err := fc.emitArith(e.Op, isa.R1, isa.R2); err != nil {
+		return err
+	}
+	fc.pushReg(isa.R1)
+	return nil
+}
+
+var comparisonOps = map[string]struct{ unsigned, signed uint8 }{
+	"==": {isa.OpJeq, isa.OpJeq},
+	"!=": {isa.OpJne, isa.OpJne},
+	"<":  {isa.OpJlt, isa.OpJslt},
+	"<=": {isa.OpJle, isa.OpJsle},
+	">":  {isa.OpJgt, isa.OpJsgt},
+	">=": {isa.OpJge, isa.OpJsge},
+}
+
+// shortCircuit compiles && and || with proper lazy evaluation; both paths
+// leave exactly one boolean on the eval stack.
+func (fc *funcComp) shortCircuit(e *lang.BinaryExpr) error {
+	if err := fc.expr(e.L); err != nil {
+		return err
+	}
+	fc.popReg(isa.R1)
+	var shortSite int
+	if e.Op == "&&" {
+		shortSite = fc.emit(isa.JmpImm(isa.OpJeq, isa.R1, 0, 0)) // L false: result 0
+	} else {
+		shortSite = fc.emit(isa.JmpImm(isa.OpJne, isa.R1, 0, 0)) // L true: result 1
+	}
+	if err := fc.expr(e.R); err != nil {
+		return err
+	}
+	endSite := fc.emit(isa.Ja(0))
+	fc.sp-- // the joined paths re-push one value below
+	fc.insns[shortSite].Off = int16(len(fc.insns) - shortSite - 1)
+	v := int32(0)
+	if e.Op == "||" {
+		v = 1
+	}
+	fc.emit(isa.Mov64Imm(isa.R1, v))
+	fc.pushReg(isa.R1)
+	fc.sp-- // balance: the non-short path already stored its value
+	fc.insns[endSite].Off = int16(len(fc.insns) - endSite - 1)
+	fc.sp++
+	return nil
+}
+
+func (fc *funcComp) userCall(e *lang.CallExpr) error {
+	if len(e.Args) > 5 {
+		return &Error{e.Line, "too many arguments"}
+	}
+	for _, a := range e.Args {
+		if err := fc.expr(a); err != nil {
+			return err
+		}
+	}
+	for i := len(e.Args) - 1; i >= 0; i-- {
+		fc.popReg(isa.Register(i + 1))
+	}
+	site := fc.emit(isa.CallBPF(0)) // patched once all functions are placed
+	fc.c.callFixes = append(fc.c.callFixes, callFix{pc: site + fc.base(), name: e.Name})
+	fc.pushReg(isa.R0)
+	return nil
+}
+
+// base returns the element offset of this function within the object.
+func (fc *funcComp) base() int {
+	return int(fc.c.funcPCs[fc.fn.Name])
+}
+
+// crateCall compiles a kernel-crate invocation. Argument registers follow
+// the crate ABI: ints and socks by value, buffers as (address, length),
+// strings as (rodata address, length), maps as their handle.
+func (fc *funcComp) crateCall(e *lang.CallExpr) error {
+	cf := lang.Crate[e.Name]
+
+	// First pass: evaluate value arguments onto the eval stack.
+	type argPlan struct {
+		kind     lang.CrateArgKind
+		expr     lang.Expr
+		regs     int // registers this argument occupies
+		evaluate bool
+	}
+	var plans []argPlan
+	for i, a := range e.Args {
+		kind := lang.CrateInt
+		if i < len(cf.Args) {
+			kind = cf.Args[i]
+		}
+		p := argPlan{kind: kind, expr: a}
+		switch kind {
+		case lang.CrateInt, lang.CrateSock:
+			p.regs, p.evaluate = 1, true
+		case lang.CrateStr, lang.CrateBuf:
+			p.regs = 2
+		case lang.CrateMap:
+			p.regs = 1
+		}
+		plans = append(plans, p)
+	}
+	totalRegs := 0
+	for _, p := range plans {
+		totalRegs += p.regs
+	}
+	if totalRegs > 5 {
+		return &Error{e.Line, "crate call needs too many argument registers"}
+	}
+	for _, p := range plans {
+		if p.evaluate {
+			if err := fc.expr(p.expr); err != nil {
+				return err
+			}
+		}
+	}
+	// Second pass: pop evaluated args (reverse order) into their registers.
+	reg := totalRegs
+	for i := len(plans) - 1; i >= 0; i-- {
+		p := plans[i]
+		reg -= p.regs
+		if p.evaluate {
+			fc.popReg(isa.Register(reg + 1))
+		}
+	}
+	// Third pass: materialise direct arguments.
+	reg = 0
+	for _, p := range plans {
+		r1 := isa.Register(reg + 1)
+		r2 := isa.Register(reg + 2)
+		switch p.kind {
+		case lang.CrateStr:
+			s := p.expr.(*lang.StrLit)
+			off, length := fc.c.rodata(s.Value)
+			fc.emit(isa.LoadRodataRef(r1, off))
+			fc.emit(isa.Mov64Imm(r2, int32(length)))
+		case lang.CrateBuf:
+			vr := p.expr.(*lang.VarRef)
+			vi, ok := fc.lookupVar(vr.Name)
+			if !ok || !vi.isArr {
+				return &Error{e.Line, vr.Name + " is not an array"}
+			}
+			fc.emit(isa.Mov64Reg(r1, isa.R10))
+			fc.emit(isa.ALU64Imm(isa.OpAdd, r1, int32(vi.off)))
+			fc.emit(isa.Mov64Imm(r2, int32(vi.typ.Len)))
+		case lang.CrateMap:
+			vr := p.expr.(*lang.VarRef)
+			fc.emit(isa.LoadMapRef(r1, vr.Name))
+		}
+		reg += p.regs
+	}
+	fc.emitCrateCall(e.Name)
+	fc.pushReg(isa.R0)
+	return nil
+}

@@ -1,0 +1,347 @@
+package compile
+
+import (
+	"fmt"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/safext/lang"
+)
+
+// The codegen invariant: frame slots are only allocated between statements
+// (eval stack empty), so eval-slot offsets computed at emit time never
+// collide with later locals.
+
+func (fc *funcComp) allocChecked(size int64) int64 {
+	if fc.sp != 0 {
+		panic("compile: frame allocation with live eval stack")
+	}
+	return fc.alloc(size)
+}
+
+func (fc *funcComp) block(b *lang.Block) error {
+	fc.push()
+	for _, s := range b.Stmts {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	fc.popWithCleanups()
+	return nil
+}
+
+func (fc *funcComp) stmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.Block:
+		return fc.block(s)
+
+	case *lang.LetStmt:
+		if s.Init == nil {
+			// Zeroed array.
+			off := fc.allocChecked(s.Type.Size())
+			fc.declareVar(s.Name, varInfo{off: off, typ: s.Type, isArr: true})
+			for b := int64(0); b < s.Type.Size(); b += 8 {
+				fc.emit(isa.StoreImm(isa.SizeDW, isa.R10, int16(off+b), 0))
+			}
+			return nil
+		}
+		t := fc.c.checked.ExprTypes[s.Init]
+		if err := fc.expr(s.Init); err != nil {
+			return err
+		}
+		fc.popReg(isa.R1)
+		off := fc.allocChecked(8)
+		declType := t
+		if s.HasType {
+			declType = s.Type
+		}
+		fc.declareVar(s.Name, varInfo{off: off, typ: declType})
+		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(off), isa.R1))
+		if t.Kind == lang.TypeSock {
+			// RAII: the handle is released when its scope exits.
+			fc.cleanups = append(fc.cleanups, cleanup{kind: "sock", slot: off, depth: len(fc.scopes)})
+		}
+		return nil
+
+	case *lang.AssignStmt:
+		return fc.assign(s)
+
+	case *lang.ExprStmt:
+		if err := fc.expr(s.X); err != nil {
+			return err
+		}
+		fc.sp-- // discard the value
+		return nil
+
+	case *lang.IfStmt:
+		return fc.ifStmt(s)
+
+	case *lang.WhileStmt:
+		loopTop := len(fc.insns)
+		if err := fc.expr(s.Cond); err != nil {
+			return err
+		}
+		fc.popReg(isa.R1)
+		exitSite := fc.emit(isa.JmpImm(isa.OpJeq, isa.R1, 0, 0)) // patched
+		var contFixes, breakFixes []int
+		fc.loops = append(fc.loops, loopCtx{&contFixes, &breakFixes, len(fc.cleanups)})
+		if err := fc.block(s.Body); err != nil {
+			return err
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		for _, site := range contFixes {
+			fc.insns[site].Off = int16(loopTop - site - 1)
+		}
+		back := fc.emit(isa.Ja(0))
+		fc.insns[back].Off = int16(loopTop - back - 1)
+		end := len(fc.insns)
+		fc.insns[exitSite].Off = int16(end - exitSite - 1)
+		for _, site := range breakFixes {
+			fc.insns[site].Off = int16(end - site - 1)
+		}
+		return nil
+
+	case *lang.ForStmt:
+		// for v in from..to  =>  v = from; while v < to { body; v += 1 }
+		if err := fc.expr(s.To); err != nil {
+			return err
+		}
+		fc.popReg(isa.R1)
+		toSlot := fc.allocChecked(8)
+		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(toSlot), isa.R1))
+		if err := fc.expr(s.From); err != nil {
+			return err
+		}
+		fc.popReg(isa.R1)
+		vSlot := fc.allocChecked(8)
+		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(vSlot), isa.R1))
+
+		fc.push()
+		fc.declareVar(s.Var, varInfo{off: vSlot, typ: lang.Type{Kind: lang.TypeI64}})
+
+		loopTop := len(fc.insns)
+		fc.emit(isa.LoadMem(isa.SizeDW, isa.R1, isa.R10, int16(vSlot)))
+		fc.emit(isa.LoadMem(isa.SizeDW, isa.R2, isa.R10, int16(toSlot)))
+		exitSite := fc.emit(isa.JmpReg(isa.OpJsge, isa.R1, isa.R2, 0)) // v >= to: done
+		var contFixes, breakFixes []int
+		fc.loops = append(fc.loops, loopCtx{&contFixes, &breakFixes, len(fc.cleanups)})
+		if err := fc.block(s.Body); err != nil {
+			return err
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		incTop := len(fc.insns)
+		for _, site := range contFixes {
+			fc.insns[site].Off = int16(incTop - site - 1)
+		}
+		fc.emit(isa.LoadMem(isa.SizeDW, isa.R1, isa.R10, int16(vSlot)))
+		fc.emit(isa.ALU64Imm(isa.OpAdd, isa.R1, 1))
+		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(vSlot), isa.R1))
+		back := fc.emit(isa.Ja(0))
+		fc.insns[back].Off = int16(loopTop - back - 1)
+		end := len(fc.insns)
+		fc.insns[exitSite].Off = int16(end - exitSite - 1)
+		for _, site := range breakFixes {
+			fc.insns[site].Off = int16(end - site - 1)
+		}
+		fc.pop()
+		return nil
+
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			if err := fc.expr(s.Value); err != nil {
+				return err
+			}
+			fc.popReg(isa.R0)
+		} else {
+			fc.emit(isa.Mov64Imm(isa.R0, 0))
+		}
+		if len(fc.cleanups) > 0 {
+			fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(fc.retSlot), isa.R0))
+			fc.emitCleanups(0)
+			fc.emit(isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, int16(fc.retSlot)))
+		}
+		fc.emit(isa.Exit())
+		return nil
+
+	case *lang.BreakStmt:
+		if len(fc.loops) == 0 {
+			return &Error{s.Line, "break outside loop"}
+		}
+		loop := fc.loops[len(fc.loops)-1]
+		fc.emitCleanups(loop.cleanupLen)
+		site := fc.emit(isa.Ja(0))
+		*loop.breakFixes = append(*loop.breakFixes, site)
+		return nil
+
+	case *lang.ContinueStmt:
+		if len(fc.loops) == 0 {
+			return &Error{s.Line, "continue outside loop"}
+		}
+		loop := fc.loops[len(fc.loops)-1]
+		fc.emitCleanups(loop.cleanupLen)
+		site := fc.emit(isa.Ja(0))
+		*loop.contFixes = append(*loop.contFixes, site)
+		return nil
+
+	case *lang.SyncStmt:
+		// Acquire the entry lock, run the body, release on every exit.
+		keySlot := fc.allocChecked(8)
+		if err := fc.expr(s.Key); err != nil {
+			return err
+		}
+		fc.popReg(isa.R2)
+		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(keySlot), isa.R2))
+		fc.emit(isa.LoadMapRef(isa.R1, s.Map))
+		fc.emitCrateCall("lock_acquire")
+		fc.push()
+		fc.cleanups = append(fc.cleanups, cleanup{kind: "lock", slot: keySlot, mapName: s.Map, depth: len(fc.scopes)})
+		for _, inner := range s.Body.Stmts {
+			if err := fc.stmt(inner); err != nil {
+				return err
+			}
+		}
+		fc.popWithCleanups() // releases the lock on the normal path
+		return nil
+
+	case *lang.TrapStmt:
+		fc.emitTrapJump(TrapExplicit)
+		return nil
+	}
+	return fmt.Errorf("compile: unknown statement %T", s)
+}
+
+func (fc *funcComp) ifStmt(s *lang.IfStmt) error {
+	if err := fc.expr(s.Cond); err != nil {
+		return err
+	}
+	fc.popReg(isa.R1)
+	elseSite := fc.emit(isa.JmpImm(isa.OpJeq, isa.R1, 0, 0)) // patched
+	if err := fc.block(s.Then); err != nil {
+		return err
+	}
+	if s.Else == nil {
+		fc.insns[elseSite].Off = int16(len(fc.insns) - elseSite - 1)
+		return nil
+	}
+	endSite := fc.emit(isa.Ja(0))
+	fc.insns[elseSite].Off = int16(len(fc.insns) - elseSite - 1)
+	if err := fc.stmt(s.Else); err != nil {
+		return err
+	}
+	fc.insns[endSite].Off = int16(len(fc.insns) - endSite - 1)
+	return nil
+}
+
+func (fc *funcComp) assign(s *lang.AssignStmt) error {
+	switch target := s.Target.(type) {
+	case *lang.VarRef:
+		vi, ok := fc.lookupVar(target.Name)
+		if !ok {
+			return &Error{s.Line, "undeclared variable " + target.Name}
+		}
+		if s.Op == "=" {
+			if err := fc.expr(s.Value); err != nil {
+				return err
+			}
+			fc.popReg(isa.R1)
+			fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(vi.off), isa.R1))
+			return nil
+		}
+		// Compound: load, op, store.
+		if err := fc.expr(s.Value); err != nil {
+			return err
+		}
+		fc.popReg(isa.R2)
+		fc.emit(isa.LoadMem(isa.SizeDW, isa.R1, isa.R10, int16(vi.off)))
+		if err := fc.emitArith(s.Op[:1], isa.R1, isa.R2); err != nil {
+			return err
+		}
+		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(vi.off), isa.R1))
+		return nil
+
+	case *lang.IndexExpr:
+		av := target.Arr.(*lang.VarRef)
+		vi, ok := fc.lookupVar(av.Name)
+		if !ok || !vi.isArr {
+			return &Error{s.Line, av.Name + " is not an array"}
+		}
+		// Evaluate index and value, then bounds-check and store.
+		if err := fc.expr(target.Idx); err != nil {
+			return err
+		}
+		if err := fc.expr(s.Value); err != nil {
+			return err
+		}
+		fc.popReg(isa.R2) // value
+		fc.popReg(isa.R1) // index
+		fc.emitBoundsCheck(isa.R1, vi.typ.Len)
+		// R3 = r10 + off + idx
+		fc.emit(isa.Mov64Reg(isa.R3, isa.R10))
+		fc.emit(isa.ALU64Imm(isa.OpAdd, isa.R3, int32(vi.off)))
+		fc.emit(isa.ALU64Reg(isa.OpAdd, isa.R3, isa.R1))
+		if s.Op == "=" {
+			fc.emit(isa.StoreMem(isa.SizeB, isa.R3, 0, isa.R2))
+			return nil
+		}
+		fc.emit(isa.LoadMem(isa.SizeB, isa.R4, isa.R3, 0))
+		// Compound ops on bytes: compute in R4, store low byte.
+		if err := fc.emitArithRegs(s.Op[:1], isa.R4, isa.R2, isa.R5); err != nil {
+			return err
+		}
+		fc.emit(isa.StoreMem(isa.SizeB, isa.R3, 0, isa.R4))
+		return nil
+	}
+	return &Error{s.Line, "invalid assignment target"}
+}
+
+// emitBoundsCheck traps when reg (unsigned) >= len.
+func (fc *funcComp) emitBoundsCheck(reg isa.Register, length int64) {
+	ok := fc.emit(isa.JmpImm(isa.OpJlt, reg, int32(length), 0)) // patched over trap site
+	fc.emitTrapJump(TrapOOB)
+	fc.insns[ok].Off = int16(len(fc.insns) - ok - 1)
+}
+
+// emitArith emits dst = dst <op> src with the safety instrumentation
+// (division checks, masked shifts).
+func (fc *funcComp) emitArith(op string, dst, src isa.Register) error {
+	return fc.emitArithRegs(op, dst, src, isa.R3)
+}
+
+// emitArithRegs is emitArith with an explicit scratch register for checks.
+func (fc *funcComp) emitArithRegs(op string, dst, src, scratch isa.Register) error {
+	switch op {
+	case "+":
+		fc.emit(isa.ALU64Reg(isa.OpAdd, dst, src))
+	case "-":
+		fc.emit(isa.ALU64Reg(isa.OpSub, dst, src))
+	case "*":
+		fc.emit(isa.ALU64Reg(isa.OpMul, dst, src))
+	case "/", "%":
+		// Divide-by-zero traps instead of silently producing 0.
+		ok := fc.emit(isa.JmpImm(isa.OpJne, src, 0, 0))
+		fc.emitTrapJump(TrapDivByZero)
+		fc.insns[ok].Off = int16(len(fc.insns) - ok - 1)
+		if op == "/" {
+			fc.emit(isa.ALU64Reg(isa.OpDiv, dst, src))
+		} else {
+			fc.emit(isa.ALU64Reg(isa.OpMod, dst, src))
+		}
+	case "&":
+		fc.emit(isa.ALU64Reg(isa.OpAnd, dst, src))
+	case "|":
+		fc.emit(isa.ALU64Reg(isa.OpOr, dst, src))
+	case "^":
+		fc.emit(isa.ALU64Reg(isa.OpXor, dst, src))
+	case "<<", ">>":
+		// Shift amounts are masked to 0..63, Rust-release style.
+		fc.emit(isa.ALU64Imm(isa.OpAnd, src, 63))
+		if op == "<<" {
+			fc.emit(isa.ALU64Reg(isa.OpLsh, dst, src))
+		} else {
+			fc.emit(isa.ALU64Reg(isa.OpRsh, dst, src))
+		}
+	default:
+		return fmt.Errorf("compile: unknown arithmetic operator %q", op)
+	}
+	_ = scratch
+	return nil
+}

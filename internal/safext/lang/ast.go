@@ -1,0 +1,281 @@
+package lang
+
+import "fmt"
+
+// TypeKind enumerates SLX types.
+type TypeKind int
+
+const (
+	TypeUnit TypeKind = iota
+	TypeI64
+	TypeU64
+	TypeU32
+	TypeU8
+	TypeBool
+	TypeArray // fixed-size [u8; N]
+	TypeStr   // string literal, only as a crate-call argument
+	TypeSock  // scoped socket resource handle
+)
+
+// Type is an SLX type. Array types carry their length.
+type Type struct {
+	Kind TypeKind
+	Len  int64 // for TypeArray
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TypeUnit:
+		return "()"
+	case TypeI64:
+		return "i64"
+	case TypeU64:
+		return "u64"
+	case TypeU32:
+		return "u32"
+	case TypeU8:
+		return "u8"
+	case TypeBool:
+		return "bool"
+	case TypeArray:
+		return fmt.Sprintf("[u8; %d]", t.Len)
+	case TypeStr:
+		return "str"
+	case TypeSock:
+		return "sock"
+	}
+	return fmt.Sprintf("type(%d)", int(t.Kind))
+}
+
+// IsInteger reports whether the type is an integer scalar.
+func (t Type) IsInteger() bool {
+	switch t.Kind {
+	case TypeI64, TypeU64, TypeU32, TypeU8:
+		return true
+	}
+	return false
+}
+
+// Size returns the in-memory size of the type in bytes.
+func (t Type) Size() int64 {
+	switch t.Kind {
+	case TypeArray:
+		return t.Len
+	case TypeUnit:
+		return 0
+	default:
+		return 8 // scalars occupy one stack slot
+	}
+}
+
+// File is a parsed SLX source file.
+type File struct {
+	Maps  []*MapDecl
+	Funcs []*FuncDecl
+}
+
+// Func returns the declared function with the given name.
+func (f *File) Func(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// MapDecl declares a map the extension uses:
+//
+//	map counts: hash<u32, u64>(1024);
+type MapDecl struct {
+	Name    string
+	Kind    string // hash, array, percpu, ringbuf
+	KeyType Type
+	ValType Type
+	Entries int64
+	Line    int
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *Block
+	Line   int
+}
+
+// ---- statements -----------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// LetStmt declares a variable: let [mut] name[: type] = expr;
+// Array declarations may omit the initializer (zeroed).
+type LetStmt struct {
+	Name    string
+	Mut     bool
+	HasType bool
+	Type    Type
+	Init    Expr // nil for uninitialized arrays
+	Line    int
+}
+
+// AssignStmt assigns to a variable or array element. Op is "=", "+=", etc.
+type AssignStmt struct {
+	Target Expr // *VarRef or *IndexExpr
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// ExprStmt evaluates an expression for effect (crate calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if cond { } [else { } | else if ...].
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+	Line int
+}
+
+// WhileStmt is while cond { }.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ForStmt is for name in lo..hi { } — name iterates [lo, hi).
+type ForStmt struct {
+	Var  string
+	From Expr
+	To   Expr
+	Body *Block
+	Line int
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	Value Expr // nil for unit functions
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// SyncStmt is the scoped-lock construct:
+//
+//	sync(countsMap, key) { ... }
+//
+// The compiler acquires the spin lock guarding the map entry on entry and
+// releases it on every exit path (including early return) — RAII for locks.
+type SyncStmt struct {
+	Map  string
+	Key  Expr
+	Body *Block
+	Line int
+}
+
+// TrapStmt aborts the program via the runtime's safe-termination path.
+type TrapStmt struct{ Line int }
+
+func (*Block) stmtNode()        {}
+func (*LetStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*SyncStmt) stmtNode()     {}
+func (*TrapStmt) stmtNode()     {}
+
+// ---- expressions -----------------------------------------------------------
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	Line  int
+}
+
+// StrLit is a string literal (crate-call arguments only).
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// VarRef names a variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is arr[idx], always bounds-checked at runtime.
+type IndexExpr struct {
+	Arr  Expr // *VarRef of array type
+	Idx  Expr
+	Line int
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is l op r.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// CallExpr calls a user function (Ns == "") or a kernel-crate function
+// (Ns == "kernel").
+type CallExpr struct {
+	Ns   string
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*StrLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}

@@ -1,0 +1,211 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func checkOK(t *testing.T, src string) *Checked {
+	t.Helper()
+	c, err := Check(parseOK(t, src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return c
+}
+
+func checkErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	f, err := Parse(src)
+	if err == nil {
+		_, err = Check(f)
+	}
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`fn main() -> i64 { let x = 0x1F_2; // comment
+	return x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if toks[0].Text != "fn" || toks[0].Kind != TokKeyword {
+		t.Fatalf("first token %v", toks[0])
+	}
+	for _, tok := range toks {
+		if tok.Kind == TokInt && tok.Int != 0x1F2 {
+			t.Fatalf("hex literal = %#x", tok.Int)
+		}
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`"hi\n\"x\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hi\n\"x\"" {
+		t.Fatalf("string token = %q", toks[0].Text)
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := Lex("§"); err == nil {
+		t.Fatal("bad char accepted")
+	}
+}
+
+const goodProg = `
+map counts: hash<u32, u64>(1024);
+map events: ringbuf(4096);
+
+fn helper(x: i64) -> i64 {
+	return x * 2;
+}
+
+fn main() -> i64 {
+	let mut total: u64 = 0;
+	for i in 0..10 {
+		total += kernel::map_get(counts, i);
+	}
+	let mut buf: [u8; 16];
+	buf[0] = 42;
+	if total > 100 {
+		kernel::trace("big total %d", total);
+		kernel::emit(events, buf);
+	} else if total == 0 {
+		return helper(-1);
+	}
+	while total > 0 {
+		total /= 2;
+	}
+	sync(counts, 7) {
+		kernel::map_set(counts, 7, total + 1);
+	}
+	return 0;
+}
+`
+
+func TestParseAndCheckGoodProgram(t *testing.T) {
+	c := checkOK(t, goodProg)
+	if len(c.File.Maps) != 2 || len(c.File.Funcs) != 2 {
+		t.Fatalf("decls: %d maps, %d funcs", len(c.File.Maps), len(c.File.Funcs))
+	}
+	caps := strings.Join(c.CrateCalls, ",")
+	for _, want := range []string{"map_get", "trace", "emit", "map_set", "lock_acquire"} {
+		if !strings.Contains(caps, want) {
+			t.Errorf("capability %q missing from %q", want, caps)
+		}
+	}
+	m := c.File.Maps[0]
+	if m.Name != "counts" || m.Kind != "hash" || m.Entries != 1024 ||
+		m.KeyType.Kind != TypeU32 || m.ValType.Kind != TypeU64 {
+		t.Fatalf("map decl = %+v", m)
+	}
+}
+
+func TestCheckerRejections(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no main", `fn f() -> i64 { return 0; }`, "no fn main"},
+		{"main ret", `fn main() { }`, "must return i64"},
+		{"undeclared var", `fn main() -> i64 { return x; }`, "undeclared variable"},
+		{"immutable assign", `fn main() -> i64 { let x = 1; x = 2; return x; }`, "immutable"},
+		{"bad cond", `fn main() -> i64 { if 1 { } return 0; }`, "must be bool"},
+		{"bool arith", `fn main() -> i64 { let x = true + 1; return 0; }`, "integer operands"},
+		{"break outside", `fn main() -> i64 { break; return 0; }`, "break outside loop"},
+		{"unknown crate fn", `fn main() -> i64 { kernel::boom(); return 0; }`, "unknown kernel-crate"},
+		{"raw helper hidden", `fn main() -> i64 { map_get(counts, 1); return 0; }`, "undeclared function"},
+		{"map as value", "map m: hash<u32,u64>(8);\nfn main() -> i64 { let x = m; return 0; }", "crate-call argument"},
+		{"sock escape", `fn main() -> i64 { let s = kernel::sk_lookup_tcp(1,2,3,4); return s; }`, "cannot escape"},
+		{"sock mut", `fn main() -> i64 { let mut s = kernel::sk_lookup_tcp(1,2,3,4); return 0; }`, "immutable"},
+		{"sock arith", `fn main() -> i64 { let s = kernel::sk_lookup_tcp(1,2,3,4); let x = s + 1; return 0; }`, "integer operands"},
+		{"wrong map kind", "map r: ringbuf(64);\nfn main() -> i64 { kernel::map_get(r, 1); return 0; }", "keyed map"},
+		{"emit needs ringbuf", "map m: hash<u32,u64>(8);\nfn main() -> i64 { let b: [u8; 4]; kernel::emit(m, b); return 0; }", "needs a ringbuf"},
+		{"arity", `fn f(x: i64) -> i64 { return x; } fn main() -> i64 { return f(); }`, "takes 1 arguments"},
+		{"array assign", `fn main() -> i64 { let a: [u8; 4]; let b: [u8; 4]; return 0; }`, ""}, // arrays ok standalone
+		{"str outside crate", `fn main() -> i64 { let s = "hi"; return 0; }`, "string literals"},
+		{"dup map", "map m: hash<u32,u64>(8);\nmap m: hash<u32,u64>(8);\nfn main() -> i64 { return 0; }", "duplicate map"},
+		{"shadow crate", `fn ktime() -> i64 { return 0; } fn main() -> i64 { return 0; }`, "shadows a kernel-crate"},
+		{"param count", `fn f(a:i64,b:i64,c:i64,d:i64,e:i64,g:i64) -> i64 { return 0; } fn main() -> i64 { return 0; }`, "more than 5"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.want == "" {
+				checkOK(t, c.src)
+				return
+			}
+			checkErr(t, c.src, c.want)
+		})
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		`fn main( -> i64 {}`,
+		`fn main() -> i64 { let; }`,
+		`fn main() -> i64 { 1 +; }`,
+		`map m hash<u32,u64>(8);`,
+		`fn main() -> i64 { if true { }`,
+		`fn main() -> i64 { for i in 0 { } }`,
+		`fn main() -> i64 { x[; }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parsed invalid source %q", src)
+		}
+	}
+}
+
+func TestSignedComparisonResolution(t *testing.T) {
+	c := checkOK(t, `fn main() -> i64 {
+		let a: i64 = -1;
+		let b: u64 = 1;
+		if a < 0 { return 1; }
+		if b > 0 { return 2; }
+		return 0;
+	}`)
+	signedSeen, unsignedSeen := false, false
+	for _, signed := range c.SignedCmp {
+		if signed {
+			signedSeen = true
+		} else {
+			unsignedSeen = true
+		}
+	}
+	if !signedSeen || !unsignedSeen {
+		t.Fatalf("signed=%v unsigned=%v", signedSeen, unsignedSeen)
+	}
+}
+
+func TestLoopsNeedNoBounds(t *testing.T) {
+	// The expressiveness point: arbitrary while loops type-check; nothing
+	// in the language layer demands a bound.
+	checkOK(t, `fn main() -> i64 {
+		let mut x: u64 = 1;
+		while x != 0 {
+			x = x * 3 + 1;
+		}
+		return 0;
+	}`)
+}

@@ -1,0 +1,223 @@
+// Package lang implements SLX, the safe extension language of the
+// reproduction's safext framework — the stand-in for the paper's "safe
+// Rust" (§3.1). SLX is a small statically-typed language with:
+//
+//   - no pointers, no casts, no unsafe blocks: variables, fixed-size byte
+//     arrays with bounds-checked indexing, and values only;
+//   - unrestricted control flow: loops need no bound annotations and
+//     functions need no size budget — termination is the runtime's job;
+//   - scoped resources: socket handles and lock sections release
+//     automatically at scope exit (the RAII of §3.1);
+//   - a trusted kernel-crate interface: every interaction with the kernel
+//     goes through typed crate calls (kernel::*), never raw helpers.
+//
+// The trusted toolchain (package toolchain) compiles SLX to the same
+// bytecode the eBPF stack runs, inserting bounds checks and trap paths, and
+// signs the object; the kernel loader validates the signature instead of
+// re-deriving safety.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Int  int64 // valid for TokInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("'%s'", t.Text)
+	}
+}
+
+// keywords of SLX.
+var keywords = map[string]bool{
+	"fn": true, "let": true, "mut": true, "if": true, "else": true,
+	"while": true, "for": true, "in": true, "return": true, "break": true,
+	"continue": true, "true": true, "false": true, "map": true,
+	"sync": true, "trap": true,
+	"i64": true, "u64": true, "u32": true, "bool": true, "u8": true,
+	"hash": true, "array": true, "percpu": true, "ringbuf": true,
+}
+
+// punctuation, longest first so the lexer can match greedily.
+var puncts = []string{
+	"..", "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "+", "-", "*", "/",
+	"%", "<", ">", "!", "&", "|", "^", ".",
+}
+
+// SyntaxError is a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("slx:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes SLX source.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			col++
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			start := i
+			for i < len(src) && (isIdentChar(src[i])) {
+				i++
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: col})
+			col += i - start
+		case c >= '0' && c <= '9':
+			start := i
+			base := int64(10)
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				i += 2
+			}
+			for i < len(src) && (isDigit(src[i], base) || src[i] == '_') {
+				i++
+			}
+			text := src[start:i]
+			v, err := parseInt(text)
+			if err != nil {
+				return nil, &SyntaxError{line, col, "bad integer literal " + text}
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: text, Int: v, Line: line, Col: col})
+			col += i - start
+		case c == '"':
+			start := i
+			i++
+			var sb strings.Builder
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\', '"':
+						sb.WriteByte(src[i])
+					default:
+						return nil, &SyntaxError{line, col, "bad escape in string"}
+					}
+					i++
+					continue
+				}
+				if src[i] == '\n' {
+					return nil, &SyntaxError{line, col, "newline in string literal"}
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if i >= len(src) {
+				return nil, &SyntaxError{line, col, "unterminated string literal"}
+			}
+			i++ // closing quote
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: line, Col: col})
+			col += i - start
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					i += len(p)
+					col += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &SyntaxError{line, col, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte, base int64) bool {
+	if base == 16 {
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	}
+	return c >= '0' && c <= '9'
+}
+
+func parseInt(text string) (int64, error) {
+	text = strings.ReplaceAll(text, "_", "")
+	var v uint64
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		for _, c := range text[2:] {
+			d := uint64(0)
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return 0, fmt.Errorf("bad hex digit")
+			}
+			v = v*16 + d
+		}
+		return int64(v), nil
+	}
+	for _, c := range text {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit")
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return int64(v), nil
+}

@@ -1,0 +1,555 @@
+package lang
+
+import "fmt"
+
+// Parse lexes and parses SLX source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{t.Line, t.Col, fmt.Sprintf(format, args...)}
+}
+
+// accept consumes the token if it matches kind/text.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	t := p.cur()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token.
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = [...]string{"end of file", "identifier", "integer", "string", "keyword", "punctuation"}[kind]
+		}
+		return t, p.errf("expected %s, found %s", want, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.cur().Kind == TokKeyword && p.cur().Text == "map":
+			m, err := p.mapDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Maps = append(f.Maps, m)
+		case p.cur().Kind == TokKeyword && p.cur().Text == "fn":
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errf("expected 'map' or 'fn' at top level, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+// mapDecl: map name: kind<keytype, valtype>(entries);
+// ringbuf takes only a byte size: map events: ringbuf(4096);
+func (p *parser) mapDecl() (*MapDecl, error) {
+	start, _ := p.expect(TokKeyword, "map")
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ":"); err != nil {
+		return nil, err
+	}
+	kindTok := p.next()
+	m := &MapDecl{Name: name.Text, Kind: kindTok.Text, Line: start.Line}
+	switch kindTok.Text {
+	case "hash", "array", "percpu":
+		if _, err := p.expect(TokPunct, "<"); err != nil {
+			return nil, err
+		}
+		kt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		vt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ">"); err != nil {
+			return nil, err
+		}
+		m.KeyType, m.ValType = kt, vt
+	case "ringbuf":
+	default:
+		return nil, p.errf("unknown map kind %q", kindTok.Text)
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	n, err := p.expect(TokInt, "")
+	if err != nil {
+		return nil, err
+	}
+	m.Entries = n.Int
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	_, err = p.expect(TokPunct, ";")
+	return m, err
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "i64":
+			p.pos++
+			return Type{Kind: TypeI64}, nil
+		case "u64":
+			p.pos++
+			return Type{Kind: TypeU64}, nil
+		case "u32":
+			p.pos++
+			return Type{Kind: TypeU32}, nil
+		case "u8":
+			p.pos++
+			return Type{Kind: TypeU8}, nil
+		case "bool":
+			p.pos++
+			return Type{Kind: TypeBool}, nil
+		}
+	}
+	if t.Kind == TokIdent && t.Text == "sock" {
+		p.pos++
+		return Type{Kind: TypeSock}, nil
+	}
+	if t.Kind == TokPunct && t.Text == "[" {
+		p.pos++
+		if _, err := p.expect(TokKeyword, "u8"); err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return Type{}, err
+		}
+		n, err := p.expect(TokInt, "")
+		if err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return Type{}, err
+		}
+		if n.Int <= 0 || n.Int > 256 {
+			return Type{}, p.errf("array length %d out of range (1..256)", n.Int)
+		}
+		return Type{Kind: TypeArray, Len: n.Int}, nil
+	}
+	return Type{}, p.errf("expected type, found %s", t)
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	start, _ := p.expect(TokKeyword, "fn")
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Line: start.Line, Ret: Type{Kind: TypeUnit}}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.accept(TokPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pname.Text, Type: pt})
+	}
+	if p.accept(TokPunct, "->") {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	open, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Line: open.Line}
+	for !p.accept(TokPunct, "}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "let":
+			return p.letStmt()
+		case "if":
+			return p.ifStmt()
+		case "while":
+			p.pos++
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+		case "for":
+			p.pos++
+			v, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokKeyword, "in"); err != nil {
+				return nil, err
+			}
+			from, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ".."); err != nil {
+				return nil, err
+			}
+			to, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			return &ForStmt{Var: v.Text, From: from, To: to, Body: body, Line: t.Line}, nil
+		case "return":
+			p.pos++
+			if p.accept(TokPunct, ";") {
+				return &ReturnStmt{Line: t.Line}, nil
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &ReturnStmt{Value: v, Line: t.Line}, nil
+		case "break":
+			p.pos++
+			_, err := p.expect(TokPunct, ";")
+			return &BreakStmt{Line: t.Line}, err
+		case "continue":
+			p.pos++
+			_, err := p.expect(TokPunct, ";")
+			return &ContinueStmt{Line: t.Line}, err
+		case "trap":
+			p.pos++
+			_, err := p.expect(TokPunct, ";")
+			return &TrapStmt{Line: t.Line}, err
+		case "sync":
+			p.pos++
+			if _, err := p.expect(TokPunct, "("); err != nil {
+				return nil, err
+			}
+			m, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+			key, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			return &SyncStmt{Map: m.Text, Key: key, Body: body, Line: t.Line}, nil
+		}
+	}
+	if t.Kind == TokPunct && t.Text == "{" {
+		return p.block()
+	}
+	// Expression or assignment statement.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	cur := p.cur()
+	if cur.Kind == TokPunct {
+		switch cur.Text {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=":
+			p.pos++
+			switch lhs.(type) {
+			case *VarRef, *IndexExpr:
+			default:
+				return nil, p.errf("invalid assignment target")
+			}
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Target: lhs, Op: cur.Text, Value: rhs, Line: t.Line}, nil
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: lhs, Line: t.Line}, nil
+}
+
+func (p *parser) letStmt() (Stmt, error) {
+	start, _ := p.expect(TokKeyword, "let")
+	s := &LetStmt{Line: start.Line}
+	if p.accept(TokKeyword, "mut") {
+		s.Mut = true
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name.Text
+	if p.accept(TokPunct, ":") {
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		s.HasType, s.Type = true, t
+	}
+	if p.accept(TokPunct, "=") {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	} else if !s.HasType || s.Type.Kind != TypeArray {
+		return nil, p.errf("let without initializer requires an array type")
+	}
+	_, err = p.expect(TokPunct, ";")
+	return s, err
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	start, _ := p.expect(TokKeyword, "if")
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: start.Line}
+	if p.accept(TokKeyword, "else") {
+		if p.cur().Kind == TokKeyword && p.cur().Text == "if" {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = elif
+		} else {
+			blk, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = blk
+		}
+	}
+	return s, nil
+}
+
+// ---- expressions, precedence climbing ---------------------------------------
+
+// binary operator precedence, higher binds tighter.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"|": 4, "^": 5, "&": 6,
+	"<<": 7, ">>": 7,
+	"+": 8, "-": 8,
+	"*": 9, "/": 9, "%": 9,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Text, L: lhs, R: rhs, Line: t.Line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(TokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Arr: x, Idx: idx}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.pos++
+		return &IntLit{Value: t.Int, Line: t.Line}, nil
+	case t.Kind == TokString:
+		p.pos++
+		return &StrLit{Value: t.Text, Line: t.Line}, nil
+	case t.Kind == TokKeyword && t.Text == "true":
+		p.pos++
+		return &BoolLit{Value: true, Line: t.Line}, nil
+	case t.Kind == TokKeyword && t.Text == "false":
+		p.pos++
+		return &BoolLit{Value: false, Line: t.Line}, nil
+	case t.Kind == TokPunct && t.Text == "(":
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokPunct, ")")
+		return x, err
+	case t.Kind == TokIdent:
+		p.pos++
+		name := t.Text
+		ns := ""
+		if p.accept(TokPunct, "::") {
+			inner, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ns, name = name, inner.Text
+		}
+		if p.accept(TokPunct, "(") {
+			call := &CallExpr{Ns: ns, Name: name, Line: t.Line}
+			for !p.accept(TokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(TokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		if ns != "" {
+			return nil, p.errf("namespaced name %s::%s must be a call", ns, name)
+		}
+		return &VarRef{Name: name, Line: t.Line}, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

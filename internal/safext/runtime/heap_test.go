@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"testing"
+)
+
+// §4: dynamic memory allocation for extensions — a pre-allocated per-CPU
+// pool behind a handle-validated safe interface, with unfreed allocations
+// reclaimed by safe termination.
+
+func TestHeapAllocRoundTrip(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	ext := f.load(t, "heap", `
+fn main() -> i64 {
+	let h = kernel::mem_alloc(64);
+	if h == 0 { return -1; }
+	kernel::mem_set(h, 0, 111);
+	kernel::mem_set(h, 8, 222);
+	let total = kernel::mem_get(h, 0) + kernel::mem_get(h, 8);
+	kernel::mem_free(h);
+	return total;
+}`)
+	v := f.run(t, ext)
+	if !v.Completed || v.R0 != 333 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.CleanedMem != 0 {
+		t.Fatalf("freed allocation also cleaned: %+v", v)
+	}
+	// Pool fully reclaimed: repeated runs never exhaust it.
+	for i := 0; i < 200; i++ {
+		v = f.run(t, ext)
+		if v.R0 != 333 {
+			t.Fatalf("run %d: %+v", i, v)
+		}
+	}
+}
+
+func TestHeapHandleValidation(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	ext := f.load(t, "forged", `
+fn main() -> i64 {
+	// Forged handle: reads/writes/frees must fail safely, not touch memory.
+	let forged = 1234567;
+	if kernel::mem_get(forged, 0) != -1 { return -1; }
+	if kernel::mem_set(forged, 0, 9) != -1 { return -2; }
+	if kernel::mem_free(forged) != -1 { return -3; }
+	// Double free is caught too.
+	let h = kernel::mem_alloc(16);
+	kernel::mem_free(h);
+	if kernel::mem_free(h) != -1 { return -4; }
+	// Out-of-chunk offsets are rejected.
+	let g = kernel::mem_alloc(16);
+	if kernel::mem_set(g, 256, 1) != -1 { return -5; }
+	kernel::mem_free(g);
+	return 0;
+}`)
+	v := f.run(t, ext)
+	if !v.Completed || v.R0 != 0 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if !f.k.Healthy() {
+		t.Fatalf("kernel unhealthy: %v", f.k.LastOops())
+	}
+}
+
+func TestHeapExhaustionFailsSafely(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HeapChunks = 4
+	f := newFixture(t, cfg)
+	ext := f.load(t, "exhaust", `
+fn main() -> i64 {
+	let mut got: i64 = 0;
+	for i in 0..10 {
+		let h = kernel::mem_alloc(16);
+		if h != 0 { got += 1; }
+		// never freed: leak on purpose
+	}
+	return got;
+}`)
+	v := f.run(t, ext)
+	if !v.Completed || v.R0 != 4 {
+		t.Fatalf("verdict = %+v, want 4 successful allocations", v)
+	}
+	// Safe termination reclaimed the leaks.
+	if v.CleanedMem != 4 {
+		t.Fatalf("cleaned mem = %d, want 4", v.CleanedMem)
+	}
+	// And the pool is whole again for the next invocation.
+	v = f.run(t, ext)
+	if v.R0 != 4 {
+		t.Fatalf("second run: %+v", v)
+	}
+}
+
+func TestHeapReclaimOnWatchdogKill(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WatchdogNs = 1_000_000
+	cfg.Fuel = 0
+	f := newFixture(t, cfg)
+	ext := f.load(t, "hang", `
+fn main() -> i64 {
+	let h = kernel::mem_alloc(64);
+	kernel::mem_set(h, 0, 42);
+	let mut x: u64 = 1;
+	while x != 0 { x += 2; }
+	return 0;
+}`)
+	v := f.run(t, ext)
+	if !v.Terminated || v.Reason != "watchdog" || v.CleanedMem != 1 {
+		t.Fatalf("verdict = %+v, want watchdog kill with 1 reclaimed chunk", v)
+	}
+	if !f.k.Healthy() {
+		t.Fatalf("kernel unhealthy: %v", f.k.LastOops())
+	}
+}
+
+// The §4 story end to end: dynamic allocation enables a data structure the
+// flat-map model cannot hold — a linked list built at runtime.
+func TestHeapLinkedList(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	ext := f.load(t, "list", `
+fn main() -> i64 {
+	// Build a 5-node list: each node = [value, next-handle].
+	let mut head: i64 = 0;
+	for i in 1..6 {
+		let node = kernel::mem_alloc(16);
+		if node == 0 { return -1; }
+		kernel::mem_set(node, 0, i * 10);
+		kernel::mem_set(node, 8, head);
+		head = node;
+	}
+	// Walk it, summing values.
+	let mut sum: i64 = 0;
+	let mut cur = head;
+	while cur != 0 {
+		sum += kernel::mem_get(cur, 0);
+		let next = kernel::mem_get(cur, 8);
+		kernel::mem_free(cur);
+		cur = next;
+	}
+	return sum;
+}`)
+	v := f.run(t, ext)
+	if !v.Completed || v.R0 != 150 {
+		t.Fatalf("verdict = %+v, want 150", v)
+	}
+	if v.CleanedMem != 0 {
+		t.Fatalf("list not fully freed by the program: %+v", v)
+	}
+}

@@ -1,0 +1,369 @@
+// Package runtime is the kernel-side half of the safext framework
+// (Figure 5): signature validation at load time, load-time fixup (map and
+// rodata relocation), and the lightweight runtime mechanisms — fuel,
+// watchdog timer, and safe termination with trusted cleanup — that replace
+// the verifier's static guarantees for termination and resource release.
+package runtime
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/interp"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/jit"
+	"kex/internal/ebpf/maps"
+	"kex/internal/kernel"
+	"kex/internal/kernel/mm"
+	"kex/internal/safext/compile"
+	"kex/internal/safext/toolchain"
+)
+
+// ErrBadSignature rejects objects whose signature fails against every
+// enrolled key.
+var ErrBadSignature = errors.New("safext: signature validation failed")
+
+// Config tunes the runtime protections.
+type Config struct {
+	// Fuel bounds instructions per invocation; 0 disables (not
+	// recommended — the watchdog is then the only net).
+	Fuel uint64
+	// WatchdogNs bounds virtual runtime per invocation.
+	WatchdogNs int64
+	// UseJIT selects the execution engine.
+	UseJIT bool
+	// UnwindRecords is the per-CPU capacity of the resource-record pool.
+	UnwindRecords int
+	// HeapChunkBytes and HeapChunks shape the per-CPU extension heap (§4
+	// dynamic allocation): fixed-size chunks, pre-allocated.
+	HeapChunkBytes int
+	HeapChunks     int
+}
+
+// DefaultConfig mirrors sensible production settings: a 100ms watchdog
+// (far below the 21s RCU stall threshold) and a generous fuel budget.
+func DefaultConfig() Config {
+	return Config{
+		Fuel:           50_000_000,
+		WatchdogNs:     100_000_000, // 100ms
+		UseJIT:         true,
+		UnwindRecords:  256,
+		HeapChunkBytes: 256,
+		HeapChunks:     64,
+	}
+}
+
+// Runtime hosts safext extensions on one simulated kernel.
+type Runtime struct {
+	K       *kernel.Kernel
+	Cfg     Config
+	Helpers *helpers.Registry
+	Maps    *maps.Registry
+	Machine *interp.Machine
+
+	keyring    []ed25519.PublicKey
+	unwindPool *mm.PerCPUPool
+	heapPool   *mm.PerCPUPool
+	locks      map[uint64]*kernel.SpinLock
+
+	// Stats aggregates runtime interventions across all extensions.
+	Stats Stats
+}
+
+// Stats counts the runtime's safety interventions.
+type Stats struct {
+	Loads          int
+	SignatureFails int
+	Invocations    int
+	Traps          int
+	WatchdogKills  int
+	FuelKills      int
+	CleanedSocks   int
+	CleanedLocks   int
+}
+
+// New boots a safext runtime: standard helpers plus the kernel crate, and
+// the pre-allocated per-CPU unwind pool.
+func New(k *kernel.Kernel, cfg Config) *Runtime {
+	if cfg.UnwindRecords <= 0 {
+		cfg.UnwindRecords = 256
+	}
+	if cfg.HeapChunkBytes <= 0 {
+		cfg.HeapChunkBytes = 256
+	}
+	if cfg.HeapChunks <= 0 {
+		cfg.HeapChunks = 64
+	}
+	reg := helpers.NewRegistry()
+	registerCrate(reg)
+	mreg := maps.NewRegistry()
+	return &Runtime{
+		K:          k,
+		Cfg:        cfg,
+		Helpers:    reg,
+		Maps:       mreg,
+		Machine:    interp.NewMachine(k, reg, mreg),
+		unwindPool: mm.NewPerCPUPool(k, "safext_unwind", 16, cfg.UnwindRecords),
+		heapPool:   mm.NewPerCPUPool(k, "safext_heap", cfg.HeapChunkBytes, cfg.HeapChunks),
+		locks:      make(map[uint64]*kernel.SpinLock),
+	}
+}
+
+// AddKey enrols a toolchain public key, the secure key bootstrap of §3.1.
+func (rt *Runtime) AddKey(pub ed25519.PublicKey) {
+	rt.keyring = append(rt.keyring, pub)
+}
+
+// lockAt returns the persistent spin lock guarding the given address.
+func (rt *Runtime) lockAt(addr uint64) *kernel.SpinLock {
+	if l, ok := rt.locks[addr]; ok {
+		return l
+	}
+	l := rt.K.LockDep().NewLock(fmt.Sprintf("slx_lock@%#x", addr))
+	rt.locks[addr] = l
+	return l
+}
+
+// Extension is a loaded, relocated, ready-to-run safext program.
+type Extension struct {
+	Name string
+	rt   *Runtime
+	prog *isa.Program
+	jit  *jit.Compiled
+
+	rodata *kernel.Region
+	maps   map[string]maps.Map
+
+	// Capabilities as declared in the signed object.
+	Capabilities []string
+}
+
+// Load validates and installs a signed object: signature check, structural
+// check, map creation, rodata mapping, relocation, optional JIT. Note what
+// is absent: no verifier.
+func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
+	rt.Stats.Loads++
+	valid := false
+	for _, key := range rt.keyring {
+		if so.Verify(key) {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		rt.Stats.SignatureFails++
+		return nil, ErrBadSignature
+	}
+	obj, err := toolchain.Deserialize(so.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return rt.install(obj)
+}
+
+// install performs the load-time fixup on a deserialized object.
+func (rt *Runtime) install(obj *compile.Object) (*Extension, error) {
+	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, maps: make(map[string]maps.Map)}
+
+	for _, spec := range obj.Maps {
+		mspec := maps.Spec{
+			Name:       obj.Name + "." + spec.Name,
+			KeySize:    spec.KeySize,
+			ValueSize:  spec.ValSize,
+			MaxEntries: int(spec.Entries),
+			HasLock:    spec.Locked,
+		}
+		switch spec.Kind {
+		case "hash":
+			mspec.Type = maps.Hash
+		case "array":
+			mspec.Type = maps.Array
+			mspec.KeySize = 4
+		case "percpu":
+			mspec.Type = maps.PerCPUArray
+			mspec.KeySize = 4
+		case "ringbuf":
+			mspec.Type = maps.RingBuf
+			mspec.MaxEntries = int(spec.Entries)
+		default:
+			return nil, fmt.Errorf("safext: unknown map kind %q", spec.Kind)
+		}
+		m, _, err := rt.Maps.Create(rt.K, mspec)
+		if err != nil {
+			return nil, err
+		}
+		ext.maps[spec.Name] = m
+	}
+
+	if len(obj.Rodata) > 0 {
+		ext.rodata = rt.K.Mem.Map(len(obj.Rodata), kernel.ProtRead, "rodata:"+obj.Name)
+		copy(ext.rodata.Data, obj.Rodata)
+	}
+
+	insns := append([]isa.Instruction(nil), obj.Insns...)
+	for i := range insns {
+		switch {
+		case insns[i].IsMapRef() && insns[i].MapName != "":
+			m, ok := ext.maps[insns[i].MapName]
+			if !ok {
+				return nil, fmt.Errorf("safext: relocation against undeclared map %q", insns[i].MapName)
+			}
+			h, _ := rt.Maps.Handle(m)
+			insns[i].Const = int64(h)
+			insns[i].MapName = ""
+		case insns[i].IsRodataRef():
+			if ext.rodata == nil {
+				return nil, fmt.Errorf("safext: rodata relocation without rodata section")
+			}
+			insns[i].Const += int64(ext.rodata.Base)
+		}
+	}
+	ext.prog = &isa.Program{Name: obj.Name, Type: isa.Tracing, Insns: insns}
+	if err := ext.prog.ValidateStructure(); err != nil {
+		return nil, err
+	}
+	if rt.Cfg.UseJIT {
+		c, err := jit.Compile(ext.prog, jit.Config{})
+		if err != nil {
+			return nil, err
+		}
+		ext.jit = c
+	}
+	return ext, nil
+}
+
+// Map returns one of the extension's maps by declared name, for host-side
+// inspection in examples and tests.
+func (ext *Extension) Map(name string) maps.Map { return ext.maps[name] }
+
+// Verdict describes one extension invocation under the safext runtime.
+type Verdict struct {
+	R0 int64
+	// Completed is true when the program ran to its own exit.
+	Completed bool
+	// Terminated is true when a runtime mechanism stopped it.
+	Terminated bool
+	// Reason is "" on completion, else "trap", "watchdog", "fuel", or
+	// "crash".
+	Reason string
+	// TrapCode is set for trap terminations.
+	TrapCode int64
+	// CleanedSocks/CleanedLocks/CleanedMem count resources the trusted
+	// cleanup path released after termination.
+	CleanedSocks int
+	CleanedLocks int
+	CleanedMem   int
+
+	Instructions uint64
+	RuntimeNs    int64
+	Trace        []string
+}
+
+// RunOptions tunes one invocation.
+type RunOptions struct {
+	CPU     int
+	CtxAddr uint64
+}
+
+// Run invokes the extension under full runtime protection. It never
+// returns an error for program misbehaviour — misbehaviour is terminated
+// and reported in the Verdict; an error means the runtime itself failed.
+func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
+	rt := ext.rt
+	rt.Stats.Invocations++
+	ctx := rt.K.NewContext(opts.CPU)
+	env := helpers.NewEnv(rt.K, ctx, rt.Maps)
+	env.CtxAddr = opts.CtxAddr
+	rs := &runState{rt: rt, ext: ext, cpu: opts.CPU}
+	env.Scratch = rs
+	start := rt.K.Clock.Now()
+
+	rt.K.RCU().ReadLock(ctx)
+	iopts := interp.Options{Fuel: rt.Cfg.Fuel, WatchdogNs: rt.Cfg.WatchdogNs}
+	var r0 uint64
+	var err error
+	if ext.jit != nil {
+		r0, err = ext.jit.Run(rt.Machine, env, iopts)
+	} else {
+		r0, err = rt.Machine.Run(ext.prog, env, iopts)
+	}
+
+	v := &Verdict{
+		R0:           int64(r0),
+		Instructions: ctx.Instructions,
+		RuntimeNs:    rt.K.Clock.Now() - start,
+		Trace:        env.Trace,
+	}
+	switch {
+	case err == nil:
+		v.Completed = true
+	default:
+		v.Terminated = true
+		var trap *TrapError
+		switch {
+		case errors.As(err, &trap):
+			v.Reason, v.TrapCode = "trap", trap.Code
+			rt.Stats.Traps++
+		case errors.Is(err, interp.ErrWatchdogExpired):
+			v.Reason = "watchdog"
+			rt.Stats.WatchdogKills++
+		case errors.Is(err, interp.ErrFuelExhausted):
+			v.Reason = "fuel"
+			rt.Stats.FuelKills++
+		case errors.Is(err, helpers.ErrKernelCrash):
+			// A crash here means trusted crate code faulted — the
+			// language layer cannot produce one. Report it loudly.
+			v.Reason = "crash"
+		default:
+			rt.K.RCU().ReadUnlock(ctx)
+			return nil, err
+		}
+	}
+
+	// Safe termination: run the trusted cleanup over the resource log. On
+	// the completed path the log holds at most unfreed heap allocations;
+	// after a termination it releases everything the program held.
+	socks, locks, mem := rt.cleanup(env, rs)
+	v.CleanedSocks, v.CleanedLocks, v.CleanedMem = socks, locks, mem
+	rt.Stats.CleanedSocks += socks
+	rt.Stats.CleanedLocks += locks
+
+	rt.K.RCU().ReadUnlock(ctx)
+	if oopses := ctx.ExitAudit(); len(oopses) > 0 {
+		return nil, fmt.Errorf("safext: exit audit failed after cleanup: %v", oopses[0])
+	}
+	return v, nil
+}
+
+// cleanup releases every resource still in the record log, newest first,
+// using only trusted destructors — the §3.1 termination design. The record
+// storage itself is pre-allocated pool memory, so cleanup cannot fail on
+// allocation.
+func (rt *Runtime) cleanup(env *helpers.Env, rs *runState) (socks, locks, mem int) {
+	for i := len(rs.records) - 1; i >= 0; i-- {
+		addr := rs.records[i]
+		kind, _ := rt.K.Mem.LoadUint(addr, 8)
+		payload, _ := rt.K.Mem.LoadUint(addr+8, 8)
+		switch kind {
+		case recSock:
+			if s := rt.K.Sockets().ByAddr(payload); s != nil {
+				env.Ctx.UntrackRef(s.Ref())
+				s.Ref().Put()
+				socks++
+			}
+		case recLock:
+			l := rt.lockAt(payload)
+			if rt.K.LockDep().Release(env.Ctx, l) {
+				locks++
+			}
+		case recMem:
+			rt.heapPool.On(rs.cpu).Free(payload)
+			mem++
+		}
+		rt.unwindPool.On(rs.cpu).Free(addr)
+	}
+	rs.records = nil
+	return socks, locks, mem
+}

@@ -1,0 +1,220 @@
+package toolchain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/safext/compile"
+)
+
+// The SLXO container: a little-endian TLV format.
+//
+//	magic "SLXO" | version u32 | sections...
+//	section: tag [4]byte | length u32 | payload
+//
+// Map references in the code section are symbolic: the code is encoded
+// with zeroed immediates and a RELO section lists (insn index, map name)
+// pairs for the loader's fixup pass. Rodata references stay numeric (the
+// offset is the immediate; the loader adds the mapped base).
+
+var objMagic = [4]byte{'S', 'L', 'X', 'O'}
+
+const objVersion = 1
+
+// Section tags.
+var (
+	secName = [4]byte{'N', 'A', 'M', 'E'}
+	secCode = [4]byte{'C', 'O', 'D', 'E'}
+	secRoda = [4]byte{'R', 'O', 'D', 'A'}
+	secMaps = [4]byte{'M', 'A', 'P', 'S'}
+	secCaps = [4]byte{'C', 'A', 'P', 'S'}
+	secRelo = [4]byte{'R', 'E', 'L', 'O'}
+)
+
+// Serialize encodes a compiled object into the SLXO container.
+func Serialize(obj *compile.Object) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(objMagic[:])
+	le := binary.LittleEndian
+	var v4 [4]byte
+	le.PutUint32(v4[:], objVersion)
+	buf.Write(v4[:])
+
+	section := func(tag [4]byte, payload []byte) {
+		buf.Write(tag[:])
+		le.PutUint32(v4[:], uint32(len(payload)))
+		buf.Write(v4[:])
+		buf.Write(payload)
+	}
+
+	section(secName, []byte(obj.Name))
+
+	// Strip symbolic map names into the relocation table.
+	insns := append([]isa.Instruction(nil), obj.Insns...)
+	var relo bytes.Buffer
+	for i := range insns {
+		if insns[i].IsMapRef() && insns[i].MapName != "" {
+			le.PutUint32(v4[:], uint32(i))
+			relo.Write(v4[:])
+			name := []byte(insns[i].MapName)
+			le.PutUint32(v4[:], uint32(len(name)))
+			relo.Write(v4[:])
+			relo.Write(name)
+			insns[i].MapName = ""
+			insns[i].Const = 0
+			insns[i].Imm = 0
+		}
+	}
+	code, err := isa.Encode(insns)
+	if err != nil {
+		return nil, fmt.Errorf("toolchain: encode: %w", err)
+	}
+	section(secCode, code)
+	section(secRelo, relo.Bytes())
+	section(secRoda, obj.Rodata)
+
+	var mapsBuf bytes.Buffer
+	for _, m := range obj.Maps {
+		writeStr(&mapsBuf, m.Name)
+		writeStr(&mapsBuf, m.Kind)
+		var v [8]byte
+		le.PutUint32(v[:4], uint32(m.KeySize))
+		le.PutUint32(v[4:], uint32(m.ValSize))
+		mapsBuf.Write(v[:])
+		le.PutUint32(v[:4], uint32(m.Entries))
+		locked := uint32(0)
+		if m.Locked {
+			locked = 1
+		}
+		le.PutUint32(v[4:], locked)
+		mapsBuf.Write(v[:])
+	}
+	section(secMaps, mapsBuf.Bytes())
+
+	var capsBuf bytes.Buffer
+	for _, c := range obj.Capabilities {
+		writeStr(&capsBuf, c)
+	}
+	section(secCaps, capsBuf.Bytes())
+
+	return buf.Bytes(), nil
+}
+
+func writeStr(b *bytes.Buffer, s string) {
+	var v4 [4]byte
+	binary.LittleEndian.PutUint32(v4[:], uint32(len(s)))
+	b.Write(v4[:])
+	b.WriteString(s)
+}
+
+func readStr(b *bytes.Reader) (string, error) {
+	var v4 [4]byte
+	if _, err := b.Read(v4[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(v4[:])
+	if uint32(b.Len()) < n {
+		return "", fmt.Errorf("toolchain: truncated string")
+	}
+	out := make([]byte, n)
+	if _, err := b.Read(out); err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Deserialize parses an SLXO container back into a compiled object.
+func Deserialize(payload []byte) (*compile.Object, error) {
+	if len(payload) < 8 || !bytes.Equal(payload[:4], objMagic[:]) {
+		return nil, fmt.Errorf("toolchain: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(payload[4:8]); v != objVersion {
+		return nil, fmt.Errorf("toolchain: unsupported version %d", v)
+	}
+	obj := &compile.Object{}
+	rest := payload[8:]
+	var code, relo []byte
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("toolchain: truncated section header")
+		}
+		var tag [4]byte
+		copy(tag[:], rest[:4])
+		n := binary.LittleEndian.Uint32(rest[4:8])
+		if uint32(len(rest)-8) < n {
+			return nil, fmt.Errorf("toolchain: truncated section %s", tag)
+		}
+		body := rest[8 : 8+n]
+		rest = rest[8+n:]
+		switch tag {
+		case secName:
+			obj.Name = string(body)
+		case secCode:
+			code = body
+		case secRelo:
+			relo = body
+		case secRoda:
+			obj.Rodata = append([]byte(nil), body...)
+		case secMaps:
+			r := bytes.NewReader(body)
+			for r.Len() > 0 {
+				var m compile.MapSpec
+				var err error
+				if m.Name, err = readStr(r); err != nil {
+					return nil, err
+				}
+				if m.Kind, err = readStr(r); err != nil {
+					return nil, err
+				}
+				var v [8]byte
+				if _, err := r.Read(v[:]); err != nil {
+					return nil, err
+				}
+				m.KeySize = int(binary.LittleEndian.Uint32(v[:4]))
+				m.ValSize = int(binary.LittleEndian.Uint32(v[4:]))
+				if _, err := r.Read(v[:]); err != nil {
+					return nil, err
+				}
+				m.Entries = int64(binary.LittleEndian.Uint32(v[:4]))
+				m.Locked = binary.LittleEndian.Uint32(v[4:]) == 1
+				obj.Maps = append(obj.Maps, m)
+			}
+		case secCaps:
+			r := bytes.NewReader(body)
+			for r.Len() > 0 {
+				c, err := readStr(r)
+				if err != nil {
+					return nil, err
+				}
+				obj.Capabilities = append(obj.Capabilities, c)
+			}
+		default:
+			return nil, fmt.Errorf("toolchain: unknown section %q", tag)
+		}
+	}
+	insns, err := isa.Decode(code)
+	if err != nil {
+		return nil, err
+	}
+	// Reapply symbolic map references.
+	r := bytes.NewReader(relo)
+	for r.Len() > 0 {
+		var v4 [4]byte
+		if _, err := r.Read(v4[:]); err != nil {
+			return nil, err
+		}
+		idx := binary.LittleEndian.Uint32(v4[:])
+		name, err := readStr(r)
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(insns) || !insns[idx].IsMapRef() {
+			return nil, fmt.Errorf("toolchain: relocation %d does not target a map load", idx)
+		}
+		insns[idx].MapName = name
+	}
+	obj.Insns = insns
+	return obj, nil
+}

@@ -1,0 +1,104 @@
+// Package toolchain is the trusted userspace half of the safext framework
+// (Figure 5): it drives the SLX compiler, audits the capabilities the
+// program requests, serialises the result into an object container, and
+// signs it with ed25519. The kernel-side loader (package runtime) validates
+// the signature instead of re-deriving safety — the paper's "decoupling
+// static code analysis from the kernel".
+package toolchain
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+
+	"kex/internal/safext/compile"
+	"kex/internal/safext/lang"
+)
+
+// Policy is the signer's gate: which kernel-crate capabilities it is
+// willing to vouch for, and how large a program it will sign.
+type Policy struct {
+	// DeniedCaps lists crate entry points the signer refuses (e.g. an
+	// operator may deny pkt_write_u8 for observability-only deployments).
+	DeniedCaps []string
+	// MaxInsns caps the compiled size; zero means unlimited. Unlike the
+	// verifier's limit this is a policy choice, not an analysis budget.
+	MaxInsns int
+}
+
+// Signer holds the toolchain's signing identity.
+type Signer struct {
+	Policy Policy
+	priv   ed25519.PrivateKey
+	pub    ed25519.PublicKey
+}
+
+// NewSigner generates a fresh toolchain identity.
+func NewSigner() (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Signer{priv: priv, pub: pub}, nil
+}
+
+// PublicKey returns the verification key to enrol in kernel keyrings.
+func (s *Signer) PublicKey() ed25519.PublicKey { return s.pub }
+
+// SignedObject is the on-disk/wire form of a compiled extension.
+type SignedObject struct {
+	Payload   []byte
+	Signature []byte
+	PublicKey ed25519.PublicKey
+}
+
+// Build compiles SLX source through the full trusted pipeline —
+// parse, type-check, compile — without signing (for inspection).
+func Build(name, src string) (*compile.Object, error) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := lang.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	return compile.Compile(name, checked)
+}
+
+// BuildAndSign runs the full pipeline and signs the result.
+func (s *Signer) BuildAndSign(name, src string) (*SignedObject, error) {
+	obj, err := Build(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Sign(obj)
+}
+
+// Sign audits an object against policy, serialises and signs it.
+func (s *Signer) Sign(obj *compile.Object) (*SignedObject, error) {
+	for _, cap := range obj.Capabilities {
+		for _, denied := range s.Policy.DeniedCaps {
+			if cap == denied {
+				return nil, fmt.Errorf("toolchain: policy denies capability %q", cap)
+			}
+		}
+	}
+	if s.Policy.MaxInsns > 0 && len(obj.Insns) > s.Policy.MaxInsns {
+		return nil, fmt.Errorf("toolchain: program has %d insns, policy limit %d", len(obj.Insns), s.Policy.MaxInsns)
+	}
+	payload, err := Serialize(obj)
+	if err != nil {
+		return nil, err
+	}
+	return &SignedObject{
+		Payload:   payload,
+		Signature: ed25519.Sign(s.priv, payload),
+		PublicKey: s.pub,
+	}, nil
+}
+
+// Verify checks the object's signature against a trusted key.
+func (so *SignedObject) Verify(key ed25519.PublicKey) bool {
+	return ed25519.Verify(key, so.Payload, so.Signature)
+}

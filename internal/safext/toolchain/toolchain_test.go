@@ -1,0 +1,130 @@
+package toolchain
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sample = `
+map counts: hash<u32, u64>(128);
+map events: ringbuf(512);
+
+fn main() -> i64 {
+	kernel::map_inc(counts, 1, 1);
+	kernel::trace("msg %d", 5);
+	sync(counts, 2) {
+		kernel::map_set(counts, 2, 9);
+	}
+	return 0;
+}
+`
+
+func TestBuildProducesObject(t *testing.T) {
+	obj, err := Build("sample", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Name != "sample" || len(obj.Insns) == 0 {
+		t.Fatalf("obj = %+v", obj)
+	}
+	if len(obj.Maps) != 2 {
+		t.Fatalf("maps = %v", obj.Maps)
+	}
+	// The sync-guarded map carries a lock header.
+	if !obj.Maps[0].Locked || obj.Maps[0].ValSize != 16 {
+		t.Fatalf("counts spec = %+v", obj.Maps[0])
+	}
+	if len(obj.Rodata) == 0 {
+		t.Fatal("no rodata despite string literal")
+	}
+	caps := strings.Join(obj.Capabilities, ",")
+	for _, want := range []string{"map_inc", "trace", "lock_acquire"} {
+		if !strings.Contains(caps, want) {
+			t.Errorf("capability %q missing", want)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	obj, err := Build("rt", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := Serialize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Deserialize(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != obj.Name {
+		t.Fatalf("name = %q", back.Name)
+	}
+	if !reflect.DeepEqual(back.Insns, obj.Insns) {
+		t.Fatal("instructions did not round-trip")
+	}
+	if !reflect.DeepEqual(back.Maps, obj.Maps) {
+		t.Fatalf("maps: %v vs %v", back.Maps, obj.Maps)
+	}
+	if !reflect.DeepEqual(back.Rodata, obj.Rodata) {
+		t.Fatal("rodata mismatch")
+	}
+	if !reflect.DeepEqual(back.Capabilities, obj.Capabilities) {
+		t.Fatal("capabilities mismatch")
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("nope"),
+		[]byte("SLXO\x02\x00\x00\x00"), // bad version
+		[]byte("SLXO\x01\x00\x00\x00XXXX\xff\xff\xff\xff"), // truncated section
+	}
+	for _, raw := range cases {
+		if _, err := Deserialize(raw); err == nil {
+			t.Errorf("accepted %q", raw)
+		}
+	}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := s.BuildAndSign("signed", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !so.Verify(s.PublicKey()) {
+		t.Fatal("valid signature rejected")
+	}
+	other, _ := NewSigner()
+	if so.Verify(other.PublicKey()) {
+		t.Fatal("signature verified under wrong key")
+	}
+	so.Payload[0] ^= 1
+	if so.Verify(s.PublicKey()) {
+		t.Fatal("tampered payload verified")
+	}
+}
+
+func TestPolicyMaxInsns(t *testing.T) {
+	s, _ := NewSigner()
+	s.Policy.MaxInsns = 5
+	if _, err := s.BuildAndSign("big", sample); err == nil || !strings.Contains(err.Error(), "policy limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildSurfacesLanguageErrors(t *testing.T) {
+	if _, err := Build("bad", "fn main( {"); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	if _, err := Build("bad", "fn main() -> i64 { return x; }"); err == nil {
+		t.Fatal("type error not surfaced")
+	}
+}

@@ -1,0 +1,94 @@
+package kex_test
+
+import (
+	"strings"
+	"testing"
+
+	"kex/pkg/kex"
+)
+
+// The public API must support both full pipelines without touching
+// internal packages — this test is the downstream-user contract.
+
+func TestPublicAPIVerifiedStack(t *testing.T) {
+	k := kex.NewKernel()
+	stack := kex.NewEBPFStack(k)
+	if _, err := stack.CreateMap(kex.MapSpec{Name: "m", Type: kex.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}); err != nil {
+		t.Fatal(err)
+	}
+	insns, err := kex.Assemble(stack, `
+		r0 = 2
+		r0 *= 21
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := stack.Load(&kex.Program{Name: "p", Type: kex.ProgTracing, Insns: insns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loaded.Run(kex.EBPFRunOptions{})
+	if err != nil || rep.R0 != 42 {
+		t.Fatalf("R0 = %d, %v", rep.R0, err)
+	}
+	if dis := kex.Disassemble(insns); !strings.Contains(dis, "r0 *= 21") {
+		t.Fatalf("disassembly: %q", dis)
+	}
+	if !k.Healthy() {
+		t.Fatal(k.LastOops())
+	}
+}
+
+func TestPublicAPISafeStack(t *testing.T) {
+	k := kex.NewKernel()
+	rt := kex.NewSafeRuntime(k, kex.DefaultSafeRuntimeConfig())
+	signer, err := kex.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+	so, err := signer.BuildAndSign("p", `fn main() -> i64 { return 6 * 7; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := rt.Load(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ext.Run(kex.SafeRunOptions{})
+	if err != nil || !v.Completed || v.R0 != 42 {
+		t.Fatalf("verdict = %+v, %v", v, err)
+	}
+}
+
+func TestPublicAPIBuildSLX(t *testing.T) {
+	n, caps, err := kex.BuildSLX("x", `
+map m: hash<u32, u64>(8);
+fn main() -> i64 {
+	kernel::map_inc(m, 1, 1);
+	return 0;
+}`)
+	if err != nil || n == 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if len(caps) != 1 || caps[0] != "map_inc" {
+		t.Fatalf("caps = %v", caps)
+	}
+	if _, _, err := kex.BuildSLX("bad", "fn main() {"); err == nil {
+		t.Fatal("bad source built")
+	}
+}
+
+func TestPublicAPIKernelConfig(t *testing.T) {
+	cfg := kex.DefaultKernelConfig()
+	cfg.NumCPU = 2
+	k := kex.NewKernelWithConfig(cfg)
+	if len(k.CPUs()) != 2 {
+		t.Fatalf("cpus = %d", len(k.CPUs()))
+	}
+	r := k.Mem.Map(64, kex.MemRW, "scratch")
+	if f := k.Mem.Write(r.Base, []byte{1}); f != nil {
+		t.Fatal(f)
+	}
+}

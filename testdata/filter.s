@@ -1,0 +1,16 @@
+; A packet filter in bytecode assembly: pass TCP/443, drop the rest.
+; Try: go run ./cmd/kexverify -type socket_filter testdata/filter.s
+	r2 = *(u64 *)(r1 +0)    ; data
+	r3 = *(u64 *)(r1 +8)    ; data_end
+	r4 = r2
+	r4 += 3
+	if r4 > r3 goto drop    ; the verifier demands this bounds proof
+	r5 = *(u8 *)(r2 +0)
+	if r5 != 6 goto drop
+	r5 = *(u16 *)(r2 +1)
+	if r5 != 443 goto drop
+	r0 = 1
+	exit
+drop:
+	r0 = 0
+	exit
