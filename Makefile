@@ -1,0 +1,33 @@
+# Tier-1 gate: everything CI runs, runnable locally with `make check`.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The execution core and the kernel substrate carry the concurrency-
+# readiness claim (exec.Stats is mutex-guarded); run them under the race
+# detector.
+race:
+	$(GO) test -race ./internal/exec/... ./internal/kernel/...
+
+# Regenerates BENCH_exec.json (the ExecCore family) plus the paper
+# artifacts under testing.B.
+bench:
+	$(GO) test -bench 'BenchmarkExecCore' -benchtime 20x .
+
+check: vet build test race
+
+clean:
+	rm -f BENCH_exec.json
+	$(GO) clean -testcache

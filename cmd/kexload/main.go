@@ -86,6 +86,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("loaded %q (signature validated; no verifier involved)\n", ext.Name)
+	if len(ext.LoadPhases) > 0 {
+		fmt.Printf("load phases: %s\n", ext.LoadPhases)
+	}
 
 	for i := 0; i < *n; i++ {
 		v, err := ext.Run(runtime.RunOptions{})
@@ -97,8 +100,8 @@ func main() {
 		if v.Terminated {
 			status = "terminated (" + v.Reason + ")"
 		}
-		fmt.Printf("run %d: %s, R0=%d, %d insns, %.3fms virtual\n",
-			i+1, status, v.R0, v.Instructions, float64(v.RuntimeNs)/1e6)
+		fmt.Printf("run %d: %s, R0=%d, %d insns, %.3fms virtual, %.1fµs wall\n",
+			i+1, status, v.R0, v.Instructions, float64(v.RuntimeNs)/1e6, float64(v.WallNs)/1e3)
 		for _, t := range v.Trace {
 			fmt.Printf("  trace: %s\n", t)
 		}

@@ -1,0 +1,186 @@
+package kexbench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"kex/internal/ebpf"
+	"kex/internal/ebpf/isa"
+	"kex/internal/kernel"
+	"kex/internal/safext/runtime"
+	"kex/internal/safext/toolchain"
+)
+
+// The BenchmarkExecCore_* family measures the same workload — a 1000-iter
+// loop calling a clock helper each pass — on every stack×engine pair, all
+// through the shared execution core, and persists the per-invocation
+// figures to BENCH_exec.json (via TestMain) so the overhead comparison is
+// machine-readable across commits.
+
+type execBenchRow struct {
+	Config        string  `json:"config"`
+	WallNsPerOp   float64 `json:"wall_ns_per_op"`
+	VirtNsPerOp   float64 `json:"virtual_ns_per_op"`
+	InsnsPerOp    float64 `json:"insns_per_op"`
+	HelpersPerOp  float64 `json:"helper_calls_per_op"`
+	MapOpsPerOp   float64 `json:"map_ops_per_op"`
+	FuelPerOp     float64 `json:"fuel_per_op"`
+	BenchmarkIter int     `json:"benchmark_iters"`
+}
+
+var (
+	execBenchMu   sync.Mutex
+	execBenchRows = map[string]execBenchRow{}
+)
+
+func recordExecBench(row execBenchRow) {
+	execBenchMu.Lock()
+	defer execBenchMu.Unlock()
+	execBenchRows[row.Config] = row
+}
+
+// TestMain writes BENCH_exec.json after a benchmark run that exercised the
+// ExecCore family; plain `go test` runs leave no artifact behind.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	execBenchMu.Lock()
+	defer execBenchMu.Unlock()
+	if len(execBenchRows) > 0 {
+		keys := make([]string, 0, len(execBenchRows))
+		for k := range execBenchRows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rows := make([]execBenchRow, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, execBenchRows[k])
+		}
+		if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_exec.json", append(data, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+const execBenchIters = 1000
+
+func execBenchProgram(b *testing.B, s *ebpf.Stack) *isa.Program {
+	b.Helper()
+	ktime, ok := s.Helpers.ByName("bpf_ktime_get_ns")
+	if !ok {
+		b.Fatal("bpf_ktime_get_ns not registered")
+	}
+	return &isa.Program{Name: "core_bench", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R6, 0),
+		isa.Mov64Imm(isa.R7, 0),
+		isa.Call(int32(ktime.ID)),
+		isa.ALU64Imm(isa.OpAdd, isa.R7, 3),
+		isa.ALU64Imm(isa.OpAdd, isa.R6, 1),
+		isa.JmpImm(isa.OpJlt, isa.R6, execBenchIters, -4),
+		isa.Mov64Reg(isa.R0, isa.R7),
+		isa.Exit(),
+	}}
+}
+
+const execBenchSLX = `
+fn main() -> i64 {
+	let mut x: i64 = 0;
+	for i in 0..1000 {
+		let t: i64 = kernel::ktime();
+		x += t - t + 3;
+	}
+	return x;
+}
+`
+
+func benchExecEBPF(b *testing.B, useJIT bool, config string) {
+	s := ebpf.NewStack(kernel.NewDefault())
+	s.UseJIT = useJIT
+	l, err := s.Load(execBenchProgram(b, s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := l.Run(ebpf.RunOptions{})
+		if err != nil || rep.R0 != 3*execBenchIters {
+			b.Fatalf("R0 = %d, %v", rep.R0, err)
+		}
+	}
+	b.StopTimer()
+	ps := s.Stats.Snapshot().Programs["core_bench"]
+	n := float64(ps.Invocations)
+	var helperTotal uint64
+	for _, c := range ps.HelperCalls {
+		helperTotal += c
+	}
+	row := execBenchRow{
+		Config:        config,
+		WallNsPerOp:   float64(ps.WallNs) / n,
+		VirtNsPerOp:   float64(ps.RuntimeNs) / n,
+		InsnsPerOp:    float64(ps.Instructions) / n,
+		HelpersPerOp:  float64(helperTotal) / n,
+		MapOpsPerOp:   float64(ps.MapOps) / n,
+		FuelPerOp:     float64(ps.FuelUsed) / n,
+		BenchmarkIter: b.N,
+	}
+	b.ReportMetric(row.VirtNsPerOp, "virtual-ns/op")
+	b.ReportMetric(row.HelpersPerOp, "helper-calls/op")
+	recordExecBench(row)
+}
+
+func benchExecSafext(b *testing.B, useJIT bool, config string) {
+	cfg := runtime.DefaultConfig()
+	cfg.UseJIT = useJIT
+	rt := runtime.New(kernel.NewDefault(), cfg)
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+	so, err := signer.BuildAndSign("core_bench", execBenchSLX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext, err := rt.Load(so)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ext.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := ext.Run(runtime.RunOptions{})
+		if err != nil || !v.Completed {
+			b.Fatalf("verdict = %+v, %v", v, err)
+		}
+	}
+	b.StopTimer()
+	ps := rt.Core.Stats.Snapshot().Programs["core_bench"]
+	n := float64(ps.Invocations)
+	var helperTotal uint64
+	for _, c := range ps.HelperCalls {
+		helperTotal += c
+	}
+	row := execBenchRow{
+		Config:        config,
+		WallNsPerOp:   float64(ps.WallNs) / n,
+		VirtNsPerOp:   float64(ps.RuntimeNs) / n,
+		InsnsPerOp:    float64(ps.Instructions) / n,
+		HelpersPerOp:  float64(helperTotal) / n,
+		MapOpsPerOp:   float64(ps.MapOps) / n,
+		FuelPerOp:     float64(ps.FuelUsed) / n,
+		BenchmarkIter: b.N,
+	}
+	b.ReportMetric(row.VirtNsPerOp, "virtual-ns/op")
+	b.ReportMetric(row.HelpersPerOp, "helper-calls/op")
+	recordExecBench(row)
+}
+
+func BenchmarkExecCore_EBPFInterp(b *testing.B)   { benchExecEBPF(b, false, "ebpf/interp") }
+func BenchmarkExecCore_EBPFJIT(b *testing.B)      { benchExecEBPF(b, true, "ebpf/jit") }
+func BenchmarkExecCore_SafextInterp(b *testing.B) { benchExecSafext(b, false, "safext/interp") }
+func BenchmarkExecCore_SafextJIT(b *testing.B)    { benchExecSafext(b, true, "safext/jit") }

@@ -67,6 +67,20 @@ type Env struct {
 	// know about it must leave it alone.
 	Scratch any
 
+	// HelperCalls counts helper invocations by name. Engines bump it via
+	// CountHelper; the execution core folds it into its Report and Stats.
+	// Nil until the first helper call, so helper-free runs stay free.
+	HelperCalls map[string]uint64
+
+	// MapOps counts map-handle resolutions (MapByHandle), the common
+	// entry to every map operation a helper performs.
+	MapOps uint64
+
+	// FuelUsed is the count of program-retired instructions — the fuel
+	// meter's view, excluding helper-charged virtual work. Engines
+	// publish it at the end of a run whether or not fuel was limited.
+	FuelUsed uint64
+
 	// randState drives bpf_get_prandom_u32 deterministically.
 	randState uint64
 }
@@ -148,9 +162,18 @@ func (e *Env) LockAt(addr uint64) *kernel.SpinLock {
 	return l
 }
 
+// CountHelper accounts one invocation of the named helper.
+func (e *Env) CountHelper(name string) {
+	if e.HelperCalls == nil {
+		e.HelperCalls = make(map[string]uint64, 4)
+	}
+	e.HelperCalls[name]++
+}
+
 // MapByHandle resolves a map handle argument, failing like the kernel
 // (with an abort, not a crash) when the handle is bogus.
 func (e *Env) MapByHandle(h uint64) (maps.Map, error) {
+	e.MapOps++
 	m, ok := e.Maps.ByHandle(h)
 	if !ok {
 		return nil, fmt.Errorf("%w: bad map handle %#x", ErrAbort, h)

@@ -121,6 +121,9 @@ func (m *Machine) Run(prog *isa.Program, env *helpers.Env, opts Options) (uint64
 		return nil
 	}
 	defer r.releaseStacks()
+	// Publish the fuel meter's final reading for the execution core's
+	// report, on normal and abnormal exits alike.
+	defer func() { env.FuelUsed = r.used }()
 
 	var regs [11]uint64
 	regs[1] = env.CtxAddr
@@ -326,6 +329,7 @@ func (r *run) helperCall(ins isa.Instruction, regs []uint64) (uint64, error) {
 	if spec.Impl == nil {
 		return 0, fmt.Errorf("%w: %s", helpers.ErrUnimplemented, spec.Name)
 	}
+	r.env.CountHelper(spec.Name)
 	var args [5]uint64
 	copy(args[:], regs[1:6])
 	return spec.Impl(r.env, args)

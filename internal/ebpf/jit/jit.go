@@ -202,6 +202,7 @@ func (c *Compiled) compileJump(ins isa.Instruction) (op, error) {
 			if !ok || spec.Impl == nil {
 				return ex.fail(fmt.Errorf("jit: helper %d unavailable", id))
 			}
+			ex.env.CountHelper(spec.Name)
 			ret, err := spec.Impl(ex.env, [5]uint64{r[1], r[2], r[3], r[4], r[5]})
 			if err != nil {
 				return ex.fail(err)
@@ -341,6 +342,8 @@ func (c *Compiled) Run(m *interp.Machine, env *helpers.Env, opts interp.Options)
 	ex := &exec{m: m, env: env, fuel: opts.Fuel, watchdogNs: opts.WatchdogNs}
 	env.Bugs = opts.Bugs
 	defer func() {
+		// Publish the fuel meter's final reading for the execution core.
+		env.FuelUsed = ex.used
 		for _, s := range ex.stacks {
 			m.K.Mem.Unmap(s)
 		}

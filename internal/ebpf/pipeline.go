@@ -2,7 +2,8 @@
 // programs arrive as bytecode, the in-kernel verifier vets them at load
 // time, the JIT compiles them, and at runtime they interact with unsafe
 // kernel code through helper functions. This package is the one downstream
-// users touch; the pieces live in the sub-packages.
+// users touch; the pieces live in the sub-packages, and execution itself
+// dispatches through the shared core in internal/exec.
 package ebpf
 
 import (
@@ -14,16 +15,14 @@ import (
 	"kex/internal/ebpf/jit"
 	"kex/internal/ebpf/maps"
 	"kex/internal/ebpf/verifier"
+	"kex/internal/exec"
 	"kex/internal/kernel"
 )
 
-// Stack is one kernel's eBPF subsystem: helper registry, map registry,
-// verifier configuration, and execution engines.
+// Stack is one kernel's eBPF subsystem: the shared execution core (helper
+// registry, map registry, engines, stats) plus verifier configuration.
 type Stack struct {
-	K       *kernel.Kernel
-	Helpers *helpers.Registry
-	Maps    *maps.Registry
-	Machine *interp.Machine
+	*exec.Core
 
 	// VerifierConfig is applied to every Load.
 	VerifierConfig verifier.Config
@@ -37,13 +36,8 @@ type Stack struct {
 
 // NewStack boots an eBPF subsystem on the kernel.
 func NewStack(k *kernel.Kernel) *Stack {
-	h := helpers.NewRegistry()
-	m := maps.NewRegistry()
 	return &Stack{
-		K:              k,
-		Helpers:        h,
-		Maps:           m,
-		Machine:        interp.NewMachine(k, h, m),
+		Core:           exec.NewCore(k, helpers.NewRegistry(), maps.NewRegistry()),
 		VerifierConfig: verifier.DefaultConfig(),
 		UseJIT:         true,
 		mapMeta:        make(map[string]*verifier.MapMeta),
@@ -68,10 +62,14 @@ func (s *Stack) CreateMap(spec maps.Spec) (maps.Map, error) {
 
 // Loaded is a program that passed verification and load-time fixup.
 type Loaded struct {
-	Prog     *isa.Program
-	Verdict  *verifier.Result
-	stack    *Stack
-	compiled *jit.Compiled
+	Prog    *isa.Program
+	Verdict *verifier.Result
+	// LoadPhases times the Figure 1 load pipeline: verify, relocate, and
+	// (on the JIT path) jit-compile.
+	LoadPhases exec.PhaseTimings
+
+	stack  *Stack
+	engine exec.Engine
 	// ProgArray holds tail-call targets.
 	ProgArray []*isa.Program
 
@@ -85,35 +83,53 @@ type Loaded struct {
 // Load runs the Figure 1 loading pipeline: verify, relocate, JIT-compile.
 // Programs that fail verification never reach the kernel proper.
 func (s *Stack) Load(prog *isa.Program) (*Loaded, error) {
+	rec := exec.NewPhaseRecorder()
 	res, err := verifier.Verify(prog, s.Helpers, s.mapMeta, s.VerifierConfig)
 	if err != nil {
 		return nil, fmt.Errorf("ebpf: load of %q rejected: %w", prog.Name, err)
 	}
+	rec.Mark("verify")
 	insns := append([]isa.Instruction(nil), prog.Insns...)
 	if err := interp.Relocate(insns, s.Maps); err != nil {
 		return nil, err
 	}
+	rec.Mark("relocate")
 	fixed := &isa.Program{Name: prog.Name, Type: prog.Type, License: prog.License, Insns: insns}
 	l := &Loaded{Prog: fixed, Verdict: res, stack: s}
 	l.defaultCtx = s.K.Mem.Map(64, kernel.ProtRW, "bpf_ctx:"+prog.Name)
 	if s.UseJIT {
 		c, err := jit.Compile(fixed, s.JITConfig)
 		if err != nil {
+			s.K.Mem.Unmap(l.defaultCtx)
 			return nil, fmt.Errorf("ebpf: JIT of %q failed: %w", prog.Name, err)
 		}
-		l.compiled = c
+		rec.Mark("jit-compile")
+		l.engine = exec.JITEngine(s.Machine, c)
+	} else {
+		l.engine = exec.InterpEngine(s.Machine, fixed)
 	}
+	l.LoadPhases = rec.Phases()
+	s.Core.Stats.RecordLoad(prog.Name, l.LoadPhases)
 	return l, nil
 }
 
-// RunReport describes one program invocation.
-type RunReport struct {
-	R0           uint64
-	Instructions uint64
-	RuntimeNs    int64
-	Trace        []string
-	ExitOopses   []*kernel.Oops
+// Close releases the load-time resources the program holds — today the
+// default-context region every Load maps. Tests and experiments that load
+// programs in loops must call it to keep the simulated address space flat.
+// Running a closed program remains valid: a missing default context is
+// re-mapped on demand.
+func (l *Loaded) Close() {
+	if l.defaultCtx != nil {
+		l.stack.K.Mem.Unmap(l.defaultCtx)
+		l.defaultCtx = nil
+	}
 }
+
+// RunReport describes one program invocation. It is the shared core's
+// report: alongside the original fields (R0, Instructions, the
+// virtual-clock RuntimeNs, Trace, ExitOopses) it carries wall-clock
+// latency, per-helper call counts, map-operation counts and fuel usage.
+type RunReport = exec.Report
 
 // RunOptions tunes one invocation.
 type RunOptions struct {
@@ -125,38 +141,24 @@ type RunOptions struct {
 	Fuel uint64
 }
 
-// Run invokes the program once on the given CPU. The returned error
-// reports abnormal termination (kernel crash, fuel exhaustion); kernel
-// damage is also visible in the report's ExitOopses and on the kernel.
+// Run invokes the program once on the given CPU through the shared
+// execution core. The returned error reports abnormal termination (kernel
+// crash, fuel exhaustion); kernel damage is also visible in the report's
+// ExitOopses and on the kernel.
 func (l *Loaded) Run(opts RunOptions) (*RunReport, error) {
-	ctx := l.stack.K.NewContext(opts.CPU)
-	env := helpers.NewEnv(l.stack.K, ctx, l.stack.Maps)
-	env.CtxAddr = opts.CtxAddr
-	if env.CtxAddr == 0 {
-		env.CtxAddr = l.defaultCtx.Base
+	ctxAddr := opts.CtxAddr
+	if ctxAddr == 0 {
+		if l.defaultCtx == nil {
+			l.defaultCtx = l.stack.K.Mem.Map(64, kernel.ProtRW, "bpf_ctx:"+l.Prog.Name)
+		}
+		ctxAddr = l.defaultCtx.Base
 	}
-	start := l.stack.K.Clock.Now()
-
-	// Extensions run inside an RCU read-side critical section, as on
-	// Linux — which is what turns a non-terminating program into an RCU
-	// stall (§2.2).
-	l.stack.K.RCU().ReadLock(ctx)
-	iopts := interp.Options{Fuel: opts.Fuel, Bugs: opts.Bugs, ProgArray: l.ProgArray}
-	var r0 uint64
-	var err error
-	if l.compiled != nil {
-		r0, err = l.compiled.Run(l.stack.Machine, env, iopts)
-	} else {
-		r0, err = l.stack.Machine.Run(l.Prog, env, iopts)
-	}
-	l.stack.K.RCU().ReadUnlock(ctx)
-
-	report := &RunReport{
-		R0:           r0,
-		Instructions: ctx.Instructions,
-		RuntimeNs:    l.stack.K.Clock.Now() - start,
-		Trace:        env.Trace,
-	}
-	report.ExitOopses = ctx.ExitAudit()
-	return report, err
+	return l.stack.Core.Run(l.engine, exec.Request{
+		Program:   l.Prog.Name,
+		CPU:       opts.CPU,
+		CtxAddr:   ctxAddr,
+		Fuel:      opts.Fuel,
+		Bugs:      opts.Bugs,
+		ProgArray: l.ProgArray,
+	})
 }

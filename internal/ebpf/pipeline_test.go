@@ -155,3 +155,135 @@ func TestTailCallViaProgArray(t *testing.T) {
 		t.Fatalf("R0 = %d, %v", rep.R0, err)
 	}
 }
+
+// TestTailCallBothEngines runs the same prog-array dispatch on the
+// interpreter and the JIT through the shared execution core.
+func TestTailCallBothEngines(t *testing.T) {
+	for _, useJIT := range []bool{false, true} {
+		k := kernel.NewDefault()
+		s := NewStack(k)
+		s.UseJIT = useJIT
+		tailID, _ := s.Helpers.ByName("bpf_tail_call")
+		if _, err := s.CreateMap(maps.Spec{Name: "jmp_table", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 2}); err != nil {
+			t.Fatal(err)
+		}
+		target := &isa.Program{Name: "target", Type: isa.Tracing, Insns: []isa.Instruction{
+			isa.Mov64Imm(isa.R0, 99),
+			isa.Exit(),
+		}}
+		caller := &isa.Program{Name: "caller", Type: isa.Tracing, Insns: []isa.Instruction{
+			isa.LoadMapRef(isa.R2, "jmp_table"),
+			isa.Mov64Imm(isa.R3, 0),
+			isa.Call(int32(tailID.ID)),
+			isa.Mov64Imm(isa.R0, 1),
+			isa.Exit(),
+		}}
+		lt, err := s.Load(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc, err := s.Load(caller)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc.ProgArray = []*isa.Program{lt.Prog}
+		rep, err := lc.Run(RunOptions{})
+		if err != nil || rep.R0 != 99 {
+			t.Fatalf("jit=%v: R0 = %d, %v", useJIT, rep.R0, err)
+		}
+		if rep.HelperCalls["bpf_tail_call"] != 1 {
+			t.Fatalf("jit=%v: helper calls = %v", useJIT, rep.HelperCalls)
+		}
+	}
+}
+
+// TestTailCallChainLimit tail-calls into itself; the engine must cut the
+// chain at the kernel's limit of 33 programs and fall through.
+func TestTailCallChainLimit(t *testing.T) {
+	k := kernel.NewDefault()
+	s := NewStack(k)
+	tailID, _ := s.Helpers.ByName("bpf_tail_call")
+	if _, err := s.CreateMap(maps.Spec{Name: "jmp_table", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1}); err != nil {
+		t.Fatal(err)
+	}
+	self := &isa.Program{Name: "self", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.LoadMapRef(isa.R2, "jmp_table"),
+		isa.Mov64Imm(isa.R3, 0),
+		isa.Call(int32(tailID.ID)),
+		isa.Mov64Imm(isa.R0, 7), // reached only when the chain is cut
+		isa.Exit(),
+	}}
+	l, err := s.Load(self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ProgArray = []*isa.Program{l.Prog}
+	rep, err := l.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R0 != 7 {
+		t.Fatalf("R0 = %d, want fall-through after chain limit", rep.R0)
+	}
+	if rep.HelperCalls["bpf_tail_call"] < 33 {
+		t.Fatalf("tail-call attempts = %d, want >= 33", rep.HelperCalls["bpf_tail_call"])
+	}
+}
+
+// TestLoadedClose checks that closing releases the default-context region
+// and that a closed program can still run (the region is re-mapped).
+func TestLoadedClose(t *testing.T) {
+	k := kernel.NewDefault()
+	s := NewStack(k)
+	prog := &isa.Program{Name: "ret", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 5),
+		isa.Exit(),
+	}}
+	base := len(k.Mem.Regions())
+	for i := 0; i < 50; i++ {
+		l, err := s.Load(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		l.Close() // idempotent
+	}
+	if got := len(k.Mem.Regions()); got != base {
+		t.Fatalf("regions after 50 load/close cycles = %d, want %d (leak)", got, base)
+	}
+	l, err := s.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	rep, err := l.Run(RunOptions{})
+	if err != nil || rep.R0 != 5 {
+		t.Fatalf("run after close: R0 = %d, %v", rep.R0, err)
+	}
+}
+
+// TestLoadPhaseTimings checks both load pipelines report their phases in
+// order through the shared core's stats.
+func TestLoadPhaseTimings(t *testing.T) {
+	s := NewStack(kernel.NewDefault())
+	l, err := s.Load(&isa.Program{Name: "p", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"verify", "relocate", "jit-compile"}
+	if len(l.LoadPhases) != len(want) {
+		t.Fatalf("phases = %v", l.LoadPhases)
+	}
+	for i, name := range want {
+		if l.LoadPhases[i].Name != name {
+			t.Fatalf("phase %d = %q, want %q", i, l.LoadPhases[i].Name, name)
+		}
+	}
+	snap := s.Stats.Snapshot()
+	if snap.Loads != 1 || len(snap.LoadPhases) != 3 {
+		t.Fatalf("stats loads = %d phases = %v", snap.Loads, snap.LoadPhases)
+	}
+}

@@ -1,0 +1,163 @@
+// Package exec is the shared execution core under both extension stacks.
+//
+// The paper's comparison (Tables 1 and 2) is verified-eBPF versus the
+// safe-language framework *on the same substrate*; this package is that
+// substrate's run half. It owns the invocation lifecycle both stacks used
+// to hand-roll separately: per-invocation setup (kernel context, helper
+// environment, context address), RCU read-side bracketing, engine dispatch
+// behind the Engine interface, fuel/watchdog option plumbing, and assembly
+// of a unified, instrumented Report — so per-world measurements come from
+// one code path and an overhead comparison is a Stats diff, not two
+// bespoke harnesses. Layers above (internal/ebpf, internal/safext/runtime)
+// decide *what* to run and how to interpret failure; layers below
+// (internal/ebpf/interp, internal/ebpf/jit) decide *how* instructions
+// retire.
+package exec
+
+import (
+	"time"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/interp"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/jit"
+	"kex/internal/ebpf/maps"
+	"kex/internal/kernel"
+)
+
+// Engine executes one prepared program in a helper environment. The
+// interpreter and the JIT both implement it; a Loaded program or Extension
+// binds an Engine at load time and the core dispatches through it.
+type Engine interface {
+	// Name identifies the engine ("interp", "jit") in reports and stats.
+	Name() string
+	// Run executes to completion and returns R0. The error reports
+	// abnormal termination (crash, fuel, watchdog), not the exit code.
+	Run(env *helpers.Env, opts interp.Options) (uint64, error)
+}
+
+// Core owns the execution substrate one stack runs on: the simulated
+// kernel, the helper and map registries, the interpreter machine engines
+// share, and the always-on Stats.
+type Core struct {
+	K       *kernel.Kernel
+	Helpers *helpers.Registry
+	Maps    *maps.Registry
+	Machine *interp.Machine
+
+	// Stats accumulates per-program and per-CPU counters for every run
+	// and load dispatched through this core.
+	Stats Stats
+}
+
+// NewCore assembles an execution core on the given kernel and registries.
+func NewCore(k *kernel.Kernel, reg *helpers.Registry, mreg *maps.Registry) *Core {
+	return &Core{K: k, Helpers: reg, Maps: mreg, Machine: interp.NewMachine(k, reg, mreg)}
+}
+
+// Request describes one invocation through the core.
+type Request struct {
+	// Program names the program for per-program stats and the report.
+	Program string
+	// CPU selects the simulated CPU the context runs on.
+	CPU int
+	// CtxAddr is what R1 points to at entry. The stacks guarantee it is
+	// non-zero for programs whose acceptance assumed a live context.
+	CtxAddr uint64
+
+	// Fuel and WatchdogNs plumb the runtime nets into the engine; zero
+	// disables (the verified stack trusts the verifier for termination).
+	Fuel       uint64
+	WatchdogNs int64
+	// Bugs selects reintroduced helper bugs for this invocation.
+	Bugs helpers.BugConfig
+	// ProgArray is the tail-call target array, if any.
+	ProgArray []*isa.Program
+
+	// Setup, when set, adjusts the freshly built Env before execution —
+	// the safext runtime hangs its resource-record state on Env.Scratch.
+	Setup func(env *helpers.Env)
+	// Finish, when set, runs after the engine returns but still inside
+	// the RCU read-side critical section, with the engine's error — the
+	// window the safext trusted-cleanup path needs. It may read the
+	// report (exit-audit results and wall latency are not yet filled in).
+	Finish func(env *helpers.Env, rep *Report, engineErr error)
+}
+
+// Run invokes the engine once under the full lifecycle: context and
+// environment setup, RCU read-side bracketing (what turns a
+// non-terminating program into an RCU stall, §2.2), engine dispatch,
+// report assembly, exit audit, and stats accumulation. The returned error
+// is the engine's abnormal-termination error, if any; kernel damage is
+// visible in the report's ExitOopses and on the kernel itself.
+func (c *Core) Run(eng Engine, req Request) (*Report, error) {
+	ctx := c.K.NewContext(req.CPU)
+	env := helpers.NewEnv(c.K, ctx, c.Maps)
+	env.CtxAddr = req.CtxAddr
+	if req.Setup != nil {
+		req.Setup(env)
+	}
+	virtStart := c.K.Clock.Now()
+	wallStart := time.Now()
+
+	c.K.RCU().ReadLock(ctx)
+	iopts := interp.Options{
+		Fuel:       req.Fuel,
+		WatchdogNs: req.WatchdogNs,
+		Bugs:       req.Bugs,
+		ProgArray:  req.ProgArray,
+	}
+	r0, err := eng.Run(env, iopts)
+	rep := &Report{
+		Program:      req.Program,
+		Engine:       eng.Name(),
+		R0:           r0,
+		Instructions: ctx.Instructions,
+		FuelUsed:     env.FuelUsed,
+		HelperCalls:  env.HelperCalls,
+		MapOps:       env.MapOps,
+		RuntimeNs:    c.K.Clock.Now() - virtStart,
+		Trace:        env.Trace,
+	}
+	if req.Finish != nil {
+		req.Finish(env, rep, err)
+	}
+	c.K.RCU().ReadUnlock(ctx)
+
+	rep.ExitOopses = ctx.ExitAudit()
+	rep.WallNs = time.Since(wallStart).Nanoseconds()
+	c.Stats.recordRun(req.CPU, rep, err)
+	return rep, err
+}
+
+// interpEngine runs a program on the interpreter.
+type interpEngine struct {
+	m    *interp.Machine
+	prog *isa.Program
+}
+
+func (e interpEngine) Name() string { return "interp" }
+func (e interpEngine) Run(env *helpers.Env, opts interp.Options) (uint64, error) {
+	return e.m.Run(e.prog, env, opts)
+}
+
+// InterpEngine binds a program to the interpreter.
+func InterpEngine(m *interp.Machine, prog *isa.Program) Engine {
+	return interpEngine{m: m, prog: prog}
+}
+
+// jitEngine runs a compiled program on the JIT.
+type jitEngine struct {
+	m *interp.Machine
+	c *jit.Compiled
+}
+
+func (e jitEngine) Name() string { return "jit" }
+func (e jitEngine) Run(env *helpers.Env, opts interp.Options) (uint64, error) {
+	return e.c.Run(e.m, env, opts)
+}
+
+// JITEngine binds a compiled program to the JIT.
+func JITEngine(m *interp.Machine, c *jit.Compiled) Engine {
+	return jitEngine{m: m, c: c}
+}

@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats accumulates per-program and per-CPU execution counters plus
+// cumulative load-phase timings for one Core. All methods are safe for
+// concurrent use — the accounting must stay correct once runs go parallel —
+// and cheap enough to leave on: one mutex acquisition and a handful of
+// integer adds per invocation.
+type Stats struct {
+	mu         sync.Mutex
+	programs   map[string]*ProgramStats
+	cpus       map[int]*CPUStats
+	loads      uint64
+	loadPhases map[string]int64
+	phaseOrder []string
+}
+
+// ProgramStats aggregates every invocation of one named program.
+type ProgramStats struct {
+	Invocations  uint64
+	Errors       uint64 // invocations that returned an engine error
+	Instructions uint64
+	FuelUsed     uint64
+	MapOps       uint64
+	HelperCalls  map[string]uint64
+	RuntimeNs    int64 // cumulative virtual latency
+	WallNs       int64 // cumulative wall latency
+}
+
+// CPUStats aggregates every invocation dispatched on one CPU.
+type CPUStats struct {
+	Invocations  uint64
+	Instructions uint64
+	RuntimeNs    int64
+	WallNs       int64
+}
+
+// RecordLoad accounts one program load and its per-phase wall timings.
+func (s *Stats) RecordLoad(program string, phases PhaseTimings) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	if s.loadPhases == nil {
+		s.loadPhases = make(map[string]int64)
+	}
+	for _, p := range phases {
+		if _, seen := s.loadPhases[p.Name]; !seen {
+			s.phaseOrder = append(s.phaseOrder, p.Name)
+		}
+		s.loadPhases[p.Name] += p.WallNs
+	}
+}
+
+// recordRun accounts one invocation. The core calls it after assembling the
+// report; engineErr marks abnormal termination.
+func (s *Stats) recordRun(cpu int, rep *Report, engineErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.programs == nil {
+		s.programs = make(map[string]*ProgramStats)
+	}
+	if s.cpus == nil {
+		s.cpus = make(map[int]*CPUStats)
+	}
+	ps := s.programs[rep.Program]
+	if ps == nil {
+		ps = &ProgramStats{}
+		s.programs[rep.Program] = ps
+	}
+	ps.Invocations++
+	if engineErr != nil {
+		ps.Errors++
+	}
+	ps.Instructions += rep.Instructions
+	ps.FuelUsed += rep.FuelUsed
+	ps.MapOps += rep.MapOps
+	ps.RuntimeNs += rep.RuntimeNs
+	ps.WallNs += rep.WallNs
+	if len(rep.HelperCalls) > 0 {
+		if ps.HelperCalls == nil {
+			ps.HelperCalls = make(map[string]uint64, len(rep.HelperCalls))
+		}
+		for name, n := range rep.HelperCalls {
+			ps.HelperCalls[name] += n
+		}
+	}
+	cs := s.cpus[cpu]
+	if cs == nil {
+		cs = &CPUStats{}
+		s.cpus[cpu] = cs
+	}
+	cs.Invocations++
+	cs.Instructions += rep.Instructions
+	cs.RuntimeNs += rep.RuntimeNs
+	cs.WallNs += rep.WallNs
+}
+
+// Snapshot is a consistent, caller-owned copy of the accumulated stats.
+type Snapshot struct {
+	Loads      uint64
+	LoadPhases PhaseTimings // cumulative wall ns per phase, pipeline order
+	Programs   map[string]ProgramStats
+	CPUs       map[int]CPUStats
+}
+
+// Snapshot copies the current totals. The returned maps are deep copies and
+// safe to retain while execution continues.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Loads:    s.loads,
+		Programs: make(map[string]ProgramStats, len(s.programs)),
+		CPUs:     make(map[int]CPUStats, len(s.cpus)),
+	}
+	for _, name := range s.phaseOrder {
+		snap.LoadPhases = append(snap.LoadPhases, Phase{Name: name, WallNs: s.loadPhases[name]})
+	}
+	for name, ps := range s.programs {
+		cp := *ps
+		if ps.HelperCalls != nil {
+			cp.HelperCalls = make(map[string]uint64, len(ps.HelperCalls))
+			for h, n := range ps.HelperCalls {
+				cp.HelperCalls[h] = n
+			}
+		}
+		snap.Programs[name] = cp
+	}
+	for cpu, cs := range s.cpus {
+		snap.CPUs[cpu] = *cs
+	}
+	return snap
+}
+
+// Totals sums the per-program stats into one row — the "whole stack" line
+// of a Table 2-style overhead comparison.
+func (snap Snapshot) Totals() ProgramStats {
+	var t ProgramStats
+	for _, ps := range snap.Programs {
+		t.Invocations += ps.Invocations
+		t.Errors += ps.Errors
+		t.Instructions += ps.Instructions
+		t.FuelUsed += ps.FuelUsed
+		t.MapOps += ps.MapOps
+		t.RuntimeNs += ps.RuntimeNs
+		t.WallNs += ps.WallNs
+		for h, n := range ps.HelperCalls {
+			if t.HelperCalls == nil {
+				t.HelperCalls = make(map[string]uint64)
+			}
+			t.HelperCalls[h] += n
+		}
+	}
+	return t
+}
+
+// HelperCallRows renders the helper-call counts sorted by descending count
+// then name, for stable experiment output.
+func (ps ProgramStats) HelperCallRows() []string {
+	type row struct {
+		name string
+		n    uint64
+	}
+	rows := make([]row, 0, len(ps.HelperCalls))
+	for name, n := range ps.HelperCalls {
+		rows = append(rows, row{name, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].name < rows[j].name
+	})
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%s×%d", r.name, r.n)
+	}
+	return out
+}
+
+// String renders one compact stats row.
+func (ps ProgramStats) String() string {
+	helpers := "none"
+	if len(ps.HelperCalls) > 0 {
+		helpers = strings.Join(ps.HelperCallRows(), " ")
+	}
+	return fmt.Sprintf("runs=%d errs=%d insns=%d fuel=%d mapops=%d virt=%dns wall=%dns helpers=%s",
+		ps.Invocations, ps.Errors, ps.Instructions, ps.FuelUsed, ps.MapOps,
+		ps.RuntimeNs, ps.WallNs, helpers)
+}

@@ -56,6 +56,7 @@ func All() []*Result {
 		A3RuntimeTax(),
 		A4Expressiveness(),
 		X1Protection(),
+		X2ExecCore(),
 	}
 }
 
@@ -67,7 +68,7 @@ func ByID(id string) (*Result, bool) {
 		"E1": E1Crash, "E2": E2Stall, "E3": E3HelperStudy,
 		"A1": A1VerifierScaling, "A2": A2LoadPath,
 		"A3": A3RuntimeTax, "A4": A4Expressiveness,
-		"X1": X1Protection,
+		"X1": X1Protection, "X2": X2ExecCore,
 	}
 	f, ok := funcs[strings.ToUpper(id)]
 	if !ok {

@@ -3,6 +3,8 @@
 // rodata relocation), and the lightweight runtime mechanisms — fuel,
 // watchdog timer, and safe termination with trusted cleanup — that replace
 // the verifier's static guarantees for termination and resource release.
+// Execution dispatches through the shared core in internal/exec, the same
+// code path the verified-eBPF stack runs on.
 package runtime
 
 import (
@@ -15,6 +17,7 @@ import (
 	"kex/internal/ebpf/isa"
 	"kex/internal/ebpf/jit"
 	"kex/internal/ebpf/maps"
+	"kex/internal/exec"
 	"kex/internal/kernel"
 	"kex/internal/kernel/mm"
 	"kex/internal/safext/compile"
@@ -55,20 +58,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// Runtime hosts safext extensions on one simulated kernel.
+// Runtime hosts safext extensions on one simulated kernel. It shares the
+// execution core (registries, engines, exec.Stats) with the eBPF stack's
+// architecture, layering signature validation and trusted cleanup on top.
 type Runtime struct {
-	K       *kernel.Kernel
-	Cfg     Config
-	Helpers *helpers.Registry
-	Maps    *maps.Registry
-	Machine *interp.Machine
+	*exec.Core
+	Cfg Config
 
 	keyring    []ed25519.PublicKey
 	unwindPool *mm.PerCPUPool
 	heapPool   *mm.PerCPUPool
 	locks      map[uint64]*kernel.SpinLock
 
-	// Stats aggregates runtime interventions across all extensions.
+	// Stats aggregates runtime interventions across all extensions. The
+	// shared core's execution counters live at Core.Stats.
 	Stats Stats
 }
 
@@ -98,13 +101,9 @@ func New(k *kernel.Kernel, cfg Config) *Runtime {
 	}
 	reg := helpers.NewRegistry()
 	registerCrate(reg)
-	mreg := maps.NewRegistry()
 	return &Runtime{
-		K:          k,
+		Core:       exec.NewCore(k, reg, maps.NewRegistry()),
 		Cfg:        cfg,
-		Helpers:    reg,
-		Maps:       mreg,
-		Machine:    interp.NewMachine(k, reg, mreg),
 		unwindPool: mm.NewPerCPUPool(k, "safext_unwind", 16, cfg.UnwindRecords),
 		heapPool:   mm.NewPerCPUPool(k, "safext_heap", cfg.HeapChunkBytes, cfg.HeapChunks),
 		locks:      make(map[uint64]*kernel.SpinLock),
@@ -131,13 +130,19 @@ type Extension struct {
 	Name string
 	rt   *Runtime
 	prog *isa.Program
-	jit  *jit.Compiled
+
+	engine exec.Engine
 
 	rodata *kernel.Region
 	maps   map[string]maps.Map
 
 	// Capabilities as declared in the signed object.
 	Capabilities []string
+
+	// LoadPhases times the Figure 5 pipeline for this extension: the
+	// toolchain's parse/typecheck/compile/sign (when the signed object
+	// carried them) plus the loader's validate and fixup.
+	LoadPhases exec.PhaseTimings
 }
 
 // Load validates and installs a signed object: signature check, structural
@@ -145,6 +150,7 @@ type Extension struct {
 // is absent: no verifier.
 func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 	rt.Stats.Loads++
+	rec := exec.NewPhaseRecorder()
 	valid := false
 	for _, key := range rt.keyring {
 		if so.Verify(key) {
@@ -156,11 +162,19 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 		rt.Stats.SignatureFails++
 		return nil, ErrBadSignature
 	}
+	rec.Mark("validate")
 	obj, err := toolchain.Deserialize(so.Payload)
 	if err != nil {
 		return nil, err
 	}
-	return rt.install(obj)
+	ext, err := rt.install(obj)
+	if err != nil {
+		return nil, err
+	}
+	rec.Mark("fixup")
+	ext.LoadPhases = append(append(exec.PhaseTimings(nil), so.Phases...), rec.Phases()...)
+	rt.Core.Stats.RecordLoad(ext.Name, ext.LoadPhases)
+	return ext, nil
 }
 
 // install performs the load-time fixup on a deserialized object.
@@ -229,9 +243,21 @@ func (rt *Runtime) install(obj *compile.Object) (*Extension, error) {
 		if err != nil {
 			return nil, err
 		}
-		ext.jit = c
+		ext.engine = exec.JITEngine(rt.Machine, c)
+	} else {
+		ext.engine = exec.InterpEngine(rt.Machine, ext.prog)
 	}
 	return ext, nil
+}
+
+// Close releases the load-time resources the extension holds — today the
+// mapped rodata region. Harnesses that load extensions in loops must call
+// it; running a closed extension that needs rodata is invalid.
+func (ext *Extension) Close() {
+	if ext.rodata != nil {
+		ext.rt.K.Mem.Unmap(ext.rodata)
+		ext.rodata = nil
+	}
 }
 
 // Map returns one of the extension's maps by declared name, for host-side
@@ -257,8 +283,14 @@ type Verdict struct {
 	CleanedMem   int
 
 	Instructions uint64
-	RuntimeNs    int64
-	Trace        []string
+	// RuntimeNs is virtual-clock latency (the watchdog's view); WallNs is
+	// monotonic wall-clock latency (the benchmark's view).
+	RuntimeNs int64
+	WallNs    int64
+	// HelperCalls counts crate calls by helper name, from the shared
+	// core's instrumentation.
+	HelperCalls map[string]uint64
+	Trace       []string
 }
 
 // RunOptions tunes one invocation.
@@ -267,72 +299,79 @@ type RunOptions struct {
 	CtxAddr uint64
 }
 
-// Run invokes the extension under full runtime protection. It never
-// returns an error for program misbehaviour — misbehaviour is terminated
-// and reported in the Verdict; an error means the runtime itself failed.
+// Run invokes the extension under full runtime protection, dispatching
+// through the shared execution core. It never returns an error for program
+// misbehaviour — misbehaviour is terminated and reported in the Verdict;
+// an error means the runtime itself failed.
 func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 	rt := ext.rt
 	rt.Stats.Invocations++
-	ctx := rt.K.NewContext(opts.CPU)
-	env := helpers.NewEnv(rt.K, ctx, rt.Maps)
-	env.CtxAddr = opts.CtxAddr
 	rs := &runState{rt: rt, ext: ext, cpu: opts.CPU}
-	env.Scratch = rs
-	start := rt.K.Clock.Now()
 
-	rt.K.RCU().ReadLock(ctx)
-	iopts := interp.Options{Fuel: rt.Cfg.Fuel, WatchdogNs: rt.Cfg.WatchdogNs}
-	var r0 uint64
-	var err error
-	if ext.jit != nil {
-		r0, err = ext.jit.Run(rt.Machine, env, iopts)
-	} else {
-		r0, err = rt.Machine.Run(ext.prog, env, iopts)
+	var v *Verdict
+	var runtimeErr error
+	rep, _ := rt.Core.Run(ext.engine, exec.Request{
+		Program:    ext.Name,
+		CPU:        opts.CPU,
+		CtxAddr:    opts.CtxAddr,
+		Fuel:       rt.Cfg.Fuel,
+		WatchdogNs: rt.Cfg.WatchdogNs,
+		Setup: func(env *helpers.Env) {
+			env.Scratch = rs
+		},
+		Finish: func(env *helpers.Env, rep *exec.Report, engineErr error) {
+			v = &Verdict{
+				R0:           int64(rep.R0),
+				Instructions: rep.Instructions,
+				RuntimeNs:    rep.RuntimeNs,
+				HelperCalls:  rep.HelperCalls,
+				Trace:        rep.Trace,
+			}
+			switch {
+			case engineErr == nil:
+				v.Completed = true
+			default:
+				v.Terminated = true
+				var trap *TrapError
+				switch {
+				case errors.As(engineErr, &trap):
+					v.Reason, v.TrapCode = "trap", trap.Code
+					rt.Stats.Traps++
+				case errors.Is(engineErr, interp.ErrWatchdogExpired):
+					v.Reason = "watchdog"
+					rt.Stats.WatchdogKills++
+				case errors.Is(engineErr, interp.ErrFuelExhausted):
+					v.Reason = "fuel"
+					rt.Stats.FuelKills++
+				case errors.Is(engineErr, helpers.ErrKernelCrash):
+					// A crash here means trusted crate code faulted — the
+					// language layer cannot produce one. Report it loudly.
+					v.Reason = "crash"
+				default:
+					// The runtime itself failed; skip cleanup and surface
+					// the raw error to the caller.
+					runtimeErr = engineErr
+					return
+				}
+			}
+
+			// Safe termination: run the trusted cleanup over the resource
+			// log, still inside the RCU read-side section. On the
+			// completed path the log holds at most unfreed heap
+			// allocations; after a termination it releases everything the
+			// program held.
+			socks, locks, mem := rt.cleanup(env, rs)
+			v.CleanedSocks, v.CleanedLocks, v.CleanedMem = socks, locks, mem
+			rt.Stats.CleanedSocks += socks
+			rt.Stats.CleanedLocks += locks
+		},
+	})
+	if runtimeErr != nil {
+		return nil, runtimeErr
 	}
-
-	v := &Verdict{
-		R0:           int64(r0),
-		Instructions: ctx.Instructions,
-		RuntimeNs:    rt.K.Clock.Now() - start,
-		Trace:        env.Trace,
-	}
-	switch {
-	case err == nil:
-		v.Completed = true
-	default:
-		v.Terminated = true
-		var trap *TrapError
-		switch {
-		case errors.As(err, &trap):
-			v.Reason, v.TrapCode = "trap", trap.Code
-			rt.Stats.Traps++
-		case errors.Is(err, interp.ErrWatchdogExpired):
-			v.Reason = "watchdog"
-			rt.Stats.WatchdogKills++
-		case errors.Is(err, interp.ErrFuelExhausted):
-			v.Reason = "fuel"
-			rt.Stats.FuelKills++
-		case errors.Is(err, helpers.ErrKernelCrash):
-			// A crash here means trusted crate code faulted — the
-			// language layer cannot produce one. Report it loudly.
-			v.Reason = "crash"
-		default:
-			rt.K.RCU().ReadUnlock(ctx)
-			return nil, err
-		}
-	}
-
-	// Safe termination: run the trusted cleanup over the resource log. On
-	// the completed path the log holds at most unfreed heap allocations;
-	// after a termination it releases everything the program held.
-	socks, locks, mem := rt.cleanup(env, rs)
-	v.CleanedSocks, v.CleanedLocks, v.CleanedMem = socks, locks, mem
-	rt.Stats.CleanedSocks += socks
-	rt.Stats.CleanedLocks += locks
-
-	rt.K.RCU().ReadUnlock(ctx)
-	if oopses := ctx.ExitAudit(); len(oopses) > 0 {
-		return nil, fmt.Errorf("safext: exit audit failed after cleanup: %v", oopses[0])
+	v.WallNs = rep.WallNs
+	if len(rep.ExitOopses) > 0 {
+		return nil, fmt.Errorf("safext: exit audit failed after cleanup: %v", rep.ExitOopses[0])
 	}
 	return v, nil
 }

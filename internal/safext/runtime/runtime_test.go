@@ -563,3 +563,76 @@ fn main() -> i64 {
 		t.Fatalf("verdict = %+v", v)
 	}
 }
+
+// TestLoadPhasesAndExecStats checks the shared core's instrumentation on
+// the safext pipeline: the full toolchain+loader phase list and the
+// per-program execution counters.
+func TestLoadPhasesAndExecStats(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	ext := f.load(t, "phased", `
+fn main() -> i64 {
+	let t: i64 = kernel::ktime();
+	return t - t;
+}
+`)
+	want := []string{"parse", "typecheck", "compile", "sign", "validate", "fixup"}
+	if len(ext.LoadPhases) != len(want) {
+		t.Fatalf("phases = %v, want %v", ext.LoadPhases, want)
+	}
+	for i, name := range want {
+		if ext.LoadPhases[i].Name != name {
+			t.Fatalf("phase %d = %q, want %q", i, ext.LoadPhases[i].Name, name)
+		}
+	}
+	v := f.run(t, ext)
+	if !v.Completed {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.WallNs <= 0 {
+		t.Fatalf("wall latency = %d, want > 0", v.WallNs)
+	}
+	if v.HelperCalls["slx_ktime"] != 1 {
+		t.Fatalf("helper calls = %v", v.HelperCalls)
+	}
+	snap := f.rt.Core.Stats.Snapshot()
+	ps := snap.Programs["phased"]
+	if ps.Invocations != 1 || ps.HelperCalls["slx_ktime"] != 1 {
+		t.Fatalf("core stats = %+v", ps)
+	}
+	if snap.Loads != 1 || len(snap.LoadPhases) != len(want) {
+		t.Fatalf("load stats = %d %v", snap.Loads, snap.LoadPhases)
+	}
+}
+
+// TestExtensionClose checks rodata release: load/close cycles must not grow
+// the simulated address space.
+func TestExtensionClose(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	src := `
+fn main() -> i64 {
+	kernel::trace("hello");
+	return 0;
+}
+`
+	so, err := f.signer.BuildAndSign("closer", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := f.rt.Load(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+	base := len(f.k.Mem.Regions())
+	for i := 0; i < 50; i++ {
+		ext, err := f.rt.Load(so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext.Close()
+		ext.Close() // idempotent
+	}
+	if got := len(f.k.Mem.Regions()); got != base {
+		t.Fatalf("regions after 50 load/close cycles = %d, want %d (rodata leak)", got, base)
+	}
+}

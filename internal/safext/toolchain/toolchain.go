@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"fmt"
 
+	"kex/internal/exec"
 	"kex/internal/safext/compile"
 	"kex/internal/safext/lang"
 )
@@ -50,33 +51,61 @@ type SignedObject struct {
 	Payload   []byte
 	Signature []byte
 	PublicKey ed25519.PublicKey
+
+	// Phases times the userspace half of the Figure 5 load pipeline
+	// (parse / typecheck / compile when built through BuildAndSign, plus
+	// sign). It rides alongside the container in memory only — it is not
+	// serialized and not covered by the signature; the kernel-side loader
+	// appends its own validate/fixup phases.
+	Phases exec.PhaseTimings
 }
 
 // Build compiles SLX source through the full trusted pipeline —
 // parse, type-check, compile — without signing (for inspection).
 func Build(name, src string) (*compile.Object, error) {
+	obj, _, err := BuildProfiled(name, src)
+	return obj, err
+}
+
+// BuildProfiled is Build with per-phase wall timings, feeding the unified
+// load-phase instrumentation of the execution core.
+func BuildProfiled(name, src string) (*compile.Object, exec.PhaseTimings, error) {
+	rec := exec.NewPhaseRecorder()
 	f, err := lang.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	rec.Mark("parse")
 	checked, err := lang.Check(f)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return compile.Compile(name, checked)
+	rec.Mark("typecheck")
+	obj, err := compile.Compile(name, checked)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Mark("compile")
+	return obj, rec.Phases(), nil
 }
 
 // BuildAndSign runs the full pipeline and signs the result.
 func (s *Signer) BuildAndSign(name, src string) (*SignedObject, error) {
-	obj, err := Build(name, src)
+	obj, phases, err := BuildProfiled(name, src)
 	if err != nil {
 		return nil, err
 	}
-	return s.Sign(obj)
+	so, err := s.Sign(obj)
+	if err != nil {
+		return nil, err
+	}
+	so.Phases = append(phases, so.Phases...)
+	return so, nil
 }
 
 // Sign audits an object against policy, serialises and signs it.
 func (s *Signer) Sign(obj *compile.Object) (*SignedObject, error) {
+	rec := exec.NewPhaseRecorder()
 	for _, cap := range obj.Capabilities {
 		for _, denied := range s.Policy.DeniedCaps {
 			if cap == denied {
@@ -91,11 +120,14 @@ func (s *Signer) Sign(obj *compile.Object) (*SignedObject, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SignedObject{
+	so := &SignedObject{
 		Payload:   payload,
 		Signature: ed25519.Sign(s.priv, payload),
 		PublicKey: s.pub,
-	}, nil
+	}
+	rec.Mark("sign")
+	so.Phases = rec.Phases()
+	return so, nil
 }
 
 // Verify checks the object's signature against a trusted key.

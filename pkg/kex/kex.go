@@ -21,6 +21,7 @@ import (
 	"kex/internal/ebpf/isa"
 	"kex/internal/ebpf/maps"
 	"kex/internal/ebpf/verifier"
+	"kex/internal/exec"
 	"kex/internal/kernel"
 	"kex/internal/safext/runtime"
 	"kex/internal/safext/toolchain"
@@ -79,7 +80,10 @@ type LoadedProgram = ebpf.Loaded
 // EBPFRunOptions tunes one verified-program invocation.
 type EBPFRunOptions = ebpf.RunOptions
 
-// RunReport describes one verified-program invocation.
+// RunReport describes one verified-program invocation. It is the shared
+// execution core's report (see internal/exec): R0, instruction count,
+// virtual- and wall-clock latency, per-helper call counts, map-operation
+// counts, fuel usage and exit-audit oopses.
 type RunReport = ebpf.RunReport
 
 // MapSpec declares an eBPF map.
@@ -161,6 +165,24 @@ func DefaultSafeRuntimeConfig() SafeRuntimeConfig { return runtime.DefaultConfig
 
 // NewSigner generates a fresh toolchain signing identity.
 func NewSigner() (*Signer, error) { return toolchain.NewSigner() }
+
+// ---- the shared execution core ---------------------------------------------------
+
+// ExecStats is the shared execution core's accumulator: per-program and
+// per-CPU invocation counters plus cumulative load-phase timings. Both
+// stacks expose one at Stats (EBPFStack) / Core.Stats (SafeRuntime).
+type ExecStats = exec.Stats
+
+// ExecSnapshot is a consistent copy of an ExecStats.
+type ExecSnapshot = exec.Snapshot
+
+// ExecProgramStats aggregates invocations of one program.
+type ExecProgramStats = exec.ProgramStats
+
+// PhaseTimings is an ordered list of load-pipeline phase durations
+// (verify/relocate/jit-compile for eBPF; parse/typecheck/compile/sign/
+// validate/fixup for safext).
+type PhaseTimings = exec.PhaseTimings
 
 // BuildSLX compiles SLX source without signing, for inspection.
 func BuildSLX(name, src string) (insnCount int, capabilities []string, err error) {
