@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check clean
+.PHONY: all build vet test race fuzz bench check clean
 
 all: check
 
@@ -15,19 +15,25 @@ vet:
 test:
 	$(GO) test ./...
 
-# The execution core and the kernel substrate carry the concurrency-
-# readiness claim (exec.Stats is mutex-guarded); run them under the race
-# detector.
+# The whole tree is expected to be race-clean: the execution core's Stats,
+# the supervisor's breaker state and the fault injector's decision stream
+# are all mutex-guarded and exercised concurrently.
 race:
-	$(GO) test -race ./internal/exec/... ./internal/kernel/...
+	$(GO) test -race ./...
 
-# Regenerates BENCH_exec.json (the ExecCore family) plus the paper
-# artifacts under testing.B.
+# Fuzz smoke: a short differential-fuzz run of the SLX toolchain against
+# its Go reference model. CI runs the same budget.
+fuzz:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -run '^$$' ./internal/safext/runtime
+
+# Regenerates BENCH_exec.json (the ExecCore family) and
+# BENCH_supervisor.json (healthy-path overhead and time-to-recover of the
+# supervised recovery layer) under testing.B.
 bench:
-	$(GO) test -bench 'BenchmarkExecCore' -benchtime 20x .
+	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSupervisor' -benchtime 20x .
 
 check: vet build test race
 
 clean:
-	rm -f BENCH_exec.json
+	rm -f BENCH_exec.json BENCH_supervisor.json
 	$(GO) clean -testcache

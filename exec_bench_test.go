@@ -42,12 +42,12 @@ func recordExecBench(row execBenchRow) {
 	execBenchRows[row.Config] = row
 }
 
-// TestMain writes BENCH_exec.json after a benchmark run that exercised the
-// ExecCore family; plain `go test` runs leave no artifact behind.
+// TestMain writes BENCH_exec.json / BENCH_supervisor.json after a benchmark
+// run that exercised the respective family; plain `go test` runs leave no
+// artifact behind.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	execBenchMu.Lock()
-	defer execBenchMu.Unlock()
 	if len(execBenchRows) > 0 {
 		keys := make([]string, 0, len(execBenchRows))
 		for k := range execBenchRows {
@@ -62,7 +62,39 @@ func TestMain(m *testing.M) {
 			_ = os.WriteFile("BENCH_exec.json", append(data, '\n'), 0o644)
 		}
 	}
+	execBenchMu.Unlock()
+	writeSupervisorBench()
 	os.Exit(code)
+}
+
+// writeSupervisorBench persists the BenchmarkSupervisor_* rows, filling in
+// the supervised-vs-bare overhead percentage the acceptance bar checks.
+func writeSupervisorBench() {
+	supBenchMu.Lock()
+	defer supBenchMu.Unlock()
+	if len(supBenchRows) == 0 {
+		return
+	}
+	for _, stack := range []string{"ebpf", "safext"} {
+		bare, okB := supBenchRows[stack+"/bare"]
+		sup, okS := supBenchRows[stack+"/supervised"]
+		if okB && okS && bare.WallNsPerOp > 0 {
+			sup.OverheadPct = (sup.WallNsPerOp/bare.WallNsPerOp - 1) * 100
+			supBenchRows[stack+"/supervised"] = sup
+		}
+	}
+	keys := make([]string, 0, len(supBenchRows))
+	for k := range supBenchRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]supBenchRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, supBenchRows[k])
+	}
+	if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
+		_ = os.WriteFile("BENCH_supervisor.json", append(data, '\n'), 0o644)
+	}
 }
 
 const execBenchIters = 1000

@@ -32,6 +32,17 @@ type BugConfig struct {
 	RingbufDoubleSubmit bool
 }
 
+// FaultHook is the fault-injection seam at the helper-dispatch boundary.
+// When installed on an Env, both engines consult it after counting a helper
+// call and before running the helper's implementation. Returning
+// injected=true short-circuits the real helper with the given (r0, err)
+// pair; a hook that wants to simulate a helper crash records the oops on
+// env.K itself (so panic-on-oops semantics apply) and returns an
+// ErrKernelCrash-wrapping error. internal/faultinject implements it.
+type FaultHook interface {
+	HelperCall(env *Env, name string) (r0 uint64, err error, injected bool)
+}
+
 // Env is the kernel-side environment one program execution sees. Both the
 // interpreter and the JIT construct an Env per run; helpers do all their
 // kernel work through it.
@@ -66,6 +77,10 @@ type Env struct {
 	// hangs its resource-record table here); helper code that does not
 	// know about it must leave it alone.
 	Scratch any
+
+	// Fault, when non-nil, intercepts helper dispatch for fault-injection
+	// campaigns. Nil (the default) costs one pointer compare per call.
+	Fault FaultHook
 
 	// HelperCalls counts helper invocations by name. Engines bump it via
 	// CountHelper; the execution core folds it into its Report and Stats.

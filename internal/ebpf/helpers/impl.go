@@ -96,7 +96,7 @@ func implForEachMapElem(e *Env, a [5]uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	km, ok := m.(maps.KeyedMap)
+	km, ok := maps.Unwrap(m).(maps.KeyedMap)
 	if !ok {
 		return errno(EINVAL), nil
 	}
@@ -560,7 +560,7 @@ func ringOf(e *Env, handle uint64) (maps.RingMap, error) {
 	if err != nil {
 		return nil, err
 	}
-	rb, ok := m.(maps.RingMap)
+	rb, ok := maps.Unwrap(m).(maps.RingMap)
 	if !ok {
 		return nil, fmt.Errorf("%w: map %q is not a ringbuf", ErrAbort, m.Spec().Name)
 	}

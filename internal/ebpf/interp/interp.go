@@ -330,6 +330,11 @@ func (r *run) helperCall(ins isa.Instruction, regs []uint64) (uint64, error) {
 		return 0, fmt.Errorf("%w: %s", helpers.ErrUnimplemented, spec.Name)
 	}
 	r.env.CountHelper(spec.Name)
+	if r.env.Fault != nil {
+		if r0, err, injected := r.env.Fault.HelperCall(r.env, spec.Name); injected {
+			return r0, err
+		}
+	}
 	var args [5]uint64
 	copy(args[:], regs[1:6])
 	return spec.Impl(r.env, args)

@@ -203,6 +203,16 @@ func (c *Compiled) compileJump(ins isa.Instruction) (op, error) {
 				return ex.fail(fmt.Errorf("jit: helper %d unavailable", id))
 			}
 			ex.env.CountHelper(spec.Name)
+			if ex.env.Fault != nil {
+				if r0, ferr, injected := ex.env.Fault.HelperCall(ex.env, spec.Name); injected {
+					if ferr != nil {
+						return ex.fail(ferr)
+					}
+					r[0] = r0
+					r[1], r[2], r[3], r[4], r[5] = 0, 0, 0, 0, 0
+					return pc + 1
+				}
+			}
 			ret, err := spec.Impl(ex.env, [5]uint64{r[1], r[2], r[3], r[4], r[5]})
 			if err != nil {
 				return ex.fail(err)

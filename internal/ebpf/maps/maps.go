@@ -102,6 +102,71 @@ type Registry struct {
 	byID   map[uint64]Map
 	byName map[string]Map
 	next   uint64
+	fault  FaultHook
+}
+
+// FaultHook is the fault-injection seam of the map layer. MapAlloc is
+// consulted before a map is created; a non-nil error fails the creation.
+// MapUpdate is consulted before every Update on a registered map; a non-nil
+// error is returned in place of performing the update. Injected update
+// errors must be the package's own sentinels (typically ErrNoSpace) so the
+// helper layer's errno translation recognises them.
+type FaultHook interface {
+	MapAlloc(name string) error
+	MapUpdate(name string) error
+}
+
+// SetFaultHook installs (or, with nil, removes) the registry's fault hook.
+// Already-registered maps are re-wrapped in place, so a campaign can attach
+// to a stack whose maps exist and detach without leaving wrappers behind.
+func (r *Registry) SetFaultHook(h FaultHook) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fault = h
+	for handle, m := range r.byID {
+		r.byID[handle] = r.wrapLocked(Unwrap(m))
+	}
+	for name, m := range r.byName {
+		r.byName[name] = r.wrapLocked(Unwrap(m))
+	}
+}
+
+func (r *Registry) wrapLocked(m Map) Map {
+	if r.fault == nil {
+		return m
+	}
+	return &faultMap{inner: m, hook: r.fault}
+}
+
+// faultMap intercepts Update with the registry's fault hook and forwards
+// everything else. Extended-interface assertions (RingMap, KeyedMap,
+// QueueMap) must go through Unwrap.
+type faultMap struct {
+	inner Map
+	hook  FaultHook
+}
+
+func (f *faultMap) Spec() Spec { return f.inner.Spec() }
+func (f *faultMap) Lookup(cpu int, key []byte) (uint64, bool) {
+	return f.inner.Lookup(cpu, key)
+}
+func (f *faultMap) Update(cpu int, key, value []byte, flags uint64) error {
+	if err := f.hook.MapUpdate(f.inner.Spec().Name); err != nil {
+		return err
+	}
+	return f.inner.Update(cpu, key, value, flags)
+}
+func (f *faultMap) Delete(key []byte) error { return f.inner.Delete(key) }
+func (f *faultMap) Entries() int            { return f.inner.Entries() }
+
+// Unwrap strips any fault-injection wrapper. Callers that assert a map to
+// one of the extended interfaces (RingMap, KeyedMap, QueueMap) must unwrap
+// first — the wrapper only carries the base Map surface.
+func Unwrap(m Map) Map {
+	if f, ok := m.(*faultMap); ok {
+		return f.inner
+	}
+	return m
 }
 
 // HandleBase is the start of the map-handle carve-out.
@@ -114,6 +179,14 @@ func NewRegistry() *Registry {
 
 // Create builds a map from its spec and registers it.
 func (r *Registry) Create(k *kernel.Kernel, spec Spec) (Map, uint64, error) {
+	r.mu.Lock()
+	hook := r.fault
+	r.mu.Unlock()
+	if hook != nil {
+		if err := hook.MapAlloc(spec.Name); err != nil {
+			return nil, 0, fmt.Errorf("maps: %q: allocation failed: %w", spec.Name, err)
+		}
+	}
 	if spec.KeySize <= 0 && spec.Type != RingBuf && spec.Type != Queue {
 		return nil, 0, fmt.Errorf("maps: %q: key size %d invalid", spec.Name, spec.KeySize)
 	}
@@ -147,6 +220,7 @@ func (r *Registry) Create(k *kernel.Kernel, spec Spec) (Map, uint64, error) {
 func (r *Registry) register(name string, m Map) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	m = r.wrapLocked(m)
 	h := r.next
 	r.next += 8
 	r.byID[h] = m
@@ -172,12 +246,15 @@ func (r *Registry) ByName(name string) (Map, bool) {
 	return m, ok
 }
 
-// Handle returns the handle of a registered map.
+// Handle returns the handle of a registered map. The comparison sees
+// through fault-injection wrappers on either side, so handles stay stable
+// across SetFaultHook.
 func (r *Registry) Handle(m Map) (uint64, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	want := Unwrap(m)
 	for h, got := range r.byID {
-		if got == m {
+		if Unwrap(got) == want {
 			return h, true
 		}
 	}

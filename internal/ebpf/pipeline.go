@@ -32,6 +32,7 @@ type Stack struct {
 	JITConfig jit.Config
 
 	mapMeta map[string]*verifier.MapMeta
+	sup     *exec.Supervisor
 }
 
 // NewStack boots an eBPF subsystem on the kernel.
@@ -43,6 +44,18 @@ func NewStack(k *kernel.Kernel) *Stack {
 		mapMeta:        make(map[string]*verifier.MapMeta),
 	}
 }
+
+// Supervise wraps every subsequent Loaded.Run in an exec.Supervisor:
+// faulting programs are quarantined with exponential backoff and must pass
+// re-verification before a recovery probe. It returns the supervisor for
+// state inspection.
+func (s *Stack) Supervise(cfg exec.SupervisorConfig) *exec.Supervisor {
+	s.sup = exec.NewSupervisor(s.Core, cfg)
+	return s.sup
+}
+
+// Supervisor returns the stack's supervisor, nil when unsupervised.
+func (s *Stack) Supervisor() *exec.Supervisor { return s.sup }
 
 // CreateMap creates and registers a map, making it referenceable from
 // programs by name.
@@ -70,6 +83,10 @@ type Loaded struct {
 
 	stack  *Stack
 	engine exec.Engine
+	// orig is the pre-relocation program as the user submitted it — what
+	// a supervised recovery probe re-verifies (the relocated image has
+	// its map names resolved away and would not re-verify).
+	orig *isa.Program
 	// ProgArray holds tail-call targets.
 	ProgArray []*isa.Program
 
@@ -95,7 +112,7 @@ func (s *Stack) Load(prog *isa.Program) (*Loaded, error) {
 	}
 	rec.Mark("relocate")
 	fixed := &isa.Program{Name: prog.Name, Type: prog.Type, License: prog.License, Insns: insns}
-	l := &Loaded{Prog: fixed, Verdict: res, stack: s}
+	l := &Loaded{Prog: fixed, Verdict: res, stack: s, orig: prog}
 	l.defaultCtx = s.K.Mem.Map(64, kernel.ProtRW, "bpf_ctx:"+prog.Name)
 	if s.UseJIT {
 		c, err := jit.Compile(fixed, s.JITConfig)
@@ -153,12 +170,23 @@ func (l *Loaded) Run(opts RunOptions) (*RunReport, error) {
 		}
 		ctxAddr = l.defaultCtx.Base
 	}
-	return l.stack.Core.Run(l.engine, exec.Request{
+	req := exec.Request{
 		Program:   l.Prog.Name,
 		CPU:       opts.CPU,
 		CtxAddr:   ctxAddr,
 		Fuel:      opts.Fuel,
 		Bugs:      opts.Bugs,
 		ProgArray: l.ProgArray,
-	})
+	}
+	if l.stack.sup != nil {
+		return l.stack.sup.Run(l.engine, req, l.reverify)
+	}
+	return l.stack.Core.Run(l.engine, req)
+}
+
+// reverify is the supervised recovery reload for the verified stack: the
+// original program must pass the verifier again before a probe runs.
+func (l *Loaded) reverify() error {
+	_, err := verifier.Verify(l.orig, l.stack.Helpers, l.stack.mapMeta, l.stack.VerifierConfig)
+	return err
 }

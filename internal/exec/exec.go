@@ -36,6 +36,15 @@ type Engine interface {
 	Run(env *helpers.Env, opts interp.Options) (uint64, error)
 }
 
+// Injector is the execution core's fault-injection seam. BeforeRun may
+// rewrite the request (budget jitter shrinks Fuel/WatchdogNs); the embedded
+// helper hook is installed on the run's Env. internal/faultinject
+// implements it; a nil Core.Inject costs one comparison per run.
+type Injector interface {
+	helpers.FaultHook
+	BeforeRun(req *Request)
+}
+
 // Core owns the execution substrate one stack runs on: the simulated
 // kernel, the helper and map registries, the interpreter machine engines
 // share, and the always-on Stats.
@@ -44,6 +53,10 @@ type Core struct {
 	Helpers *helpers.Registry
 	Maps    *maps.Registry
 	Machine *interp.Machine
+
+	// Inject, when non-nil, arms fault injection on every run dispatched
+	// through this core.
+	Inject Injector
 
 	// Stats accumulates per-program and per-CPU counters for every run
 	// and load dispatched through this core.
@@ -90,43 +103,115 @@ type Request struct {
 // report assembly, exit audit, and stats accumulation. The returned error
 // is the engine's abnormal-termination error, if any; kernel damage is
 // visible in the report's ExitOopses and on the kernel itself.
-func (c *Core) Run(eng Engine, req Request) (*Report, error) {
+//
+// Under Config.PanicOnOops a kernel.KernelPanic can unwind out of the
+// engine, a helper, the Finish hook, or the exit audit. Run recovers
+// exactly that panic type — the read-side unlock, exit audit, wall-clock
+// figure, and stats accounting all still happen — and surfaces it as the
+// run error so a supervisor can classify the invocation. Any other panic
+// is a harness bug and keeps propagating.
+func (c *Core) Run(eng Engine, req Request) (rep *Report, err error) {
+	if c.Inject != nil {
+		c.Inject.BeforeRun(&req)
+	}
 	ctx := c.K.NewContext(req.CPU)
 	env := helpers.NewEnv(c.K, ctx, c.Maps)
 	env.CtxAddr = req.CtxAddr
+	if c.Inject != nil {
+		env.Fault = c.Inject
+	}
 	if req.Setup != nil {
 		req.Setup(env)
 	}
 	virtStart := c.K.Clock.Now()
 	wallStart := time.Now()
 
+	buildReport := func(r0 uint64) *Report {
+		return &Report{
+			Program:      req.Program,
+			Engine:       eng.Name(),
+			R0:           r0,
+			Instructions: ctx.Instructions,
+			FuelUsed:     env.FuelUsed,
+			HelperCalls:  env.HelperCalls,
+			MapOps:       env.MapOps,
+			RuntimeNs:    c.K.Clock.Now() - virtStart,
+			Trace:        env.Trace,
+		}
+	}
+	// finish runs the caller's Finish hook still inside the RCU read-side
+	// section. A destructor that oopses under PanicOnOops must not mask
+	// the original run error, so its KernelPanic is swallowed unless no
+	// error is pending yet.
+	finishDone := false
+	finish := func() {
+		if req.Finish == nil || finishDone {
+			return
+		}
+		finishDone = true
+		defer func() {
+			if r := recover(); r != nil {
+				kp, ok := r.(kernel.KernelPanic)
+				if !ok {
+					panic(r)
+				}
+				if err == nil {
+					err = kp
+				}
+			}
+		}()
+		req.Finish(env, rep, err)
+	}
+
 	c.K.RCU().ReadLock(ctx)
+	defer func() {
+		if r := recover(); r != nil {
+			kp, ok := r.(kernel.KernelPanic)
+			if !ok {
+				panic(r)
+			}
+			if err == nil {
+				err = kp
+			}
+			if rep == nil {
+				rep = buildReport(0)
+			}
+			finish()
+		}
+		// Balance the read-side section and audit the exit even when the
+		// run died mid-panic. The audit itself can oops (and panic again
+		// under oops=panic); fold that into the report rather than
+		// unwinding with accounting half done.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					kp, ok := r.(kernel.KernelPanic)
+					if !ok {
+						panic(r)
+					}
+					rep.ExitOopses = append(rep.ExitOopses, kp.Oops)
+					if err == nil {
+						err = kp
+					}
+				}
+			}()
+			c.K.RCU().ReadUnlock(ctx)
+			rep.ExitOopses = append(rep.ExitOopses, ctx.ExitAudit()...)
+		}()
+		rep.WallNs = time.Since(wallStart).Nanoseconds()
+		c.Stats.recordRun(req.CPU, rep, err)
+	}()
+
 	iopts := interp.Options{
 		Fuel:       req.Fuel,
 		WatchdogNs: req.WatchdogNs,
 		Bugs:       req.Bugs,
 		ProgArray:  req.ProgArray,
 	}
-	r0, err := eng.Run(env, iopts)
-	rep := &Report{
-		Program:      req.Program,
-		Engine:       eng.Name(),
-		R0:           r0,
-		Instructions: ctx.Instructions,
-		FuelUsed:     env.FuelUsed,
-		HelperCalls:  env.HelperCalls,
-		MapOps:       env.MapOps,
-		RuntimeNs:    c.K.Clock.Now() - virtStart,
-		Trace:        env.Trace,
-	}
-	if req.Finish != nil {
-		req.Finish(env, rep, err)
-	}
-	c.K.RCU().ReadUnlock(ctx)
-
-	rep.ExitOopses = ctx.ExitAudit()
-	rep.WallNs = time.Since(wallStart).Nanoseconds()
-	c.Stats.recordRun(req.CPU, rep, err)
+	var r0 uint64
+	r0, err = eng.Run(env, iopts)
+	rep = buildReport(r0)
+	finish()
 	return rep, err
 }
 

@@ -54,6 +54,17 @@ type Report struct {
 	// ExitOopses is the kernel damage the exit audit attributed to this
 	// invocation (leaked references, held locks, RCU nesting).
 	ExitOopses []*kernel.Oops
+
+	// Supervision is empty for unsupervised runs. Under a Supervisor it
+	// holds the program's health state after this invocation was
+	// accounted ("healthy", "degraded", ...), or "denied" when the
+	// dispatch never reached the engine because the program was
+	// quarantined or detached.
+	Supervision string
+
+	// Fallback marks a denied dispatch that was served the supervisor's
+	// configured fallback R0 instead of running the program.
+	Fallback bool
 }
 
 // Phase is one timed step of a loading pipeline (e.g. "verify",

@@ -31,6 +31,13 @@ type ProgramStats struct {
 	HelperCalls  map[string]uint64
 	RuntimeNs    int64 // cumulative virtual latency
 	WallNs       int64 // cumulative wall latency
+
+	// Supervisor accounting. Zero unless the program runs under an
+	// exec.Supervisor.
+	Faults      uint64            // supervised runs classified as faults
+	Denied      uint64            // dispatches refused while quarantined/detached
+	Fallbacks   uint64            // denied dispatches served the fallback R0
+	Transitions map[string]uint64 // state transitions, "healthy->degraded" form
 }
 
 // CPUStats aggregates every invocation dispatched on one CPU.
@@ -57,22 +64,59 @@ func (s *Stats) RecordLoad(program string, phases PhaseTimings) {
 	}
 }
 
+// prog returns (creating on first use) the per-program row. Caller holds mu.
+func (s *Stats) prog(name string) *ProgramStats {
+	if s.programs == nil {
+		s.programs = make(map[string]*ProgramStats)
+	}
+	ps := s.programs[name]
+	if ps == nil {
+		ps = &ProgramStats{}
+		s.programs[name] = ps
+	}
+	return ps
+}
+
+// recordFault accounts one supervised run the supervisor classified as a
+// fault (engine error or exit-audit damage).
+func (s *Stats) recordFault(program string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prog(program).Faults++
+}
+
+// recordDenied accounts one dispatch refused at the supervisor gate;
+// fallback marks it as served the configured fallback R0.
+func (s *Stats) recordDenied(program string, fallback bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.prog(program)
+	ps.Denied++
+	if fallback {
+		ps.Fallbacks++
+	}
+}
+
+// recordTransition accounts one supervisor state transition.
+func (s *Stats) recordTransition(program string, from, to State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.prog(program)
+	if ps.Transitions == nil {
+		ps.Transitions = make(map[string]uint64, 4)
+	}
+	ps.Transitions[string(from)+"->"+string(to)]++
+}
+
 // recordRun accounts one invocation. The core calls it after assembling the
 // report; engineErr marks abnormal termination.
 func (s *Stats) recordRun(cpu int, rep *Report, engineErr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.programs == nil {
-		s.programs = make(map[string]*ProgramStats)
-	}
 	if s.cpus == nil {
 		s.cpus = make(map[int]*CPUStats)
 	}
-	ps := s.programs[rep.Program]
-	if ps == nil {
-		ps = &ProgramStats{}
-		s.programs[rep.Program] = ps
-	}
+	ps := s.prog(rep.Program)
 	ps.Invocations++
 	if engineErr != nil {
 		ps.Errors++
@@ -130,6 +174,12 @@ func (s *Stats) Snapshot() Snapshot {
 				cp.HelperCalls[h] = n
 			}
 		}
+		if ps.Transitions != nil {
+			cp.Transitions = make(map[string]uint64, len(ps.Transitions))
+			for t, n := range ps.Transitions {
+				cp.Transitions[t] = n
+			}
+		}
 		snap.Programs[name] = cp
 	}
 	for cpu, cs := range s.cpus {
@@ -150,11 +200,20 @@ func (snap Snapshot) Totals() ProgramStats {
 		t.MapOps += ps.MapOps
 		t.RuntimeNs += ps.RuntimeNs
 		t.WallNs += ps.WallNs
+		t.Faults += ps.Faults
+		t.Denied += ps.Denied
+		t.Fallbacks += ps.Fallbacks
 		for h, n := range ps.HelperCalls {
 			if t.HelperCalls == nil {
 				t.HelperCalls = make(map[string]uint64)
 			}
 			t.HelperCalls[h] += n
+		}
+		for tr, n := range ps.Transitions {
+			if t.Transitions == nil {
+				t.Transitions = make(map[string]uint64)
+			}
+			t.Transitions[tr] += n
 		}
 	}
 	return t

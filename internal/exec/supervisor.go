@@ -1,0 +1,357 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQuarantined is returned for dispatches refused at the supervisor gate
+// when the degradation policy is DegradeDetach; with DegradeFallback the
+// caller instead receives the configured fallback R0 and no error.
+var ErrQuarantined = errors.New("exec: program quarantined")
+
+// State is one supervisor health state of a program.
+type State string
+
+const (
+	// StateHealthy: no fault in the current observation window.
+	StateHealthy State = "healthy"
+	// StateDegraded: at least one recent fault, breaker not yet tripped.
+	StateDegraded State = "degraded"
+	// StateQuarantined: breaker tripped; dispatches are denied until the
+	// backoff deadline, then a recovery probe (reload + one run) decides.
+	StateQuarantined State = "quarantined"
+	// StateRecovered: the probe after a quarantine succeeded; one more
+	// clean run promotes back to healthy.
+	StateRecovered State = "recovered"
+	// StateDetached: the trip budget is exhausted; the program is
+	// permanently denied (graceful degradation's terminal state).
+	StateDetached State = "detached"
+)
+
+// DegradePolicy selects what a denied dispatch returns.
+type DegradePolicy int
+
+const (
+	// DegradeFallback serves the configured FallbackR0 with no error —
+	// the caller keeps getting answers while the program heals.
+	DegradeFallback DegradePolicy = iota
+	// DegradeDetach fails the dispatch with ErrQuarantined.
+	DegradeDetach
+)
+
+// SupervisorConfig tunes the circuit breaker and recovery schedule.
+type SupervisorConfig struct {
+	// Window is the number of most-recent runs the breaker looks at.
+	Window int
+	// TripThreshold is the fault count within Window that trips the
+	// breaker into quarantine.
+	TripThreshold int
+	// BaseBackoffNs is the first quarantine duration on the virtual
+	// clock; each further trip doubles it up to MaxBackoffNs.
+	BaseBackoffNs int64
+	MaxBackoffNs  int64
+	// JitterSeed drives the deterministic ±25% backoff jitter. The
+	// per-program jitter stream is seeded from JitterSeed and the
+	// program name, so a fixed seed reproduces the exact schedule.
+	JitterSeed uint64
+	// MaxTrips, when positive, permanently detaches a program after that
+	// many trips. Zero means quarantine forever retries.
+	MaxTrips int
+	// Policy selects fallback-R0 or detach semantics for denied
+	// dispatches; FallbackR0 is the value served under DegradeFallback.
+	Policy     DegradePolicy
+	FallbackR0 uint64
+	// DeniedCostNs is charged to the virtual clock per denied dispatch —
+	// a denied invocation still consumes time at the attach point, and
+	// it is what lets a single-program workload's backoff expire.
+	DeniedCostNs int64
+}
+
+// DefaultSupervisorConfig mirrors sensible production settings: trip on 3
+// faults in the last 16 runs, back off from 1ms to 1s, never permanently
+// detach, serve R0=0 while quarantined.
+func DefaultSupervisorConfig() SupervisorConfig {
+	return SupervisorConfig{
+		Window:        16,
+		TripThreshold: 3,
+		BaseBackoffNs: 1_000_000,
+		MaxBackoffNs:  1_000_000_000,
+		JitterSeed:    0x5eed,
+		Policy:        DegradeFallback,
+		DeniedCostNs:  1_000,
+	}
+}
+
+// Reload re-prepares a program before a recovery probe: the verified stack
+// re-verifies, the safext runtime re-validates the signature. A reload
+// error re-quarantines immediately.
+type Reload func() error
+
+// Supervisor wraps Core.Run with per-program fault containment: a circuit
+// breaker (TripThreshold faults in the last Window runs → quarantine),
+// deterministic exponential backoff with jittered recovery probes, and
+// graceful degradation for dispatches that arrive while a program is
+// quarantined or detached. A fault is a run that returns an error or leaves
+// exit-audit damage. All transitions and denials are accounted in the
+// core's Stats and stamped on each Report.
+type Supervisor struct {
+	core *Core
+	cfg  SupervisorConfig
+
+	mu    sync.Mutex
+	progs map[string]*progHealth
+}
+
+type progHealth struct {
+	state   State
+	window  []bool // ring buffer of recent outcomes, true = fault
+	widx    int
+	filled  int
+	faults  int // faults among the filled window slots
+	trips   int
+	until   int64 // virtual deadline of the current quarantine
+	backoff int64 // current (jittered) backoff duration
+	rng     uint64
+}
+
+// NewSupervisor builds a supervisor over the core. Zero-value config fields
+// fall back to DefaultSupervisorConfig.
+func NewSupervisor(core *Core, cfg SupervisorConfig) *Supervisor {
+	def := DefaultSupervisorConfig()
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	if cfg.TripThreshold <= 0 {
+		cfg.TripThreshold = def.TripThreshold
+	}
+	if cfg.BaseBackoffNs <= 0 {
+		cfg.BaseBackoffNs = def.BaseBackoffNs
+	}
+	if cfg.MaxBackoffNs <= 0 {
+		cfg.MaxBackoffNs = def.MaxBackoffNs
+	}
+	if cfg.DeniedCostNs <= 0 {
+		cfg.DeniedCostNs = def.DeniedCostNs
+	}
+	return &Supervisor{core: core, cfg: cfg, progs: make(map[string]*progHealth)}
+}
+
+// State reports the program's current health state.
+func (s *Supervisor) State(program string) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health(program).state
+}
+
+// BackoffNs reports the program's current quarantine duration, zero when
+// not quarantined — exposed so tests can pin the schedule's determinism.
+func (s *Supervisor) BackoffNs(program string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.health(program)
+	if st.state != StateQuarantined {
+		return 0
+	}
+	return st.backoff
+}
+
+func (s *Supervisor) health(program string) *progHealth {
+	st := s.progs[program]
+	if st == nil {
+		st = &progHealth{
+			state:  StateHealthy,
+			window: make([]bool, s.cfg.Window),
+			rng:    jitterSeed(s.cfg.JitterSeed, program),
+		}
+		s.progs[program] = st
+	}
+	return st
+}
+
+// jitterSeed mixes the campaign seed with the program name (FNV-1a) so
+// every program gets its own deterministic jitter stream.
+func jitterSeed(seed uint64, program string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(program); i++ {
+		h ^= uint64(program[i])
+		h *= 1099511628211
+	}
+	h ^= seed
+	if h == 0 {
+		h = 0x9E3779B97F4A7C15
+	}
+	return h
+}
+
+// next steps the program's xorshift64* jitter stream.
+func (st *progHealth) next() uint64 {
+	x := st.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	st.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Run dispatches one invocation through the supervisor gate. Quarantined
+// and detached programs never reach Core.Run: the dispatch is denied,
+// accounted, and answered per the degradation policy. When a quarantine's
+// backoff has expired the dispatch becomes a recovery probe — reload first
+// (re-verify / re-validate), then one real run whose outcome decides
+// between recovery and a longer quarantine.
+func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error) {
+	s.mu.Lock()
+	st := s.health(req.Program)
+	switch st.state {
+	case StateDetached:
+		s.mu.Unlock()
+		return s.deny(eng, req)
+	case StateQuarantined:
+		if s.core.K.Clock.Now() < st.until {
+			s.mu.Unlock()
+			return s.deny(eng, req)
+		}
+		// Backoff expired: this dispatch is the recovery probe.
+		s.mu.Unlock()
+		if reload != nil {
+			if err := reload(); err != nil {
+				s.mu.Lock()
+				s.requarantine(st, req.Program)
+				s.mu.Unlock()
+				rep, _ := s.deny(eng, req)
+				return rep, fmt.Errorf("exec: recovery reload of %q failed: %w", req.Program, err)
+			}
+		}
+	default:
+		s.mu.Unlock()
+	}
+
+	rep, err := s.core.Run(eng, req)
+	fault := err != nil || len(rep.ExitOopses) > 0
+	s.mu.Lock()
+	s.observe(st, req.Program, fault)
+	rep.Supervision = string(st.state)
+	s.mu.Unlock()
+	return rep, err
+}
+
+// deny answers a dispatch without running the program.
+func (s *Supervisor) deny(eng Engine, req Request) (*Report, error) {
+	s.core.K.Clock.Advance(s.cfg.DeniedCostNs)
+	fallback := s.cfg.Policy == DegradeFallback
+	s.core.Stats.recordDenied(req.Program, fallback)
+	rep := &Report{
+		Program:     req.Program,
+		Engine:      eng.Name(),
+		Supervision: "denied",
+	}
+	if fallback {
+		rep.R0 = s.cfg.FallbackR0
+		rep.Fallback = true
+		return rep, nil
+	}
+	return rep, ErrQuarantined
+}
+
+// observe folds one run outcome into the breaker state. Caller holds mu.
+func (s *Supervisor) observe(st *progHealth, program string, fault bool) {
+	if fault {
+		s.core.Stats.recordFault(program)
+	}
+	if st.state == StateQuarantined {
+		// This run was the recovery probe.
+		if fault {
+			s.requarantine(st, program)
+			return
+		}
+		s.transition(st, program, StateRecovered)
+		s.resetWindow(st)
+		return
+	}
+
+	// Slide the window.
+	if st.filled == len(st.window) {
+		if st.window[st.widx] {
+			st.faults--
+		}
+	} else {
+		st.filled++
+	}
+	st.window[st.widx] = fault
+	if fault {
+		st.faults++
+	}
+	st.widx = (st.widx + 1) % len(st.window)
+
+	switch {
+	case fault && st.faults >= s.cfg.TripThreshold:
+		s.trip(st, program)
+	case fault:
+		if st.state == StateHealthy || st.state == StateRecovered {
+			s.transition(st, program, StateDegraded)
+		}
+	default:
+		if st.state == StateRecovered || (st.state == StateDegraded && st.faults == 0) {
+			s.transition(st, program, StateHealthy)
+		}
+	}
+}
+
+// trip opens the breaker: detach permanently when the trip budget is
+// spent, else quarantine with exponentially longer, jittered backoff.
+func (s *Supervisor) trip(st *progHealth, program string) {
+	st.trips++
+	if s.cfg.MaxTrips > 0 && st.trips >= s.cfg.MaxTrips {
+		s.transition(st, program, StateDetached)
+		return
+	}
+	st.backoff = s.backoffFor(st)
+	st.until = s.core.K.Clock.Now() + st.backoff
+	s.transition(st, program, StateQuarantined)
+}
+
+// requarantine handles a failed recovery probe (or reload): one more trip,
+// doubled backoff. The "quarantined->quarantined" transition row makes
+// failed probes visible in stats.
+func (s *Supervisor) requarantine(st *progHealth, program string) {
+	st.trips++
+	if s.cfg.MaxTrips > 0 && st.trips >= s.cfg.MaxTrips {
+		s.transition(st, program, StateDetached)
+		return
+	}
+	st.backoff = s.backoffFor(st)
+	st.until = s.core.K.Clock.Now() + st.backoff
+	s.transition(st, program, StateQuarantined)
+}
+
+// backoffFor computes min(base << (trips-1), max) with deterministic ±25%
+// jitter from the program's stream.
+func (s *Supervisor) backoffFor(st *progHealth) int64 {
+	b := s.cfg.BaseBackoffNs
+	for i := 1; i < st.trips && b < s.cfg.MaxBackoffNs; i++ {
+		b <<= 1
+	}
+	if b > s.cfg.MaxBackoffNs {
+		b = s.cfg.MaxBackoffNs
+	}
+	if half := b / 2; half > 0 {
+		b = b - b/4 + int64(st.next()%uint64(half+1))
+	}
+	return b
+}
+
+func (s *Supervisor) resetWindow(st *progHealth) {
+	for i := range st.window {
+		st.window[i] = false
+	}
+	st.widx, st.filled, st.faults = 0, 0, 0
+}
+
+// transition moves the program to a new state and accounts it.
+func (s *Supervisor) transition(st *progHealth, program string, to State) {
+	from := st.state
+	st.state = to
+	s.core.Stats.recordTransition(program, from, to)
+}

@@ -57,6 +57,7 @@ func All() []*Result {
 		A4Expressiveness(),
 		X1Protection(),
 		X2ExecCore(),
+		X3FaultCampaign(),
 	}
 }
 
@@ -69,6 +70,7 @@ func ByID(id string) (*Result, bool) {
 		"A1": A1VerifierScaling, "A2": A2LoadPath,
 		"A3": A3RuntimeTax, "A4": A4Expressiveness,
 		"X1": X1Protection, "X2": X2ExecCore,
+		"X3": X3FaultCampaign,
 	}
 	f, ok := funcs[strings.ToUpper(id)]
 	if !ok {

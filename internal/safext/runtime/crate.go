@@ -320,7 +320,7 @@ func crateEmit(e *helpers.Env, a [5]uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	rb, ok := m.(maps.RingMap)
+	rb, ok := maps.Unwrap(m).(maps.RingMap)
 	if !ok {
 		return ^uint64(0), nil
 	}

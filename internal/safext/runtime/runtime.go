@@ -73,6 +73,8 @@ type Runtime struct {
 	// Stats aggregates runtime interventions across all extensions. The
 	// shared core's execution counters live at Core.Stats.
 	Stats Stats
+
+	sup *exec.Supervisor
 }
 
 // Stats counts the runtime's safety interventions.
@@ -83,6 +85,8 @@ type Stats struct {
 	Traps          int
 	WatchdogKills  int
 	FuelKills      int
+	PanicKills     int // runs that died by kernel panic (oops=panic)
+	Quarantines    int // invocations denied at the supervisor gate
 	CleanedSocks   int
 	CleanedLocks   int
 }
@@ -115,6 +119,18 @@ func (rt *Runtime) AddKey(pub ed25519.PublicKey) {
 	rt.keyring = append(rt.keyring, pub)
 }
 
+// Supervise wraps every subsequent Extension.Run in an exec.Supervisor:
+// faulting extensions are quarantined with exponential backoff and must
+// re-validate their signature before a recovery probe. It returns the
+// supervisor for state inspection.
+func (rt *Runtime) Supervise(cfg exec.SupervisorConfig) *exec.Supervisor {
+	rt.sup = exec.NewSupervisor(rt.Core, cfg)
+	return rt.sup
+}
+
+// Supervisor returns the runtime's supervisor, nil when unsupervised.
+func (rt *Runtime) Supervisor() *exec.Supervisor { return rt.sup }
+
 // lockAt returns the persistent spin lock guarding the given address.
 func (rt *Runtime) lockAt(addr uint64) *kernel.SpinLock {
 	if l, ok := rt.locks[addr]; ok {
@@ -130,6 +146,9 @@ type Extension struct {
 	Name string
 	rt   *Runtime
 	prog *isa.Program
+	// so is the signed object this extension was installed from — what a
+	// supervised recovery probe re-validates.
+	so *toolchain.SignedObject
 
 	engine exec.Engine
 
@@ -171,6 +190,7 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 	if err != nil {
 		return nil, err
 	}
+	ext.so = so
 	rec.Mark("fixup")
 	ext.LoadPhases = append(append(exec.PhaseTimings(nil), so.Phases...), rec.Phases()...)
 	rt.Core.Stats.RecordLoad(ext.Name, ext.LoadPhases)
@@ -271,8 +291,10 @@ type Verdict struct {
 	Completed bool
 	// Terminated is true when a runtime mechanism stopped it.
 	Terminated bool
-	// Reason is "" on completion, else "trap", "watchdog", "fuel", or
-	// "crash".
+	// Reason is "" on completion, else "trap", "watchdog", "fuel",
+	// "crash", "panic" (the run died by kernel panic under oops=panic),
+	// or "quarantined" (the supervisor denied the dispatch and served
+	// the fallback).
 	Reason string
 	// TrapCode is set for trap terminations.
 	TrapCode int64
@@ -310,7 +332,7 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 
 	var v *Verdict
 	var runtimeErr error
-	rep, _ := rt.Core.Run(ext.engine, exec.Request{
+	req := exec.Request{
 		Program:    ext.Name,
 		CPU:        opts.CPU,
 		CtxAddr:    opts.CtxAddr,
@@ -327,6 +349,7 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 				HelperCalls:  rep.HelperCalls,
 				Trace:        rep.Trace,
 			}
+			var kp kernel.KernelPanic
 			switch {
 			case engineErr == nil:
 				v.Completed = true
@@ -347,6 +370,13 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 					// A crash here means trusted crate code faulted — the
 					// language layer cannot produce one. Report it loudly.
 					v.Reason = "crash"
+				case errors.As(engineErr, &kp):
+					// The kernel panicked out of the engine (oops=panic).
+					// The damage is done, but the resource log must still
+					// be drained — a held lock or socket ref surviving the
+					// unwind would corrupt the next invocation too.
+					v.Reason = "panic"
+					rt.Stats.PanicKills++
 				default:
 					// The runtime itself failed; skip cleanup and surface
 					// the raw error to the caller.
@@ -359,21 +389,57 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 			// log, still inside the RCU read-side section. On the
 			// completed path the log holds at most unfreed heap
 			// allocations; after a termination it releases everything the
-			// program held.
+			// program held. If a destructor itself oopses under
+			// oops=panic, the core keeps the original error — cleanup
+			// cannot mask the run's verdict.
 			socks, locks, mem := rt.cleanup(env, rs)
 			v.CleanedSocks, v.CleanedLocks, v.CleanedMem = socks, locks, mem
 			rt.Stats.CleanedSocks += socks
 			rt.Stats.CleanedLocks += locks
 		},
-	})
+	}
+	var rep *exec.Report
+	var runErr error
+	if rt.sup != nil {
+		rep, runErr = rt.sup.Run(ext.engine, req, ext.revalidate)
+	} else {
+		rep, runErr = rt.Core.Run(ext.engine, req)
+	}
 	if runtimeErr != nil {
 		return nil, runtimeErr
+	}
+	if v == nil {
+		// The dispatch never reached the engine: the supervisor denied it
+		// (quarantined or detached) or a recovery reload failed.
+		rt.Stats.Quarantines++
+		if runErr != nil {
+			return nil, runErr
+		}
+		return &Verdict{
+			R0:         int64(rep.R0),
+			Terminated: true,
+			Reason:     "quarantined",
+			WallNs:     rep.WallNs,
+		}, nil
 	}
 	v.WallNs = rep.WallNs
 	if len(rep.ExitOopses) > 0 {
 		return nil, fmt.Errorf("safext: exit audit failed after cleanup: %v", rep.ExitOopses[0])
 	}
 	return v, nil
+}
+
+// revalidate is the supervised recovery reload for the safext stack: the
+// signed object must validate against the current keyring again before a
+// probe runs — the load-time trust decision, re-taken.
+func (ext *Extension) revalidate() error {
+	for _, key := range ext.rt.keyring {
+		if ext.so.Verify(key) {
+			return nil
+		}
+	}
+	ext.rt.Stats.SignatureFails++
+	return ErrBadSignature
 }
 
 // cleanup releases every resource still in the record log, newest first,

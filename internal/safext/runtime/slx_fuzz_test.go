@@ -273,6 +273,57 @@ func evalPrefix(s string, scope map[string]int64) (int64, string) {
 	return scope[tok], s[i:]
 }
 
+// slxDifferentialTrial generates one random program from the seed, runs it
+// through the full toolchain + runtime, and checks the result against the
+// Go reference model. Shared by the table-driven test and the fuzz target.
+func slxDifferentialTrial(tb testing.TB, signer *toolchain.Signer, seed int64) {
+	tb.Helper()
+	g := &slxGen{rng: rand.New(rand.NewSource(seed)), vars: map[string]int64{}}
+	g.sb.WriteString("fn main() -> i64 {\n")
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("v%d", i)
+		v := g.lit()
+		init := fmt.Sprintf("%d", v)
+		if v < 0 {
+			init = fmt.Sprintf("0 - %d", -v)
+		}
+		fmt.Fprintf(&g.sb, "\tlet mut %s: i64 = %s;\n", name, init)
+		g.vars[name] = v
+	}
+	scope := cloneScope(g.vars)
+	g.stmts(6+g.rng.Intn(8), 2, "\t", scope)
+	// Final result folds all variables.
+	want := g.vars["v0"] + 3*g.vars["v1"] - g.vars["v2"] ^ g.vars["v3"]
+	g.sb.WriteString("\treturn v0 + 3 * v1 - v2 ^ v3;\n}\n")
+	src := g.sb.String()
+
+	k := kernel.NewDefault()
+	rt := New(k, DefaultConfig())
+	rt.AddKey(signer.PublicKey())
+	so, err := signer.BuildAndSign("fuzz", src)
+	if err != nil {
+		tb.Fatalf("seed %d: build: %v\n%s", seed, err, src)
+	}
+	ext, err := rt.Load(so)
+	if err != nil {
+		tb.Fatalf("seed %d: load: %v", seed, err)
+	}
+	v, err := ext.Run(RunOptions{})
+	if err != nil {
+		tb.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+	}
+	if !v.Completed {
+		// Early returns make the final fold unreachable; skip those.
+		return
+	}
+	if strings.Contains(src, "return v") && strings.Count(src, "return") > 1 {
+		return // an early return fired or not; oracle ambiguous
+	}
+	if v.R0 != want {
+		tb.Fatalf("seed %d: compiled R0 = %d, reference = %d\n%s", seed, v.R0, want, src)
+	}
+}
+
 func TestSLXDifferentialFuzz(t *testing.T) {
 	signer, err := toolchain.NewSigner()
 	if err != nil {
@@ -280,49 +331,22 @@ func TestSLXDifferentialFuzz(t *testing.T) {
 	}
 	const trials = 500
 	for seed := int64(0); seed < trials; seed++ {
-		g := &slxGen{rng: rand.New(rand.NewSource(seed)), vars: map[string]int64{}}
-		g.sb.WriteString("fn main() -> i64 {\n")
-		for i := 0; i < 4; i++ {
-			name := fmt.Sprintf("v%d", i)
-			v := g.lit()
-			init := fmt.Sprintf("%d", v)
-			if v < 0 {
-				init = fmt.Sprintf("0 - %d", -v)
-			}
-			fmt.Fprintf(&g.sb, "\tlet mut %s: i64 = %s;\n", name, init)
-			g.vars[name] = v
-		}
-		scope := cloneScope(g.vars)
-		g.stmts(6+g.rng.Intn(8), 2, "\t", scope)
-		// Final result folds all variables.
-		want := g.vars["v0"] + 3*g.vars["v1"] - g.vars["v2"] ^ g.vars["v3"]
-		g.sb.WriteString("\treturn v0 + 3 * v1 - v2 ^ v3;\n}\n")
-		src := g.sb.String()
-
-		k := kernel.NewDefault()
-		rt := New(k, DefaultConfig())
-		rt.AddKey(signer.PublicKey())
-		so, err := signer.BuildAndSign("fuzz", src)
-		if err != nil {
-			t.Fatalf("seed %d: build: %v\n%s", seed, err, src)
-		}
-		ext, err := rt.Load(so)
-		if err != nil {
-			t.Fatalf("seed %d: load: %v", seed, err)
-		}
-		v, err := ext.Run(RunOptions{})
-		if err != nil {
-			t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
-		}
-		if !v.Completed {
-			// Early returns make the final fold unreachable; skip those.
-			continue
-		}
-		if strings.Contains(src, "return v") && strings.Count(src, "return") > 1 {
-			continue // an early return fired or not; oracle ambiguous
-		}
-		if v.R0 != want {
-			t.Fatalf("seed %d: compiled R0 = %d, reference = %d\n%s", seed, v.R0, want, src)
-		}
+		slxDifferentialTrial(t, signer, seed)
 	}
+}
+
+// FuzzSLXDifferential is the go test -fuzz entry point over the same
+// differential oracle: the fuzzer explores generator seeds beyond the fixed
+// corpus the table-driven test covers.
+func FuzzSLXDifferential(f *testing.F) {
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		slxDifferentialTrial(t, signer, seed)
+	})
 }

@@ -22,6 +22,7 @@ import (
 	"kex/internal/ebpf/maps"
 	"kex/internal/ebpf/verifier"
 	"kex/internal/exec"
+	"kex/internal/faultinject"
 	"kex/internal/kernel"
 	"kex/internal/safext/runtime"
 	"kex/internal/safext/toolchain"
@@ -183,6 +184,67 @@ type ExecProgramStats = exec.ProgramStats
 // (verify/relocate/jit-compile for eBPF; parse/typecheck/compile/sign/
 // validate/fixup for safext).
 type PhaseTimings = exec.PhaseTimings
+
+// ---- supervision and fault injection ----------------------------------------------
+
+// Supervisor wraps a stack's dispatches with a per-program circuit
+// breaker, exponential-backoff quarantine and graceful degradation.
+// Enable with EBPFStack.Supervise / SafeRuntime.Supervise.
+type Supervisor = exec.Supervisor
+
+// SupervisorConfig tunes the circuit breaker and recovery schedule.
+type SupervisorConfig = exec.SupervisorConfig
+
+// SupervisorState is one health state ("healthy", "degraded",
+// "quarantined", "recovered", "detached").
+type SupervisorState = exec.State
+
+// Supervisor degradation policies: serve a fallback R0, or fail denied
+// dispatches with exec.ErrQuarantined.
+const (
+	DegradeFallback = exec.DegradeFallback
+	DegradeDetach   = exec.DegradeDetach
+)
+
+// DefaultSupervisorConfig mirrors sensible production settings.
+func DefaultSupervisorConfig() SupervisorConfig { return exec.DefaultSupervisorConfig() }
+
+// FaultPlan describes a deterministic fault campaign; FaultRule arms one
+// injection site. Build an injector with NewFaultInjector and arm it with
+// AttachFaults.
+type FaultPlan = faultinject.Plan
+
+// FaultRule gates one injection site by name, probability and max count.
+type FaultRule = faultinject.Rule
+
+// FaultInjector makes a campaign's injection decisions, reproducibly from
+// (seed, plan).
+type FaultInjector = faultinject.Injector
+
+// FaultEvent is one recorded injection.
+type FaultEvent = faultinject.Event
+
+// Fault-injection sites.
+const (
+	FaultHelperError = faultinject.SiteHelperError
+	FaultHelperCrash = faultinject.SiteHelperCrash
+	FaultMapUpdate   = faultinject.SiteMapUpdate
+	FaultMapAlloc    = faultinject.SiteMapAlloc
+	FaultFuel        = faultinject.SiteFuel
+	FaultWatchdog    = faultinject.SiteWatchdog
+)
+
+// NewFaultInjector builds a deterministic injector for one campaign.
+func NewFaultInjector(seed uint64, plan FaultPlan) *FaultInjector {
+	return faultinject.New(seed, plan)
+}
+
+// AttachFaults arms a campaign on a stack's execution core (both
+// EBPFStack and SafeRuntime embed one at .Core).
+func AttachFaults(core *exec.Core, inj *FaultInjector) { faultinject.Attach(core, inj) }
+
+// DetachFaults disarms fault injection on the core.
+func DetachFaults(core *exec.Core) { faultinject.Detach(core) }
 
 // BuildSLX compiles SLX source without signing, for inspection.
 func BuildSLX(name, src string) (insnCount int, capabilities []string, err error) {

@@ -1,0 +1,182 @@
+package kexbench
+
+import (
+	"sync"
+	"testing"
+
+	"kex/internal/ebpf"
+	"kex/internal/exec"
+	"kex/internal/faultinject"
+	"kex/internal/kernel"
+	"kex/internal/safext/runtime"
+	"kex/internal/safext/toolchain"
+)
+
+// The BenchmarkSupervisor_* family quantifies the supervised recovery
+// layer: healthy-path dispatch overhead versus bare Core.Run (the
+// acceptance bar is <5%), and time-to-recover under a canned fault burst.
+// TestMain persists the rows to BENCH_supervisor.json.
+
+type supBenchRow struct {
+	Config        string  `json:"config"`
+	WallNsPerOp   float64 `json:"wall_ns_per_op"`
+	BenchmarkIter int     `json:"benchmark_iters"`
+	// OverheadPct is filled on the supervised healthy-path rows at
+	// artifact-write time, relative to the matching bare row.
+	OverheadPct float64 `json:"overhead_pct_vs_bare,omitempty"`
+	// Recovery-cycle figures (fault burst → quarantine → probe → recovered).
+	RecoverVirtNs  float64 `json:"virtual_ns_to_recover,omitempty"`
+	DeniedPerCycle float64 `json:"denied_per_cycle,omitempty"`
+}
+
+var (
+	supBenchMu   sync.Mutex
+	supBenchRows = map[string]supBenchRow{}
+)
+
+func recordSupBench(row supBenchRow) {
+	supBenchMu.Lock()
+	defer supBenchMu.Unlock()
+	supBenchRows[row.Config] = row
+}
+
+// benchSupervisorEBPF measures the per-dispatch cost of the verified stack's
+// healthy path, with and without the supervisor gate in front of Core.Run.
+func benchSupervisorEBPF(b *testing.B, supervised bool, config string) {
+	s := ebpf.NewStack(kernel.NewDefault())
+	if supervised {
+		s.Supervise(exec.DefaultSupervisorConfig())
+	}
+	l, err := s.Load(execBenchProgram(b, s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := l.Run(ebpf.RunOptions{})
+		if err != nil || rep.R0 != 3*execBenchIters {
+			b.Fatalf("R0 = %d, %v", rep.R0, err)
+		}
+	}
+	b.StopTimer()
+	ps := s.Stats.Snapshot().Programs["core_bench"]
+	row := supBenchRow{
+		Config:        config,
+		WallNsPerOp:   float64(ps.WallNs) / float64(ps.Invocations),
+		BenchmarkIter: b.N,
+	}
+	b.ReportMetric(row.WallNsPerOp, "core-wall-ns/op")
+	recordSupBench(row)
+}
+
+// benchSupervisorSafext does the same for the safext stack.
+func benchSupervisorSafext(b *testing.B, supervised bool, config string) {
+	rt := runtime.New(kernel.NewDefault(), runtime.DefaultConfig())
+	if supervised {
+		rt.Supervise(exec.DefaultSupervisorConfig())
+	}
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+	so, err := signer.BuildAndSign("core_bench", execBenchSLX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext, err := rt.Load(so)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ext.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := ext.Run(runtime.RunOptions{})
+		if err != nil || !v.Completed {
+			b.Fatalf("verdict = %+v, %v", v, err)
+		}
+	}
+	b.StopTimer()
+	ps := rt.Core.Stats.Snapshot().Programs["core_bench"]
+	row := supBenchRow{
+		Config:        config,
+		WallNsPerOp:   float64(ps.WallNs) / float64(ps.Invocations),
+		BenchmarkIter: b.N,
+	}
+	b.ReportMetric(row.WallNsPerOp, "core-wall-ns/op")
+	recordSupBench(row)
+}
+
+// BenchmarkSupervisor_Recovery measures one full containment cycle: a
+// 3-crash fault burst trips the breaker, denied dispatches tick the virtual
+// clock through the backoff, and the recovery probe readmits the program.
+// Reported metrics are virtual time from trip to recovery and the number of
+// denied dispatches each cycle absorbed.
+func BenchmarkSupervisor_Recovery(b *testing.B) {
+	var totalVirt int64
+	var totalDenied uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := ebpf.NewStack(kernel.NewDefault())
+		sup := s.Supervise(exec.SupervisorConfig{
+			Window:        16,
+			TripThreshold: 3,
+			BaseBackoffNs: 20_000,
+			MaxBackoffNs:  400_000,
+			JitterSeed:    uint64(i + 1),
+			Policy:        exec.DegradeFallback,
+			DeniedCostNs:  1_000,
+		})
+		l, err := s.Load(execBenchProgram(b, s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		inj := faultinject.New(uint64(i+1), faultinject.Plan{Rules: []faultinject.Rule{
+			{Site: faultinject.SiteHelperCrash, Match: "bpf_ktime_get_ns", Prob: 1, Max: 3},
+		}})
+		faultinject.Attach(s.Core, inj)
+		b.StartTimer()
+
+		for f := 0; f < 3; f++ {
+			l.Run(ebpf.RunOptions{})
+		}
+		if sup.State("core_bench") != exec.StateQuarantined {
+			b.Fatal("fault burst did not trip the breaker")
+		}
+		faultinject.Detach(s.Core)
+		tripped := s.K.Clock.Now()
+		for sup.State("core_bench") == exec.StateQuarantined {
+			if _, err := l.Run(ebpf.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if sup.State("core_bench") != exec.StateRecovered {
+			b.Fatalf("cycle ended in %s", sup.State("core_bench"))
+		}
+		totalVirt += s.K.Clock.Now() - tripped
+
+		b.StopTimer()
+		totalDenied += s.Stats.Snapshot().Programs["core_bench"].Denied
+		l.Close()
+		b.StartTimer()
+	}
+	row := supBenchRow{
+		Config:         "recovery/ebpf",
+		BenchmarkIter:  b.N,
+		RecoverVirtNs:  float64(totalVirt) / float64(b.N),
+		DeniedPerCycle: float64(totalDenied) / float64(b.N),
+	}
+	b.ReportMetric(row.RecoverVirtNs, "virtual-ns-to-recover")
+	b.ReportMetric(row.DeniedPerCycle, "denied/cycle")
+	recordSupBench(row)
+}
+
+func BenchmarkSupervisor_BareEBPF(b *testing.B) { benchSupervisorEBPF(b, false, "ebpf/bare") }
+func BenchmarkSupervisor_SupervisedEBPF(b *testing.B) {
+	benchSupervisorEBPF(b, true, "ebpf/supervised")
+}
+func BenchmarkSupervisor_BareSafext(b *testing.B) { benchSupervisorSafext(b, false, "safext/bare") }
+func BenchmarkSupervisor_SupervisedSafext(b *testing.B) {
+	benchSupervisorSafext(b, true, "safext/supervised")
+}
