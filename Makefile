@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench check clean
+.PHONY: all build vet test race fuzz bench lint check clean
 
 all: check
 
@@ -11,6 +11,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariant analyzers (internal/analysis/kexlint): RCU
+# read-lock balance, helper-spec effect declarations, and math/rand
+# determinism in replayable packages. Required in CI alongside go vet.
+lint: vet
+	$(GO) run ./cmd/kexlint -root .
 
 test:
 	$(GO) test ./...
@@ -26,14 +32,15 @@ race:
 fuzz:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run '^$$' ./internal/safext/runtime
 
-# Regenerates BENCH_exec.json (the ExecCore family) and
-# BENCH_supervisor.json (healthy-path overhead and time-to-recover of the
-# supervised recovery layer) under testing.B.
+# Regenerates BENCH_exec.json (the ExecCore family), BENCH_supervisor.json
+# (healthy-path overhead and time-to-recover of the supervised recovery
+# layer) and BENCH_slxopt.json (naive-vs-elided safext builds) under
+# testing.B.
 bench:
-	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSupervisor' -benchtime 20x .
+	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSupervisor|BenchmarkSLXOpt' -benchtime 20x .
 
-check: vet build test race
+check: lint build test race
 
 clean:
-	rm -f BENCH_exec.json BENCH_supervisor.json
+	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json
 	$(GO) clean -testcache

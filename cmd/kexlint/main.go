@@ -1,0 +1,32 @@
+// Command kexlint runs the repo-specific invariant analyzers over a Go
+// source tree and exits non-zero if any invariant is violated. It is the
+// `make lint` entry point and a required CI step — see
+// internal/analysis/kexlint for the checkers and the invariants they
+// enforce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kex/internal/analysis/kexlint"
+)
+
+func main() {
+	root := flag.String("root", ".", "root of the source tree to analyze")
+	flag.Parse()
+
+	findings, err := kexlint.Run(kexlint.DefaultConfig(*root))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kexlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kexlint: %d invariant violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@
 //	kexverify -era v4.9 prog.s             verify with a historical feature set
 //	kexverify -type socket_filter prog.s   choose the program type
 //	kexverify -map counts:4:8 prog.s       declare a map (name:key:value)
+//	kexverify -dump-state prog.s           print per-instruction abstract state
 package main
 
 import (
@@ -31,6 +32,7 @@ func (m *mapFlags) Set(s string) error { *m = append(*m, s); return nil }
 func main() {
 	era := flag.String("era", "", "kernel era feature set (v3.18, v4.9, v4.20, v5.4, v5.15)")
 	progType := flag.String("type", "tracing", "program type: tracing, socket_filter, xdp, syscall")
+	dumpState := flag.Bool("dump-state", false, "print the per-instruction abstract state the verifier explored")
 	var mapDecls mapFlags
 	flag.Var(&mapDecls, "map", "declare a map as name:keysize:valuesize (repeatable)")
 	flag.Parse()
@@ -81,8 +83,14 @@ func main() {
 		cfg = verifier.EraConfig(*era)
 		fmt.Printf("using %s feature set (%d features)\n", *era, cfg.FeatureCount())
 	}
+	cfg.LogState = *dumpState
 	prog := &isa.Program{Name: flag.Arg(0), Type: pt, Insns: insns}
 	res, err := verifier.Verify(prog, reg, mapMeta, cfg)
+	if *dumpState {
+		for _, line := range res.Log {
+			fmt.Println(line)
+		}
+	}
 	fmt.Printf("instructions processed: %d\nstates explored: %d (pruned %d, peak %d)\n",
 		res.InsnsProcessed, res.StatesExplored, res.StatesPruned, res.PeakStates)
 	if err != nil {

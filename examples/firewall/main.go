@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"kex/examples/progs"
 	"kex/pkg/kex"
 )
 
@@ -85,15 +86,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rt.AddKey(signer.PublicKey())
-	signed, err := signer.BuildAndSign("fw", `
-fn main() -> i64 {
-	// pkt_read_* is bounds-checked inside the trusted crate: no bounds
-	// proof to fight, no way to get it wrong.
-	if kernel::pkt_read_u8(0) != 6 { return 0; }
-	if kernel::pkt_read_u16(1) != 443 { return 0; }
-	return 1;
-}
-`)
+	signed, err := signer.BuildAndSign("fw", progs.Firewall)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+// Histogram: the abstract-interpretation pass earning its keep.
+//
+// The same latency-bucketing extension is built twice by the trusted
+// toolchain: once naively (every runtime check emitted) and once with the
+// analyzer in the loop (checks it proves redundant are elided, and the
+// proofs travel inside the signed object). The kernel-side loader reports
+// the static-vs-dynamic split through the shared execution core's stats,
+// and the run with a proven instruction bound skips per-instruction fuel
+// metering entirely.
+//
+// Run with: go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kex/examples/progs"
+	"kex/pkg/kex"
+)
+
+func main() {
+	k := kex.NewKernel()
+	rt := kex.NewSafeRuntime(k, kex.DefaultSafeRuntimeConfig())
+	signer, err := kex.NewSigner()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+
+	// A tiny "packet": the probe byte the program reads at offset 0.
+	skb := k.NewSKB([]byte{3})
+	ctx := k.Mem.Map(32, kex.MemRW, "probe_ctx")
+	k.Mem.StoreUint(ctx.Base+0, 8, skb.DataStart())
+	k.Mem.StoreUint(ctx.Base+8, 8, skb.DataEnd())
+
+	run := func(label, name string, so *kex.SignedObject) {
+		ext, err := rt.Load(so)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := ext.Run(kex.SafeRunOptions{CtxAddr: ctx.Base})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := ext.Checks
+		fmt.Printf("%s:\n", label)
+		fmt.Printf("  dynamic checks kept:   %d (bounds %d, div %d, shift-mask %d)\n",
+			c.Emitted(), c.BoundsEmitted, c.DivEmitted, c.MaskEmitted)
+		fmt.Printf("  checks proven + elided: %d (bounds %d, div %d, shift-mask %d)\n",
+			c.Elided(), c.BoundsElided, c.DivElided, c.MaskElided)
+		if c.StaticInsnBound > 0 {
+			fmt.Printf("  static insn bound: %d -> fuel metering elided at run time\n", c.StaticInsnBound)
+		} else {
+			fmt.Printf("  no static insn bound -> fuel metered per instruction\n")
+		}
+		fmt.Printf("  R0=%d, %d insns retired\n\n", v.R0, v.Instructions)
+	}
+
+	naive, err := signer.BuildAndSign("hist_naive", progs.Histogram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("naive build (every check dynamic)", "hist_naive", naive)
+
+	optimized, err := signer.BuildAndSignOptimized("hist_opt", progs.Histogram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("optimized build (analyzer proofs behind the signature)", "hist_opt", optimized)
+
+	// The core's ledger aggregates the same split across programs.
+	snap := rt.Core.Stats.Snapshot()
+	for _, name := range []string{"hist_naive", "hist_opt"} {
+		ps := snap.Programs[name]
+		fmt.Printf("core stats %-10s dynamic=%d elided=%d fuel_elisions=%d\n",
+			name, ps.DynamicChecks, ps.ElidedChecks, ps.FuelElisions)
+	}
+}

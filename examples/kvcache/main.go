@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"kex/examples/progs"
 	"kex/pkg/kex"
 )
 
@@ -25,28 +26,7 @@ func main() {
 
 	// The cache extension: ctx carries the request key. Returns the cached
 	// value, or -1 on a miss. Statistics live in a lock-guarded map entry.
-	signed, err := signer.BuildAndSign("kvcache", `
-map cache: hash<u64, u64>(4096);
-map stats: hash<u32, u64>(4);
-
-fn main() -> i64 {
-	let key = kernel::pkt_read_u32(0); // request key from the ctx buffer
-	if key < 0 { return -2; }
-
-	let hit = kernel::map_get(cache, key);
-	sync(stats, 0) {
-		if hit != 0 {
-			kernel::map_set(stats, 1, kernel::map_get(stats, 1) + 1); // hits
-		} else {
-			kernel::map_set(stats, 2, kernel::map_get(stats, 2) + 1); // misses
-		}
-	}
-	if hit != 0 {
-		return hit % 2147483648;
-	}
-	return -1;
-}
-`)
+	signed, err := signer.BuildAndSign("kvcache", progs.KVCache)
 	if err != nil {
 		log.Fatal(err)
 	}

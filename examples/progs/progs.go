@@ -1,0 +1,174 @@
+// Package progs holds the SLX sources the runnable examples share, in one
+// place so tests can sweep "every example program" — the analyzer's
+// elision-ratio guard builds each of these naive and optimized and checks
+// the proven fraction — without scraping string literals out of mains.
+package progs
+
+// Counter is the quickstart's per-event counter (examples/quickstart).
+const Counter = `
+map hits: hash<u32, u64>(16);
+
+fn main() -> i64 {
+	let n = kernel::map_inc(hits, 0, 1);
+	kernel::trace("count is now %d", n);
+	return n % 2147483648;
+}
+`
+
+// Firewall passes TCP/443 and drops everything else (examples/firewall).
+const Firewall = `
+fn main() -> i64 {
+	// pkt_read_* is bounds-checked inside the trusted crate: no bounds
+	// proof to fight, no way to get it wrong.
+	if kernel::pkt_read_u8(0) != 6 { return 0; }
+	if kernel::pkt_read_u16(1) != 443 { return 0; }
+	return 1;
+}
+`
+
+// SyscallPolicy enforces a per-uid allowlist (examples/syscallpolicy).
+const SyscallPolicy = `
+map allowlist: hash<u64, u64>(512); // key: uid*256 + slot, value: nr+1
+map denials: ringbuf(4096);
+
+fn allowed(uid: i64, nr: i64) -> i64 {
+	if uid == 0 { return 1; }
+	for slot in 0..8 {
+		let entry = kernel::map_get(allowlist, uid * 256 + slot);
+		if entry == nr + 1 { return 1; }
+	}
+	return 0;
+}
+
+fn main() -> i64 {
+	let uid = kernel::uid() % 2147483648;
+	let nr = kernel::pkt_read_u32(0); // syscall nr arrives in the ctx buffer
+	if nr < 0 { return -1; }
+	if allowed(uid, nr) == 1 {
+		return 1; // ALLOW
+	}
+	let mut rec: [u8; 8];
+	rec[0] = nr % 256;
+	rec[4] = uid % 256;
+	kernel::emit(denials, rec);
+	return 0; // DENY
+}
+`
+
+// KVCache is the kernel-side lookaside cache (examples/kvcache).
+const KVCache = `
+map cache: hash<u64, u64>(4096);
+map stats: hash<u32, u64>(4);
+
+fn main() -> i64 {
+	let key = kernel::pkt_read_u32(0); // request key from the ctx buffer
+	if key < 0 { return -2; }
+
+	let hit = kernel::map_get(cache, key);
+	sync(stats, 0) {
+		if hit != 0 {
+			kernel::map_set(stats, 1, kernel::map_get(stats, 1) + 1); // hits
+		} else {
+			kernel::map_set(stats, 2, kernel::map_get(stats, 2) + 1); // misses
+		}
+	}
+	if hit != 0 {
+		return hit % 2147483648;
+	}
+	return -1;
+}
+`
+
+// Profiler counts events per PID and reports root activity
+// (examples/tracing).
+const Profiler = `
+map counts: hash<u32, u64>(1024);
+map root_events: ringbuf(4096);
+
+fn main() -> i64 {
+	let pid = kernel::pid_tgid() % 4294967296;
+	kernel::map_inc(counts, pid, 1);
+	if kernel::uid() == 0 {
+		let mut rec: [u8; 8];
+		rec[0] = pid % 256;
+		rec[1] = (pid / 256) % 256;
+		kernel::emit(root_events, rec);
+	}
+	return 0;
+}
+`
+
+// ProfilerBuggy is the Profiler update with an accidental infinite loop
+// (examples/tracing): the watchdog, not any static check, contains it.
+const ProfilerBuggy = `
+map counts: hash<u32, u64>(1024);
+
+fn main() -> i64 {
+	let pid = kernel::pid_tgid() % 4294967296;
+	let mut i: u64 = 0;
+	while i < 10 {
+		kernel::map_inc(counts, pid, 1);
+		// forgot: i += 1
+	}
+	return 0;
+}
+`
+
+// Histogram buckets random latencies into a 16-slot array
+// (examples/histogram). Built to show the analyzer earning its keep: the
+// bucket indices are masked or branch-guarded (provably in range → checks
+// elided), the divisions are by constants (provably nonzero → elided), and
+// every loop has literal bounds (static instruction bound → fuel metering
+// collapses to one load-time comparison). One index flows straight from a
+// helper return with no guard — that check must stay.
+const Histogram = `
+map summary: hash<u32, u64>(16);
+
+fn bucket(v: i64) -> i64 {
+	let mut b: i64 = 0;
+	let mut x: i64 = v;
+	for step in 0..12 {
+		if x > 1 {
+			x = x / 2;
+			b = b + 1;
+		}
+	}
+	return b % 16;
+}
+
+fn main() -> i64 {
+	let mut hist: [u8; 16];
+	for i in 0..64 {
+		let lat = kernel::rand() % 4096;
+		let b = bucket(lat);
+		if b >= 0 && b < 16 {
+			hist[b] += 1;
+		}
+	}
+	// Fold the histogram into the summary map. The masked index is proven.
+	let mut total: i64 = 0;
+	for i in 0..16 {
+		let n = hist[i & 15];
+		kernel::map_set(summary, i, n);
+		total += n;
+	}
+	// An unguarded helper-derived index: the analyzer cannot prove this
+	// in range, so the optimized build keeps exactly this bounds check.
+	let probe = kernel::pkt_read_u8(0);
+	if probe >= 0 {
+		total += hist[probe];
+	}
+	return total;
+}
+`
+
+// All maps every shared example source by name, for sweep-style tests and
+// benchmarks.
+var All = map[string]string{
+	"counter":        Counter,
+	"firewall":       Firewall,
+	"syscall_policy": SyscallPolicy,
+	"kvcache":        KVCache,
+	"profiler":       Profiler,
+	"histogram":      Histogram,
+}

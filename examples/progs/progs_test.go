@@ -1,0 +1,66 @@
+package progs
+
+import (
+	"testing"
+
+	"kex/internal/safext/toolchain"
+)
+
+// TestAnalyzerElisionRatio is the acceptance guard for the elision pass:
+// across every shared example program, the analyzer must prove away at
+// least 30% of the runtime checks a naive build emits. A regression in the
+// abstract domains or the refinement logic shows up here as a ratio drop.
+func TestAnalyzerElisionRatio(t *testing.T) {
+	totalChecks, totalElided := 0, 0
+	for name, src := range All {
+		naive, err := toolchain.Build(name, src)
+		if err != nil {
+			t.Fatalf("%s: naive build: %v", name, err)
+		}
+		opt, err := toolchain.BuildOptimized(name, src)
+		if err != nil {
+			t.Fatalf("%s: optimized build: %v", name, err)
+		}
+		if naive.Checks.Elided() != 0 {
+			t.Errorf("%s: naive build elided %d checks", name, naive.Checks.Elided())
+		}
+		nTotal := naive.Checks.Emitted()
+		oTotal := opt.Checks.Emitted() + opt.Checks.Elided()
+		if nTotal != oTotal {
+			t.Errorf("%s: check ledgers disagree: naive %d sites, optimized %d", name, nTotal, oTotal)
+		}
+		t.Logf("%-15s checks=%d elided=%d bound=%d", name, nTotal, opt.Checks.Elided(), opt.Checks.StaticInsnBound)
+		totalChecks += nTotal
+		totalElided += opt.Checks.Elided()
+	}
+	if totalChecks == 0 {
+		t.Fatal("no runtime checks across the example corpus — generator broken?")
+	}
+	ratio := float64(totalElided) / float64(totalChecks)
+	if ratio < 0.30 {
+		t.Fatalf("analyzer elided %d of %d checks (%.0f%%), want >= 30%%", totalElided, totalChecks, ratio*100)
+	}
+}
+
+// TestExamplesCarryStaticBounds pins which example programs the fuel
+// analysis can bound: everything with literal loops, and not the one with
+// a while loop whose progress the analyzer cannot see.
+func TestExamplesCarryStaticBounds(t *testing.T) {
+	for name, src := range All {
+		opt, err := toolchain.BuildOptimized(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if opt.Checks.StaticInsnBound <= 0 {
+			t.Errorf("%s: expected a static instruction bound, got %d", name, opt.Checks.StaticInsnBound)
+		}
+	}
+	// The buggy profiler spins in a while loop: unbounded by construction.
+	opt, err := toolchain.BuildOptimized("buggy", ProfilerBuggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Checks.StaticInsnBound != 0 {
+		t.Errorf("buggy profiler got bound %d, want none (while loop)", opt.Checks.StaticInsnBound)
+	}
+}

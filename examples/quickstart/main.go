@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"kex/examples/progs"
 	"kex/pkg/kex"
 )
 
@@ -69,15 +70,7 @@ func main() {
 	}
 	rt.AddKey(signer.PublicKey())
 
-	signed, err := signer.BuildAndSign("counter", `
-map hits: hash<u32, u64>(16);
-
-fn main() -> i64 {
-	let n = kernel::map_inc(hits, 0, 1);
-	kernel::trace("count is now %d", n);
-	return n % 2147483648;
-}
-`)
+	signed, err := signer.BuildAndSign("counter", progs.Counter)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"kex/examples/progs"
 	"kex/pkg/kex"
 )
 
@@ -36,33 +37,7 @@ func main() {
 	// The policy: root may do anything; service users (uid >= 100) get a
 	// per-uid allowlist stored in a map (8 slots each, packed by the
 	// operator); everyone is audited on denials via the ring buffer.
-	signed, err := signer.BuildAndSign("syscall_policy", `
-map allowlist: hash<u64, u64>(512); // key: uid*256 + slot, value: nr+1
-map denials: ringbuf(4096);
-
-fn allowed(uid: i64, nr: i64) -> i64 {
-	if uid == 0 { return 1; }
-	for slot in 0..8 {
-		let entry = kernel::map_get(allowlist, uid * 256 + slot);
-		if entry == nr + 1 { return 1; }
-	}
-	return 0;
-}
-
-fn main() -> i64 {
-	let uid = kernel::uid() % 2147483648;
-	let nr = kernel::pkt_read_u32(0); // syscall nr arrives in the ctx buffer
-	if nr < 0 { return -1; }
-	if allowed(uid, nr) == 1 {
-		return 1; // ALLOW
-	}
-	let mut rec: [u8; 8];
-	rec[0] = nr % 256;
-	rec[4] = uid % 256;
-	kernel::emit(denials, rec);
-	return 0; // DENY
-}
-`)
+	signed, err := signer.BuildAndSign("syscall_policy", progs.SyscallPolicy)
 	if err != nil {
 		log.Fatal(err)
 	}

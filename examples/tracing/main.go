@@ -13,6 +13,7 @@ import (
 	"log"
 	"sort"
 
+	"kex/examples/progs"
 	"kex/pkg/kex"
 )
 
@@ -27,22 +28,7 @@ func main() {
 
 	// The profiler: counts events per PID and emits a record for root-
 	// owned processes.
-	signed, err := signer.BuildAndSign("syscall_profiler", `
-map counts: hash<u32, u64>(1024);
-map root_events: ringbuf(4096);
-
-fn main() -> i64 {
-	let pid = kernel::pid_tgid() % 4294967296;
-	kernel::map_inc(counts, pid, 1);
-	if kernel::uid() == 0 {
-		let mut rec: [u8; 8];
-		rec[0] = pid % 256;
-		rec[1] = (pid / 256) % 256;
-		kernel::emit(root_events, rec);
-	}
-	return 0;
-}
-`)
+	signed, err := signer.BuildAndSign("syscall_profiler", progs.Profiler)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,19 +92,7 @@ fn main() -> i64 {
 	// loop. The signature still validates (the toolchain cannot prove
 	// termination — nobody can) but the watchdog contains the damage.
 	fmt.Println("\ndeploying a buggy profiler update (accidental infinite loop)...")
-	buggy, err := signer.BuildAndSign("syscall_profiler_v2", `
-map counts: hash<u32, u64>(1024);
-
-fn main() -> i64 {
-	let pid = kernel::pid_tgid() % 4294967296;
-	let mut i: u64 = 0;
-	while i < 10 {
-		kernel::map_inc(counts, pid, 1);
-		// forgot: i += 1
-	}
-	return 0;
-}
-`)
+	buggy, err := signer.BuildAndSign("syscall_profiler_v2", progs.ProfilerBuggy)
 	if err != nil {
 		log.Fatal(err)
 	}

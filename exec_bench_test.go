@@ -64,6 +64,7 @@ func TestMain(m *testing.M) {
 	}
 	execBenchMu.Unlock()
 	writeSupervisorBench()
+	writeSLXOptBench()
 	os.Exit(code)
 }
 

@@ -1,0 +1,108 @@
+package kexlint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// helperEffects checks that helper implementations declare the effects the
+// verifier reasons from. Concretely: an impl function that records an
+// acquired reference (a .TrackRef(...) call, directly or through another
+// function in the same package, e.g. skLookup shared by the TCP and UDP
+// lookup wrappers) must belong to a registry spec carrying AcquiresRef:
+// true. Otherwise the verifier's prototype says "no reference escapes"
+// while the runtime hands one out — the exact prototype/implementation
+// divergence the reference-leak bug reproductions exploit deliberately,
+// and which must never happen by accident.
+//
+// The direction is deliberately one-way: a spec may declare AcquiresRef
+// for resources tracked by other means (ringbuf reservations track commit
+// obligations, not socket refs), so AcquiresRef without TrackRef is fine.
+func helperEffects(fset *token.FileSet, d *dir) []Finding {
+	// Pass 1: which package-level functions call TrackRef, and the
+	// package-internal call edges to propagate through shared bodies.
+	tracks := map[string]bool{}
+	calls := map[string][]string{}
+	for _, f := range d.files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if selCall(n, "TrackRef") {
+					tracks[name] = true
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						calls[name] = append(calls[name], id.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Propagate to a fixpoint: caller tracks if any callee tracks.
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range calls {
+			if tracks[caller] {
+				continue
+			}
+			for _, callee := range callees {
+				if tracks[callee] {
+					tracks[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Pass 2: registry composite literals with an Impl: key must declare
+	// AcquiresRef: true whenever the impl (transitively) tracks a ref.
+	var out []Finding
+	for _, f := range d.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			var implName, specName string
+			acquires := false
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Impl":
+					if id, ok := kv.Value.(*ast.Ident); ok {
+						implName = id.Name
+					}
+				case "Name":
+					if bl, ok := kv.Value.(*ast.BasicLit); ok {
+						specName = bl.Value
+					}
+				case "AcquiresRef":
+					if id, ok := kv.Value.(*ast.Ident); ok && id.Name == "true" {
+						acquires = true
+					}
+				}
+			}
+			if implName != "" && tracks[implName] && !acquires {
+				out = append(out, Finding{
+					Pos:     fset.Position(lit.Pos()),
+					Checker: "helpereffects",
+					Message: "helper spec " + specName + ": impl " + implName + " calls TrackRef but the spec does not declare AcquiresRef — the verifier prototype contradicts the runtime effect",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

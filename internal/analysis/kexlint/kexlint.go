@@ -1,0 +1,188 @@
+// Package kexlint is a repo-specific invariant analyzer: a small multi-checker
+// over the Go source tree that enforces properties no general-purpose linter
+// knows about. The checkers encode invariants this codebase's correctness
+// arguments depend on:
+//
+//   - rcubalance: a function that enters an RCU read-side critical section
+//     (.ReadLock) must guarantee the matching .ReadUnlock on every exit path,
+//     which in Go means a defer whose body (transitively, through nested
+//     function literals) performs the unlock. A straight-line unlock leaks
+//     the critical section on early returns and panics.
+//   - helpereffects: in the eBPF helper registry, an implementation that
+//     tracks an acquired reference (Ctx.TrackRef) must declare AcquiresRef
+//     in its spec — otherwise the verifier reasons from a prototype that
+//     contradicts the runtime effect.
+//   - randdeterminism: packages whose replayability depends on owned RNG
+//     state (fault-injection campaigns, synthetic call-graph generation)
+//     must not touch math/rand global state; constructors like rand.New and
+//     rand.NewSource are the sanctioned idiom.
+//
+// The package is stdlib-only (go/ast, go/parser, go/token) so it runs in CI
+// with no module downloads.
+package kexlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	Pos     token.Position
+	Checker string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Checker, f.Message)
+}
+
+// Config selects the tree to analyze and which directories carry the
+// directory-scoped invariants. Directory entries match a path relative to
+// Root (slash-separated) either exactly or as a trailing suffix.
+type Config struct {
+	Root string
+	// DeterministicDirs must not use math/rand global state.
+	DeterministicDirs []string
+	// HelperDirs hold helper registries whose specs must match impl effects.
+	HelperDirs []string
+}
+
+// DefaultConfig is the repo-wide configuration used by `make lint`.
+func DefaultConfig(root string) Config {
+	return Config{
+		Root:              root,
+		DeterministicDirs: []string{"internal/faultinject", "internal/kernel/callgraph"},
+		HelperDirs:        []string{"internal/ebpf/helpers"},
+	}
+}
+
+// dir is one parsed directory of Go files.
+type dir struct {
+	rel   string // slash-separated path relative to cfg.Root ("." for root)
+	files map[string]*ast.File
+}
+
+// Run parses every Go file under cfg.Root (skipping testdata, vendor and
+// VCS directories) and applies all checkers. Findings come back sorted by
+// position for stable output.
+func Run(cfg Config) ([]Finding, error) {
+	fset := token.NewFileSet()
+	dirs, err := parseTree(fset, cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, d := range dirs {
+		out = append(out, rcuBalance(fset, d)...)
+		if matchDir(d.rel, cfg.HelperDirs) {
+			out = append(out, helperEffects(fset, d)...)
+		}
+		if matchDir(d.rel, cfg.DeterministicDirs) {
+			out = append(out, randDeterminism(fset, d)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Checker < out[j].Checker
+	})
+	return out, nil
+}
+
+func matchDir(rel string, dirs []string) bool {
+	for _, d := range dirs {
+		if rel == d || strings.HasSuffix(rel, "/"+d) {
+			return true
+		}
+	}
+	return false
+}
+
+func parseTree(fset *token.FileSet, root string) ([]*dir, error) {
+	byDir := map[string]*dir{}
+	err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			name := de.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(de.Name(), ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("kexlint: %w", err)
+		}
+		dp := filepath.Dir(path)
+		d := byDir[dp]
+		if d == nil {
+			rel, rerr := filepath.Rel(root, dp)
+			if rerr != nil {
+				rel = dp
+			}
+			d = &dir{rel: filepath.ToSlash(rel), files: map[string]*ast.File{}}
+			byDir[d.rel] = d
+			byDir[dp] = d
+		}
+		d.files[path] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[*dir]bool{}
+	var dirs []*dir
+	for _, d := range byDir {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].rel < dirs[j].rel })
+	return dirs, nil
+}
+
+// selCall reports whether n is a method/selector call named sel, e.g.
+// x.ReadLock(...) for sel == "ReadLock".
+func selCall(n ast.Node, sel string) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	s, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && s.Sel.Name == sel
+}
+
+// containsSelCall reports whether the subtree rooted at n contains a call
+// to any selector named sel, descending into nested function literals.
+func containsSelCall(n ast.Node, sel string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if selCall(m, sel) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,79 @@
+package kexlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// randAllowed are the math/rand package functions that construct owned
+// generator state instead of touching the shared global source. Everything
+// else (Intn, Int63, Seed, Shuffle, ...) mutates or reads process-global
+// state and breaks seed-for-seed replay the moment another goroutine or
+// test draws from the same source.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// randDeterminism flags math/rand global-state usage in packages whose
+// results must replay exactly from a seed: fault-injection campaigns and
+// synthetic call-graph generation. Those packages own their RNG (an
+// injector-held *rand.Rand built via rand.New(rand.NewSource(seed))); the
+// global source would entangle them with every other drawer in the
+// process. Test files are exempt — they own their whole process.
+func randDeterminism(fset *token.FileSet, d *dir) []Finding {
+	var out []Finding
+	for path, f := range d.files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		randName := importName(f, "math/rand")
+		if randName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Only calls: type references like *rand.Rand are fine.
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != randName || randAllowed[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:     fset.Position(sel.Pos()),
+				Checker: "randdeterminism",
+				Message: "deterministic package uses math/rand global state (" + randName + "." + sel.Sel.Name + "); build an owned generator with rand.New(rand.NewSource(seed))",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// importName returns the local name under which a file imports the given
+// path, or "" if it does not import it. Blank and dot imports return "".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}

@@ -1,0 +1,97 @@
+package kexlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// rcuBalance checks that every function entering an RCU read-side critical
+// section (a .ReadLock(...) call) also schedules the matching unlock with a
+// defer, so the section is balanced on every exit path — early returns,
+// trap unwinds and recovered panics included. The unlock may live anywhere
+// inside the deferred expression, including nested function literals: the
+// execution core's Run wraps its unlock in an inner closure to fold
+// exit-audit oopses into the report, and that pattern must pass.
+//
+// A .ReadUnlock that only appears in straight-line code does not satisfy
+// the invariant: any return or panic between lock and unlock leaks the
+// critical section, which the kernel model escalates to an oops at exit
+// audit. The checker flags the lock site, not the (missing) unlock.
+// Test files are exempt: the RCU tests deliberately leak read-side sections
+// to assert that the kernel model catches them at exit audit.
+func rcuBalance(fset *token.FileSet, d *dir) []Finding {
+	var out []Finding
+	for path, f := range d.files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		// Collect every function scope: declarations and literals.
+		var scopes []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scopes = append(scopes, n.Body)
+				}
+			case *ast.FuncLit:
+				scopes = append(scopes, n.Body)
+			}
+			return true
+		})
+		for _, body := range scopes {
+			out = append(out, checkRCUScope(fset, body)...)
+		}
+	}
+	return out
+}
+
+// checkRCUScope analyzes one function body. Nested function literals are
+// separate scopes (they run at their own call time, not on this scope's
+// exit) and are excluded — except inside defer statements, where the
+// deferred subtree as a whole runs on exit and counts in full.
+func checkRCUScope(fset *token.FileSet, body *ast.BlockStmt) []Finding {
+	var lockSites []token.Pos
+	deferredUnlock := false
+	inspectScope(body, func(n ast.Node) {
+		if selCall(n, "ReadLock") {
+			lockSites = append(lockSites, n.Pos())
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok && containsSelCall(ds.Call, "ReadUnlock") {
+			deferredUnlock = true
+		}
+	})
+	if deferredUnlock || len(lockSites) == 0 {
+		return nil
+	}
+	out := make([]Finding, 0, len(lockSites))
+	for _, pos := range lockSites {
+		out = append(out, Finding{
+			Pos:     fset.Position(pos),
+			Checker: "rcubalance",
+			Message: "RCU ReadLock without a deferred ReadUnlock: the read-side critical section leaks on early return or panic",
+		})
+	}
+	return out
+}
+
+// inspectScope visits the nodes of one function scope, skipping the bodies
+// of nested function literals (they are their own scopes) but keeping defer
+// statements intact so visit sees them whole.
+func inspectScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	for _, stmt := range body.List {
+		ast.Inspect(stmt, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			visit(m)
+			switch m.(type) {
+			case *ast.DeferStmt, *ast.FuncLit:
+				// visit saw the whole defer via containsSelCall; nested
+				// literal bodies are their own scopes — don't re-descend.
+				return false
+			}
+			return true
+		})
+	}
+}

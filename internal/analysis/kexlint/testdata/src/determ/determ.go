@@ -1,0 +1,27 @@
+// Package determ is a kexlint fixture: seeded randdeterminism violations
+// next to the sanctioned owned-generator idiom. Parse-only — never built.
+package determ
+
+import (
+	"math/rand"
+)
+
+// NewCampaign builds an owned generator — the sanctioned idiom. Pass.
+func NewCampaign(seed int64) *Campaign {
+	return &Campaign{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Jitter draws from the process-global source. Two findings.
+func Jitter(n int) int {
+	rand.Seed(42)
+	return rand.Intn(n)
+}
+
+// Draw uses the campaign's owned rng. Pass: method call on a variable.
+func (c *Campaign) Draw(n int) int {
+	return c.rng.Intn(n)
+}
+
+type Campaign struct {
+	rng *rand.Rand
+}

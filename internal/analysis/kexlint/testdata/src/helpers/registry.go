@@ -1,0 +1,43 @@
+// Package helpers is a kexlint fixture: a miniature helper registry with
+// one seeded helpereffects violation. Parse-only — never built.
+package helpers
+
+type spec struct {
+	Name        string
+	AcquiresRef bool
+	Impl        func(e *Env) uint64
+}
+
+// implLookup tracks the acquired reference and its spec declares it. Pass.
+func implLookup(e *Env) uint64 {
+	s := e.K.Lookup()
+	e.Ctx.TrackRef(s.Ref())
+	return s.Base
+}
+
+// sharedLookup is the common body behind two thin wrappers — the TrackRef
+// effect must propagate through the package-internal call edge.
+func sharedLookup(e *Env) uint64 {
+	s := e.K.Lookup()
+	e.Ctx.TrackRef(s.Ref())
+	return s.Base
+}
+
+// implBad inherits TrackRef from sharedLookup but its spec below omits
+// AcquiresRef. One helpereffects finding.
+func implBad(e *Env) uint64 { return sharedLookup(e) }
+
+// implPlain has no reference effects. Pass.
+func implPlain(e *Env) uint64 { return 0 }
+
+// implReserve declares AcquiresRef without calling TrackRef — the ringbuf
+// pattern, where the obligation is tracked by other means. Pass: the check
+// is one-directional.
+func implReserve(e *Env) uint64 { return e.Reserve() }
+
+var registry = []spec{
+	{Name: "lookup", AcquiresRef: true, Impl: implLookup},
+	{Name: "bad_lookup", Impl: implBad},
+	{Name: "plain", Impl: implPlain},
+	{Name: "reserve", AcquiresRef: true, Impl: implReserve},
+}

@@ -1,0 +1,42 @@
+// Package rcu is a kexlint fixture: seeded rcubalance violations next to
+// the patterns that must pass. Parse-only — never built.
+package rcu
+
+// Leak enters the read-side section but unlocks in straight-line code: an
+// early return or panic between the two leaks the critical section. One
+// rcubalance finding, anchored at the ReadLock call.
+func Leak(k *Kernel, ctx *Context) error {
+	k.RCU().ReadLock(ctx)
+	if err := work(ctx); err != nil {
+		return err // leaks the read lock
+	}
+	k.RCU().ReadUnlock(ctx)
+	return nil
+}
+
+// Balanced uses the canonical defer. No finding.
+func Balanced(k *Kernel, ctx *Context) {
+	k.RCU().ReadLock(ctx)
+	defer k.RCU().ReadUnlock(ctx)
+	work(ctx)
+}
+
+// NestedClosure mirrors the execution core's Run: the unlock hides inside
+// an inner func literal within the deferred closure (to fold exit-audit
+// panics into the report). Must pass.
+func NestedClosure(k *Kernel, ctx *Context) {
+	k.RCU().ReadLock(ctx)
+	defer func() {
+		func() {
+			defer func() { recover() }()
+			k.RCU().ReadUnlock(ctx)
+		}()
+	}()
+	work(ctx)
+}
+
+// UnlockOnly balances a section opened by a caller; no lock here, so no
+// finding even without a defer.
+func UnlockOnly(k *Kernel, ctx *Context) {
+	k.RCU().ReadUnlock(ctx)
+}

@@ -37,6 +37,12 @@ type Config struct {
 	// AllowPacketAccess permits direct packet access (kernel 4.7+).
 	AllowPacketAccess bool
 
+	// LogState records the abstract state at every instruction visit into
+	// Result.Log — the kernel's verifier-log equivalent, surfaced by
+	// `kexverify -dump-state`. Off by default: the log grows with the
+	// number of explored paths, not program size.
+	LogState bool
+
 	// Bugs reintroduces historical verifier defects for the Table 1
 	// corpus. All flags default to off (the fixed verifier).
 	Bugs BugConfig
@@ -167,6 +173,7 @@ func Verify(prog *isa.Program, reg *helpers.Registry, mapMeta map[string]*MapMet
 		reg:        reg,
 		maps:       mapMeta,
 		res:        &Result{},
+		logOn:      cfg.LogState,
 		visited:    make(map[int][]*state),
 		prunePoint: make(map[int]bool),
 		verifiedCB: make(map[int32]bool),

@@ -1,6 +1,7 @@
 package verifier
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -831,5 +832,45 @@ func TestProgramSizeCap(t *testing.T) {
 	_, err := Verify(prog, testHelpers, testMaps, cfg)
 	if err == nil || !strings.Contains(err.Error(), "program too large") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// ---- state log ------------------------------------------------------------
+
+// TestLogStateDumpsPerInsnState covers the Config.LogState switch behind
+// `kexverify -dump-state`: on, the result carries one line per instruction
+// visit with the abstract register state; off, the log stays empty.
+func TestLogStateDumpsPerInsnState(t *testing.T) {
+	insns := []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 7),
+		isa.ALU64Imm(isa.OpAdd, isa.R0, 1),
+		isa.Exit(),
+	}
+	prog := &isa.Program{Name: "log", Type: isa.Tracing, Insns: insns}
+
+	cfg := DefaultConfig()
+	res, err := Verify(prog, testHelpers, testMaps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) != 0 {
+		t.Fatalf("log populated without LogState: %v", res.Log)
+	}
+
+	cfg.LogState = true
+	res, err = Verify(prog, testHelpers, testMaps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) < len(insns) {
+		t.Fatalf("log has %d lines, want at least %d: %v", len(res.Log), len(insns), res.Log)
+	}
+	for i, line := range res.Log[:len(insns)] {
+		if !strings.HasPrefix(line, fmt.Sprintf("%d:", i)) {
+			t.Errorf("log line %d = %q, want pc prefix", i, line)
+		}
+	}
+	if !strings.Contains(res.Log[1], "r0=7") {
+		t.Errorf("state after mov not visible in %q", res.Log[1])
 	}
 }

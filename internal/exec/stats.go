@@ -38,6 +38,15 @@ type ProgramStats struct {
 	Denied      uint64            // dispatches refused while quarantined/detached
 	Fallbacks   uint64            // denied dispatches served the fallback R0
 	Transitions map[string]uint64 // state transitions, "healthy->degraded" form
+
+	// Check accounting from the safext toolchain's elision pass: the
+	// number of runtime check sites the loaded object still carries vs.
+	// how many the static analyzer proved away, plus invocations that
+	// skipped per-instruction fuel metering under a static bound. Zero
+	// for verifier-stack programs and naive builds.
+	DynamicChecks uint64
+	ElidedChecks  uint64
+	FuelElisions  uint64
 }
 
 // CPUStats aggregates every invocation dispatched on one CPU.
@@ -62,6 +71,24 @@ func (s *Stats) RecordLoad(program string, phases PhaseTimings) {
 		}
 		s.loadPhases[p.Name] += p.WallNs
 	}
+}
+
+// RecordChecks accounts the static-vs-dynamic check split of one loaded
+// program, as read from its signed object metadata.
+func (s *Stats) RecordChecks(program string, dynamic, elided uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.prog(program)
+	ps.DynamicChecks = dynamic
+	ps.ElidedChecks = elided
+}
+
+// RecordFuelElision accounts one invocation that ran without fuel metering
+// because the toolchain proved a static instruction bound under budget.
+func (s *Stats) RecordFuelElision(program string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prog(program).FuelElisions++
 }
 
 // prog returns (creating on first use) the per-program row. Caller holds mu.
@@ -203,6 +230,9 @@ func (snap Snapshot) Totals() ProgramStats {
 		t.Faults += ps.Faults
 		t.Denied += ps.Denied
 		t.Fallbacks += ps.Fallbacks
+		t.DynamicChecks += ps.DynamicChecks
+		t.ElidedChecks += ps.ElidedChecks
+		t.FuelElisions += ps.FuelElisions
 		for h, n := range ps.HelperCalls {
 			if t.HelperCalls == nil {
 				t.HelperCalls = make(map[string]uint64)

@@ -1,0 +1,674 @@
+package analyze
+
+import (
+	"kex/internal/safext/lang"
+)
+
+// Result carries the analyzer's proofs, keyed by the AST nodes the compiler
+// consults when it is about to emit a runtime check. Absence of a key means
+// "not proven" — the compiler keeps the check. A false entry means the
+// analyzer visited the site and could not discharge it.
+type Result struct {
+	// IndexInRange: the index of this array access is proven in [0, len-1],
+	// so the bounds check (and its trap path) can be elided.
+	IndexInRange map[*lang.IndexExpr]bool
+	// DivNonZero: the divisor of this / or % is proven non-zero.
+	DivNonZero map[*lang.BinaryExpr]bool
+	// ShiftBounded: the shift amount is proven in [0, 63], so the
+	// pre-shift mask instruction is redundant.
+	ShiftBounded map[*lang.BinaryExpr]bool
+	// AssignDivNonZero: the divisor of this compound /= or %= is proven
+	// non-zero.
+	AssignDivNonZero map[*lang.AssignStmt]bool
+	// FuelBound is a conservative static bound on retired instructions per
+	// invocation, or 0 when the program has no static bound (while loops,
+	// recursion, non-constant for-loop trip counts). A loader holding a
+	// proof bound ≤ its fuel budget can skip per-instruction metering —
+	// the fuel check coalesces into a single load-time comparison.
+	FuelBound int64
+	// Exhausted reports that the work budget ran out; all proofs were
+	// discarded (the zero maps above) and every check stays dynamic.
+	Exhausted bool
+}
+
+func newResult() *Result {
+	return &Result{
+		IndexInRange:     make(map[*lang.IndexExpr]bool),
+		DivNonZero:       make(map[*lang.BinaryExpr]bool),
+		ShiftBounded:     make(map[*lang.BinaryExpr]bool),
+		AssignDivNonZero: make(map[*lang.AssignStmt]bool),
+	}
+}
+
+// ProvenChecks counts the checks the result discharges.
+func (r *Result) ProvenChecks() int {
+	n := 0
+	for _, ok := range r.IndexInRange {
+		if ok {
+			n++
+		}
+	}
+	for _, ok := range r.DivNonZero {
+		if ok {
+			n++
+		}
+	}
+	for _, ok := range r.ShiftBounded {
+		if ok {
+			n++
+		}
+	}
+	for _, ok := range r.AssignDivNonZero {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// workBudget caps abstract-interpretation work (node visits). Unlike the
+// kernel verifier's insn budget, overrunning it is not a rejection: the
+// analyzer just stops proving and the program keeps its runtime checks.
+const workBudget = 2_000_000
+
+// maxFixpointPasses bounds loop re-analysis; widening normally converges in
+// two or three passes, the cap is a backstop for the bits lattice's longer
+// descending chains.
+const maxFixpointPasses = 40
+
+// Analyze runs the abstract interpreter over a checked program and returns
+// its proofs. It never fails: on budget exhaustion the result is empty.
+func Analyze(checked *lang.Checked) *Result {
+	a := &analyzer{
+		checked:   checked,
+		res:       newResult(),
+		budget:    workBudget,
+		recording: true,
+	}
+	a.resolve(checked.File)
+	for _, fn := range checked.File.Funcs {
+		a.analyzeFunc(fn)
+	}
+	if a.res.Exhausted {
+		// Partial proofs from an interrupted loop fixpoint may rest on
+		// pre-fixpoint (optimistic) states; discard everything.
+		empty := newResult()
+		empty.Exhausted = true
+		return empty
+	}
+	a.res.FuelBound = fuelBound(checked)
+	return a.res
+}
+
+// ---- scope resolution --------------------------------------------------------
+
+// The abstract environment is a flat map from declaration IDs to values;
+// a resolution pre-pass assigns every declaration a unique ID and binds
+// every VarRef to one, mirroring the checker's scoping rules exactly.
+// Flat IDs make joins and fixpoints cheap (no scope-stack merging).
+
+type analyzer struct {
+	checked *lang.Checked
+	res     *Result
+
+	budget    int
+	recording bool
+
+	// resolution tables
+	varOf   map[*lang.VarRef]int
+	letID   map[*lang.LetStmt]int
+	forID   map[*lang.ForStmt]int
+	paramID map[*lang.FuncDecl][]int
+	nextID  int
+
+	// loop context for break/continue env collection
+	loops []*loopFrame
+}
+
+type loopFrame struct {
+	breaks []env
+	conts  []env
+}
+
+type resScope struct {
+	names map[string]int
+}
+
+func (a *analyzer) resolve(f *lang.File) {
+	a.varOf = make(map[*lang.VarRef]int)
+	a.letID = make(map[*lang.LetStmt]int)
+	a.forID = make(map[*lang.ForStmt]int)
+	a.paramID = make(map[*lang.FuncDecl][]int)
+	for _, fn := range f.Funcs {
+		r := &resolver{a: a}
+		r.push()
+		for _, p := range fn.Params {
+			a.paramID[fn] = append(a.paramID[fn], r.declare(p.Name))
+		}
+		r.block(fn.Body)
+		r.pop()
+	}
+}
+
+type resolver struct {
+	a      *analyzer
+	scopes []map[string]int
+}
+
+func (r *resolver) push() { r.scopes = append(r.scopes, make(map[string]int)) }
+func (r *resolver) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+
+func (r *resolver) declare(name string) int {
+	id := r.a.nextID
+	r.a.nextID++
+	r.scopes[len(r.scopes)-1][name] = id
+	return id
+}
+
+func (r *resolver) lookup(name string) (int, bool) {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if id, ok := r.scopes[i][name]; ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (r *resolver) block(b *lang.Block) {
+	r.push()
+	for _, s := range b.Stmts {
+		r.stmt(s)
+	}
+	r.pop()
+}
+
+func (r *resolver) stmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.Block:
+		r.block(s)
+	case *lang.LetStmt:
+		if s.Init != nil {
+			r.expr(s.Init)
+		}
+		r.a.letID[s] = r.declare(s.Name)
+	case *lang.AssignStmt:
+		r.expr(s.Target)
+		r.expr(s.Value)
+	case *lang.ExprStmt:
+		r.expr(s.X)
+	case *lang.IfStmt:
+		r.expr(s.Cond)
+		r.block(s.Then)
+		if s.Else != nil {
+			r.stmt(s.Else)
+		}
+	case *lang.WhileStmt:
+		r.expr(s.Cond)
+		r.block(s.Body)
+	case *lang.ForStmt:
+		r.expr(s.From)
+		r.expr(s.To)
+		r.push()
+		r.a.forID[s] = r.declare(s.Var)
+		r.block(s.Body)
+		r.pop()
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			r.expr(s.Value)
+		}
+	case *lang.SyncStmt:
+		r.expr(s.Key)
+		r.block(s.Body)
+	}
+}
+
+func (r *resolver) expr(e lang.Expr) {
+	switch e := e.(type) {
+	case *lang.VarRef:
+		// Map names and array buffers resolve too when in scope; consumers
+		// only read scalar bindings, unresolved names simply stay absent.
+		if id, ok := r.lookup(e.Name); ok {
+			r.a.varOf[e] = id
+		}
+	case *lang.IndexExpr:
+		r.expr(e.Arr)
+		r.expr(e.Idx)
+	case *lang.UnaryExpr:
+		r.expr(e.X)
+	case *lang.BinaryExpr:
+		r.expr(e.L)
+		r.expr(e.R)
+	case *lang.CallExpr:
+		for _, arg := range e.Args {
+			r.expr(arg)
+		}
+	}
+}
+
+// ---- abstract environment ----------------------------------------------------
+
+// env maps declaration IDs to abstract values. IDs are globally unique, so
+// entries for out-of-scope declarations are simply unreachable; no popping
+// is needed.
+type env map[int]Val
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+func (e env) get(id int) Val {
+	if v, ok := e[id]; ok {
+		return v
+	}
+	return Top()
+}
+
+func envJoin(a, b env) env {
+	out := make(env, len(a))
+	for id, av := range a {
+		if bv, ok := b[id]; ok {
+			out[id] = Join(av, bv)
+		} else {
+			out[id] = av
+		}
+	}
+	for id, bv := range b {
+		if _, ok := a[id]; !ok {
+			out[id] = bv
+		}
+	}
+	return out
+}
+
+func envWiden(prev, next env) env {
+	out := make(env, len(next))
+	for id, nv := range next {
+		if pv, ok := prev[id]; ok {
+			out[id] = Widen(pv, nv)
+		} else {
+			out[id] = nv
+		}
+	}
+	return out
+}
+
+func envEqual(a, b env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, av := range a {
+		bv, ok := b[id]
+		if !ok || !av.eq(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- facts -------------------------------------------------------------------
+
+// setFact records a proof obligation result with AND semantics: a site is
+// proven only if every recorded visit (including the authoritative pass at
+// the loop fixpoint) proves it.
+func setFact[K comparable](m map[K]bool, key K, ok bool) {
+	if prev, seen := m[key]; seen {
+		m[key] = prev && ok
+	} else {
+		m[key] = ok
+	}
+}
+
+func (a *analyzer) markIndex(e *lang.IndexExpr, ok bool) {
+	if a.recording {
+		setFact(a.res.IndexInRange, e, ok)
+	}
+}
+
+func (a *analyzer) markDiv(e *lang.BinaryExpr, ok bool) {
+	if a.recording {
+		setFact(a.res.DivNonZero, e, ok)
+	}
+}
+
+func (a *analyzer) markShift(e *lang.BinaryExpr, ok bool) {
+	if a.recording {
+		setFact(a.res.ShiftBounded, e, ok)
+	}
+}
+
+func (a *analyzer) markAssignDiv(s *lang.AssignStmt, ok bool) {
+	if a.recording {
+		setFact(a.res.AssignDivNonZero, s, ok)
+	}
+}
+
+func (a *analyzer) spend() bool {
+	a.budget--
+	if a.budget < 0 {
+		a.res.Exhausted = true
+		return false
+	}
+	return true
+}
+
+// ---- function / statement analysis -------------------------------------------
+
+func (a *analyzer) analyzeFunc(fn *lang.FuncDecl) {
+	e := make(env)
+	// Parameters are unconstrained: the analysis is context-insensitive
+	// (sound for any caller), except that bool-typed values are 0/1.
+	for i, p := range fn.Params {
+		v := Top()
+		if p.Type.Kind == lang.TypeBool {
+			v = Range(0, 1)
+		}
+		e[a.paramID[fn][i]] = v
+	}
+	a.block(fn.Body, e)
+}
+
+// block analyzes a statement list. The returned bool reports whether the
+// block can fall through (false after return/trap/break/continue on every
+// path). Statements after an abrupt exit are left unanalyzed: their checks
+// stay dynamic, which is sound and costs nothing (the code never runs).
+func (a *analyzer) block(b *lang.Block, e env) (env, bool) {
+	for _, s := range b.Stmts {
+		var live bool
+		e, live = a.stmt(s, e)
+		if !live {
+			return e, false
+		}
+	}
+	return e, true
+}
+
+func (a *analyzer) stmt(s lang.Stmt, e env) (env, bool) {
+	if !a.spend() {
+		return e, true
+	}
+	switch s := s.(type) {
+	case *lang.Block:
+		return a.block(s, e)
+
+	case *lang.LetStmt:
+		if s.Init == nil {
+			return e, true // zeroed array; element loads are modeled at use
+		}
+		v := a.expr(s.Init, e)
+		// The declared type does NOT truncate: locals live in 64-bit slots
+		// and all arithmetic is 64-bit, so the initializer's range is the
+		// binding's range.
+		e = e.clone()
+		e[a.letID[s]] = v
+		return e, true
+
+	case *lang.AssignStmt:
+		return a.assign(s, e), true
+
+	case *lang.ExprStmt:
+		a.expr(s.X, e)
+		return e, true
+
+	case *lang.IfStmt:
+		a.expr(s.Cond, e) // record facts inside the condition once
+		thenIn := a.refine(e, s.Cond, true)
+		elseIn := a.refine(e, s.Cond, false)
+		thenOut, thenLive := a.block(s.Then, thenIn)
+		elseOut, elseLive := elseIn, true
+		if s.Else != nil {
+			elseOut, elseLive = a.stmt(s.Else, elseIn)
+		}
+		switch {
+		case thenLive && elseLive:
+			return envJoin(thenOut, elseOut), true
+		case thenLive:
+			return thenOut, true
+		case elseLive:
+			return elseOut, true
+		default:
+			return e, false
+		}
+
+	case *lang.WhileStmt:
+		return a.whileStmt(s, e)
+
+	case *lang.ForStmt:
+		return a.forStmt(s, e)
+
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			a.expr(s.Value, e)
+		}
+		return e, false
+
+	case *lang.BreakStmt:
+		if len(a.loops) > 0 {
+			f := a.loops[len(a.loops)-1]
+			f.breaks = append(f.breaks, e)
+		}
+		return e, false
+
+	case *lang.ContinueStmt:
+		if len(a.loops) > 0 {
+			f := a.loops[len(a.loops)-1]
+			f.conts = append(f.conts, e)
+		}
+		return e, false
+
+	case *lang.SyncStmt:
+		a.expr(s.Key, e)
+		return a.block(s.Body, e)
+
+	case *lang.TrapStmt:
+		return e, false
+	}
+	return e, true
+}
+
+func (a *analyzer) assign(s *lang.AssignStmt, e env) env {
+	switch target := s.Target.(type) {
+	case *lang.VarRef:
+		id, known := a.varOf[target]
+		v := a.expr(s.Value, e)
+		if s.Op != "=" {
+			cur := Top()
+			if known {
+				cur = e.get(id)
+			}
+			v = a.applyOp(s.Op[:1], cur, v, s)
+		}
+		if known {
+			e = e.clone()
+			e[id] = v
+		}
+		return e
+
+	case *lang.IndexExpr:
+		idxV := a.expr(target.Idx, e)
+		if at, ok := a.checked.ExprTypes[target.Arr]; ok && at.Kind == lang.TypeArray {
+			a.markIndex(target, idxV.InRange(0, at.Len-1))
+		}
+		rhs := a.expr(s.Value, e)
+		if s.Op != "=" {
+			// Compound byte update: the current element is in [0, 255];
+			// the store truncates, so no env update is needed.
+			a.applyOp(s.Op[:1], Range(0, 255), rhs, s)
+		}
+		return e
+	}
+	return e
+}
+
+// applyOp is the compound-assignment transfer; it records div facts for the
+// statement (shift compound ops do not exist in the grammar).
+func (a *analyzer) applyOp(op string, cur, rhs Val, site *lang.AssignStmt) Val {
+	switch op {
+	case "+":
+		return cur.Add(rhs)
+	case "-":
+		return cur.Sub(rhs)
+	case "*":
+		return cur.Mul(rhs)
+	case "/":
+		a.markAssignDiv(site, rhs.NonZero())
+		return cur.Div(rhs)
+	case "%":
+		a.markAssignDiv(site, rhs.NonZero())
+		return cur.Mod(rhs)
+	case "&":
+		return cur.And(rhs)
+	case "|":
+		return cur.Or(rhs)
+	case "^":
+		return cur.Xor(rhs)
+	}
+	return Top()
+}
+
+// whileStmt runs a widening fixpoint over the loop body. Facts recorded on
+// pre-fixpoint passes may be optimistic, but the AND-semantics of setFact
+// combined with the final pass at the (post-)fixpoint state keeps the
+// surviving facts sound.
+func (a *analyzer) whileStmt(s *lang.WhileStmt, e env) (env, bool) {
+	state := e
+	frame := &loopFrame{}
+	for pass := 0; ; pass++ {
+		if a.res.Exhausted || pass >= maxFixpointPasses {
+			// Convergence backstop: drop to ⊤ for everything the body can
+			// touch, one final sound pass below.
+			state = a.havoc(state, s.Body)
+			a.expr(s.Cond, state)
+			bodyIn := a.refine(state, s.Cond, true)
+			a.loops = append(a.loops, frame)
+			a.block(s.Body, bodyIn)
+			a.loops = a.loops[:len(a.loops)-1]
+			break
+		}
+		a.expr(s.Cond, state)
+		bodyIn := a.refine(state, s.Cond, true)
+		a.loops = append(a.loops, frame)
+		out, live := a.block(s.Body, bodyIn)
+		a.loops = a.loops[:len(a.loops)-1]
+		next := state
+		if live {
+			next = envJoin(next, out)
+		}
+		for _, c := range frame.conts {
+			next = envJoin(next, c)
+		}
+		if pass >= 1 {
+			next = envWiden(state, next)
+		}
+		if envEqual(state, next) {
+			break
+		}
+		state = next
+	}
+	post := a.refine(state, s.Cond, false)
+	for _, b := range frame.breaks {
+		post = envJoin(post, b)
+	}
+	return post, true
+}
+
+func (a *analyzer) forStmt(s *lang.ForStmt, e env) (env, bool) {
+	fromV := a.expr(s.From, e)
+	toV := a.expr(s.To, e)
+	id := a.forID[s]
+
+	// Body precondition: v entered the loop, so from ≤ v and v < to held
+	// at least once; v only increments, giving v ∈ [from.Min, to.Max-1].
+	loopVar := Bottom()
+	if !fromV.IsBottom() && !toV.IsBottom() && toV.Max != minI64 {
+		loopVar = Val{Min: fromV.Min, Max: toV.Max - 1, Bits: bitsTop()}.normalize()
+	}
+	if loopVar.IsBottom() {
+		// Statically zero-trip (or dead) loop: the body never runs.
+		return e, true
+	}
+
+	state := e
+	frame := &loopFrame{}
+	for pass := 0; ; pass++ {
+		if a.res.Exhausted || pass >= maxFixpointPasses {
+			state = a.havoc(state, s.Body)
+			in := state.clone()
+			in[id] = loopVar
+			a.loops = append(a.loops, frame)
+			a.block(s.Body, in)
+			a.loops = a.loops[:len(a.loops)-1]
+			break
+		}
+		in := state.clone()
+		in[id] = loopVar // the loop var is immutable inside the body
+		a.loops = append(a.loops, frame)
+		out, live := a.block(s.Body, in)
+		a.loops = a.loops[:len(a.loops)-1]
+		next := state
+		if live {
+			next = envJoin(next, out)
+		}
+		for _, c := range frame.conts {
+			next = envJoin(next, c)
+		}
+		next = next.clone()
+		delete(next, id) // v is not part of the outer state
+		if pass >= 1 {
+			next = envWiden(state, next)
+		}
+		if envEqual(state, next) {
+			break
+		}
+		state = next
+	}
+	post := state
+	for _, b := range frame.breaks {
+		post = envJoin(post, b)
+	}
+	post = post.clone()
+	delete(post, id)
+	return post, true
+}
+
+// havoc drops every variable the body can assign to ⊤ — the sound landing
+// spot when a fixpoint refuses to converge within budget.
+func (a *analyzer) havoc(e env, b *lang.Block) env {
+	out := e.clone()
+	var walk func(s lang.Stmt)
+	walkBlock := func(bb *lang.Block) {
+		for _, s := range bb.Stmts {
+			walk(s)
+		}
+	}
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			walkBlock(s)
+		case *lang.LetStmt:
+			out[a.letID[s]] = Top()
+		case *lang.AssignStmt:
+			if vr, ok := s.Target.(*lang.VarRef); ok {
+				if id, known := a.varOf[vr]; known {
+					out[id] = Top()
+				}
+			}
+		case *lang.IfStmt:
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.WhileStmt:
+			walkBlock(s.Body)
+		case *lang.ForStmt:
+			walkBlock(s.Body)
+		case *lang.SyncStmt:
+			walkBlock(s.Body)
+		}
+	}
+	walkBlock(b)
+	return out
+}

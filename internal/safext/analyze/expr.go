@@ -1,0 +1,303 @@
+package analyze
+
+import (
+	"kex/internal/safext/lang"
+)
+
+// crateReturns over-approximates kernel-crate return values where the crate
+// contract pins a range: the pkt readers return -1 (out of bounds) or the
+// zero-extended value, bool-returning entry points return 0/1. Everything
+// absent is ⊤.
+var crateReturns = map[string]Val{
+	"pkt_read_u8":  {Min: -1, Max: 255, Bits: Bits{Mask: ^uint64(0)}},
+	"pkt_read_u16": {Min: -1, Max: 1<<16 - 1, Bits: Bits{Mask: ^uint64(0)}},
+	"pkt_read_u32": {Min: -1, Max: 1<<32 - 1, Bits: Bits{Mask: ^uint64(0)}},
+}
+
+// expr evaluates an expression abstractly, recording check facts at every
+// site the compiler instruments. Expressions never mutate the environment
+// (crate calls touch maps and packets, not locals), so sub-evaluations can
+// share e freely.
+func (a *analyzer) expr(x lang.Expr, e env) Val {
+	if !a.spend() {
+		return Top()
+	}
+	switch x := x.(type) {
+	case *lang.IntLit:
+		return Const(x.Value)
+
+	case *lang.BoolLit:
+		if x.Value {
+			return Const(1)
+		}
+		return Const(0)
+
+	case *lang.StrLit:
+		return Top()
+
+	case *lang.VarRef:
+		if id, ok := a.varOf[x]; ok {
+			v := e.get(id)
+			return a.boolClamp(x, v)
+		}
+		return Top() // map reference or unresolved name
+
+	case *lang.IndexExpr:
+		idxV := a.expr(x.Idx, e)
+		if at, ok := a.checked.ExprTypes[x.Arr]; ok && at.Kind == lang.TypeArray {
+			a.markIndex(x, idxV.InRange(0, at.Len-1))
+		}
+		return Range(0, 255) // byte load
+
+	case *lang.UnaryExpr:
+		v := a.expr(x.X, e)
+		switch x.Op {
+		case "-":
+			return v.Neg()
+		case "!":
+			if v.eq(Const(0)) {
+				return Const(1)
+			}
+			if v.NonZero() {
+				return Const(0)
+			}
+			return Range(0, 1)
+		}
+		return Top()
+
+	case *lang.BinaryExpr:
+		return a.binary(x, e)
+
+	case *lang.CallExpr:
+		for i, arg := range x.Args {
+			// Evaluate arguments for their embedded facts. Lazy semantics
+			// do not apply: crate/user calls evaluate all arguments.
+			_ = i
+			a.expr(arg, e)
+		}
+		if x.Ns == "kernel" {
+			if v, ok := crateReturns[x.Name]; ok {
+				return v
+			}
+			return a.boolClamp(x, Top())
+		}
+		return a.boolClamp(x, Top())
+	}
+	return Top()
+}
+
+// boolClamp narrows bool-typed values to [0, 1]: every bool producer in the
+// language (literals, comparisons, !, &&/||, bool crate returns) yields
+// exactly 0 or 1, and bools only flow through exact-type assignment.
+func (a *analyzer) boolClamp(x lang.Expr, v Val) Val {
+	if t, ok := a.checked.ExprTypes[x]; ok && t.Kind == lang.TypeBool {
+		if v.Min < 0 || v.Max > 1 {
+			return Range(0, 1)
+		}
+	}
+	return v
+}
+
+func (a *analyzer) binary(x *lang.BinaryExpr, e env) Val {
+	switch x.Op {
+	case "&&":
+		a.expr(x.L, e)
+		// R only executes (and only runs its checks) when L held.
+		a.expr(x.R, a.refine(e, x.L, true))
+		return Range(0, 1)
+	case "||":
+		a.expr(x.L, e)
+		a.expr(x.R, a.refine(e, x.L, false))
+		return Range(0, 1)
+	}
+
+	lv := a.expr(x.L, e)
+	rv := a.expr(x.R, e)
+
+	switch x.Op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return Range(0, 1)
+	case "+":
+		return lv.Add(rv)
+	case "-":
+		return lv.Sub(rv)
+	case "*":
+		return lv.Mul(rv)
+	case "/":
+		a.markDiv(x, rv.NonZero())
+		return lv.Div(rv)
+	case "%":
+		a.markDiv(x, rv.NonZero())
+		return lv.Mod(rv)
+	case "&":
+		return lv.And(rv)
+	case "|":
+		return lv.Or(rv)
+	case "^":
+		return lv.Xor(rv)
+	case "<<":
+		a.markShift(x, rv.InRange(0, 63))
+		return lv.Shl(rv)
+	case ">>":
+		a.markShift(x, rv.InRange(0, 63))
+		return lv.Shr(rv)
+	}
+	return Top()
+}
+
+// ---- path refinement ---------------------------------------------------------
+
+// refine narrows the environment under the assumption that cond evaluated
+// to truth. It re-walks condition subtrees with fact recording off (the
+// caller records them once via expr).
+func (a *analyzer) refine(e env, cond lang.Expr, truth bool) env {
+	if !a.spend() {
+		return e
+	}
+	switch c := cond.(type) {
+	case *lang.UnaryExpr:
+		if c.Op == "!" {
+			return a.refine(e, c.X, !truth)
+		}
+	case *lang.VarRef:
+		// A bool variable used directly as a condition.
+		if id, ok := a.varOf[c]; ok {
+			out := e.clone()
+			if truth {
+				out[id] = Const(1)
+			} else {
+				out[id] = Const(0)
+			}
+			return out
+		}
+	case *lang.BinaryExpr:
+		switch c.Op {
+		case "&&":
+			if truth {
+				return a.refine(a.refine(e, c.L, true), c.R, true)
+			}
+			return e // ¬(L∧R) splits; no single-path refinement
+		case "||":
+			if !truth {
+				return a.refine(a.refine(e, c.L, false), c.R, false)
+			}
+			return e
+		case "==", "!=", "<", "<=", ">", ">=":
+			return a.refineCmp(e, c, truth)
+		}
+	}
+	return e
+}
+
+var negatedCmp = map[string]string{
+	"==": "!=", "!=": "==",
+	"<": ">=", ">=": "<",
+	"<=": ">", ">": "<=",
+}
+
+var flippedCmp = map[string]string{
+	"==": "==", "!=": "!=",
+	"<": ">", ">": "<",
+	"<=": ">=", ">=": "<=",
+}
+
+func (a *analyzer) refineCmp(e env, c *lang.BinaryExpr, truth bool) env {
+	op := c.Op
+	if !truth {
+		op = negatedCmp[op]
+	}
+	signed := a.checked.SignedCmp[c]
+	out := e
+	quiet := func(x lang.Expr, in env) Val {
+		saved := a.recording
+		a.recording = false
+		v := a.expr(x, in)
+		a.recording = saved
+		return v
+	}
+	if vr, ok := c.L.(*lang.VarRef); ok {
+		if id, known := a.varOf[vr]; known {
+			bound := quiet(c.R, e)
+			nv := refineVal(out.get(id), op, bound, signed)
+			out = out.clone()
+			out[id] = nv
+		}
+	}
+	if vr, ok := c.R.(*lang.VarRef); ok {
+		if id, known := a.varOf[vr]; known {
+			bound := quiet(c.L, e)
+			nv := refineVal(out.get(id), flippedCmp[op], bound, signed)
+			out = out.clone()
+			out[id] = nv
+		}
+	}
+	return out
+}
+
+// refineVal narrows v under "v op w". For unsigned comparisons the key
+// refinement is the verifier's classic: v <u w with w in the non-negative
+// signed half forces v's sign bit clear, so v lands in [0, w.Max-1] even
+// when nothing was known about v before.
+func refineVal(v Val, op string, w Val, signed bool) Val {
+	if v.IsBottom() || w.IsBottom() {
+		return Bottom()
+	}
+	switch op {
+	case "==":
+		v.Min = maxInt(v.Min, w.Min)
+		v.Max = minInt(v.Max, w.Max)
+		if !v.IsBottom() && w.Min == w.Max {
+			v.Bits = bitsConst(uint64(w.Min))
+		}
+	case "!=":
+		if w.Min == w.Max {
+			switch {
+			case v.Min == v.Max && v.Min == w.Min:
+				return Bottom()
+			case v.Min == w.Min && v.Min < maxI64:
+				v.Min++
+			case v.Max == w.Min && v.Max > minI64:
+				v.Max--
+			}
+		}
+	case "<":
+		if signed {
+			if w.Max > minI64 {
+				v.Max = minInt(v.Max, w.Max-1)
+			}
+		} else if w.Min >= 0 {
+			if w.Max <= 0 {
+				return Bottom() // nothing is unsigned-below zero
+			}
+			v.Min = maxInt(v.Min, 0)
+			v.Max = minInt(v.Max, w.Max-1)
+		}
+	case "<=":
+		if signed {
+			v.Max = minInt(v.Max, w.Max)
+		} else if w.Min >= 0 {
+			v.Min = maxInt(v.Min, 0)
+			v.Max = minInt(v.Max, w.Max)
+		}
+	case ">":
+		if signed {
+			if w.Min < maxI64 {
+				v.Min = maxInt(v.Min, w.Min+1)
+			}
+		} else if v.Min >= 0 && w.Min >= 0 && w.Min < maxI64 {
+			// Only useful when v is already known non-negative: a huge
+			// unsigned v would be signed-negative.
+			v.Min = maxInt(v.Min, w.Min+1)
+		}
+	case ">=":
+		if signed {
+			v.Min = maxInt(v.Min, w.Min)
+		} else if v.Min >= 0 && w.Min >= 0 {
+			v.Min = maxInt(v.Min, w.Min)
+		}
+	}
+	if v.IsBottom() {
+		return Bottom()
+	}
+	return v.normalize()
+}

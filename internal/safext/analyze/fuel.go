@@ -1,0 +1,189 @@
+package analyze
+
+import (
+	"kex/internal/safext/lang"
+)
+
+// The fuel-bound walk computes a conservative upper bound on retired
+// bytecode instructions per invocation. The per-node constants deliberately
+// over-estimate the compiler's densest expansions (an IndexExpr with its
+// bounds check and address arithmetic is 10 instructions; a checked
+// division 7) so the bound dominates the real count without tracking
+// codegen exactly. A program bounds only if it has no while loops, no
+// recursion, and every for loop has literal trip counts.
+const (
+	fuelPerNode  = 12
+	fuelPerStmt  = 12
+	fuelPrologue = 32
+	fuelUnbound  = int64(-1)
+	// fuelCap rejects astronomically large bounds; beyond it a static
+	// bound is useless (no budget would admit it) and products risk
+	// overflow.
+	fuelCap = int64(1) << 40
+)
+
+func fuelBound(checked *lang.Checked) int64 {
+	fb := &fuelWalker{
+		funcs: make(map[string]*lang.FuncDecl),
+		memo:  make(map[string]int64),
+		open:  make(map[string]bool),
+	}
+	for _, fn := range checked.File.Funcs {
+		fb.funcs[fn.Name] = fn
+	}
+	b := fb.fn("main")
+	if b < 0 || b > fuelCap {
+		return 0
+	}
+	return b
+}
+
+type fuelWalker struct {
+	funcs map[string]*lang.FuncDecl
+	memo  map[string]int64
+	open  map[string]bool // recursion detection
+}
+
+// addB saturates at fuelUnbound and fuelCap.
+func addB(a, b int64) int64 {
+	if a < 0 || b < 0 {
+		return fuelUnbound
+	}
+	s := a + b
+	if s > fuelCap {
+		return fuelCap + 1
+	}
+	return s
+}
+
+func mulB(a, b int64) int64 {
+	if a < 0 || b < 0 {
+		return fuelUnbound
+	}
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > fuelCap/b {
+		return fuelCap + 1
+	}
+	return a * b
+}
+
+func (fb *fuelWalker) fn(name string) int64 {
+	if b, ok := fb.memo[name]; ok {
+		return b
+	}
+	if fb.open[name] {
+		return fuelUnbound // recursion: no static bound
+	}
+	decl := fb.funcs[name]
+	if decl == nil {
+		return fuelUnbound
+	}
+	fb.open[name] = true
+	b := addB(fuelPrologue, fb.blockCost(decl.Body))
+	delete(fb.open, name)
+	fb.memo[name] = b
+	return b
+}
+
+func (fb *fuelWalker) blockCost(b *lang.Block) int64 {
+	total := int64(fuelPerStmt)
+	for _, s := range b.Stmts {
+		total = addB(total, fb.stmtCost(s))
+	}
+	return total
+}
+
+func (fb *fuelWalker) stmtCost(s lang.Stmt) int64 {
+	switch s := s.(type) {
+	case *lang.Block:
+		return fb.blockCost(s)
+	case *lang.LetStmt:
+		if s.Init == nil {
+			return addB(fuelPerStmt, s.Type.Size()/8*2)
+		}
+		return addB(fuelPerStmt, fb.exprCost(s.Init))
+	case *lang.AssignStmt:
+		return addB(fuelPerStmt, addB(fb.exprCost(s.Target), fb.exprCost(s.Value)))
+	case *lang.ExprStmt:
+		return addB(fuelPerStmt, fb.exprCost(s.X))
+	case *lang.IfStmt:
+		c := addB(fuelPerStmt, fb.exprCost(s.Cond))
+		c = addB(c, fb.blockCost(s.Then))
+		if s.Else != nil {
+			c = addB(c, fb.stmtCost(s.Else))
+		}
+		return c
+	case *lang.WhileStmt:
+		return fuelUnbound
+	case *lang.ForStmt:
+		from, ok1 := litValue(s.From)
+		to, ok2 := litValue(s.To)
+		if !ok1 || !ok2 {
+			return fuelUnbound
+		}
+		trips := to - from
+		if trips < 0 {
+			trips = 0
+		}
+		iter := addB(fb.blockCost(s.Body), fuelPerStmt)
+		c := addB(fuelPerStmt, addB(fb.exprCost(s.From), fb.exprCost(s.To)))
+		return addB(c, mulB(trips, iter))
+	case *lang.ReturnStmt:
+		c := int64(fuelPerStmt + 32) // value + cleanups on the exit path
+		if s.Value != nil {
+			c = addB(c, fb.exprCost(s.Value))
+		}
+		return c
+	case *lang.BreakStmt, *lang.ContinueStmt:
+		return fuelPerStmt + 16
+	case *lang.SyncStmt:
+		c := addB(fuelPerStmt+24, fb.exprCost(s.Key))
+		return addB(c, fb.blockCost(s.Body))
+	case *lang.TrapStmt:
+		return fuelPerStmt
+	}
+	return fuelPerStmt
+}
+
+// litValue extracts a literal loop bound (IntLit or negated IntLit).
+func litValue(e lang.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return e.Value, true
+	case *lang.UnaryExpr:
+		if e.Op == "-" {
+			if il, ok := e.X.(*lang.IntLit); ok {
+				return -il.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// exprCost charges fuelPerNode per AST node plus the callee's whole bound
+// at user-call sites.
+func (fb *fuelWalker) exprCost(e lang.Expr) int64 {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *lang.IndexExpr:
+		return addB(fuelPerNode, fb.exprCost(e.Idx))
+	case *lang.UnaryExpr:
+		return addB(fuelPerNode, fb.exprCost(e.X))
+	case *lang.BinaryExpr:
+		return addB(fuelPerNode, addB(fb.exprCost(e.L), fb.exprCost(e.R)))
+	case *lang.CallExpr:
+		c := int64(fuelPerNode)
+		for _, a := range e.Args {
+			c = addB(c, fb.exprCost(a))
+		}
+		if e.Ns == "" {
+			c = addB(c, fb.fn(e.Name))
+		}
+		return c
+	default:
+		return fuelPerNode
+	}
+}

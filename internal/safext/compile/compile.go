@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"kex/internal/ebpf/isa"
+	"kex/internal/safext/analyze"
 	"kex/internal/safext/lang"
 )
 
@@ -45,7 +46,50 @@ type Object struct {
 	Capabilities []string
 	// EntryPC is the element index of main (always 0 today).
 	EntryPC int32
+	// Checks tallies the safety instrumentation: how many check sites were
+	// emitted and how many the analyze pass proved away. It is serialized
+	// into the object container and covered by the toolchain signature, so
+	// the kernel side learns *what was proven*, not just the final code.
+	Checks CheckStats
 }
+
+// Options configures code generation.
+type Options struct {
+	// Facts carries proofs from the analyze pass. Nil compiles naively:
+	// every check is emitted (and counted).
+	Facts *analyze.Result
+}
+
+// CheckStats is the per-object check ledger. Emitted counts the dynamic
+// check sites compiled into the program; Elided counts sites discharged
+// statically. The split makes "verifier vs. naive instrumentation vs.
+// optimised instrumentation" a measurable three-way comparison.
+type CheckStats struct {
+	BoundsEmitted int
+	BoundsElided  int
+	DivEmitted    int
+	DivElided     int
+	MaskEmitted   int
+	MaskElided    int
+	// StaticInsnBound is the analyzer's per-invocation instruction bound
+	// (0 = unbounded). A loader whose fuel budget covers it can coalesce
+	// per-instruction fuel metering into one load-time comparison.
+	StaticInsnBound int64
+	// Elisions records every dropped check for audit.
+	Elisions []Elision
+}
+
+// Elision is one statically discharged runtime check.
+type Elision struct {
+	Kind string // "bounds", "div", "shift-mask"
+	Line int
+}
+
+// Emitted is the number of dynamic check sites remaining in the program.
+func (cs CheckStats) Emitted() int { return cs.BoundsEmitted + cs.DivEmitted + cs.MaskEmitted }
+
+// Elided is the number of check sites proven away.
+func (cs CheckStats) Elided() int { return cs.BoundsElided + cs.DivElided + cs.MaskElided }
 
 // Error is a compilation failure.
 type Error struct {
@@ -65,12 +109,23 @@ const (
 // frameLimit matches the bytecode stack frame size.
 const frameLimit = 512
 
-// Compile lowers a checked program to bytecode.
+// Compile lowers a checked program to bytecode with every runtime check
+// emitted (the naive build).
 func Compile(name string, checked *lang.Checked) (*Object, error) {
+	return CompileWithOptions(name, checked, Options{})
+}
+
+// CompileWithOptions lowers a checked program to bytecode, consulting the
+// analyze pass's proofs (when present) to elide redundant checks.
+func CompileWithOptions(name string, checked *lang.Checked, opts Options) (*Object, error) {
 	c := &compiler{
 		checked: checked,
 		obj:     &Object{Name: name},
 		funcPCs: make(map[string]int32),
+		facts:   opts.Facts,
+	}
+	if opts.Facts != nil {
+		c.obj.Checks.StaticInsnBound = opts.Facts.FuelBound
 	}
 	lockedMaps := map[string]bool{}
 	collectSyncMaps(checked.File, lockedMaps)
@@ -151,6 +206,18 @@ type compiler struct {
 	obj       *Object
 	funcPCs   map[string]int32
 	callFixes []callFix
+	// facts are the analyze pass's proofs; nil in naive builds.
+	facts *analyze.Result
+}
+
+// indexProven reports whether the bounds check at this access site was
+// discharged statically.
+func (c *compiler) indexProven(e *lang.IndexExpr) bool {
+	return c.facts != nil && c.facts.IndexInRange[e]
+}
+
+func (c *compiler) elide(kind string, line int) {
+	c.obj.Checks.Elisions = append(c.obj.Checks.Elisions, Elision{Kind: kind, Line: line})
 }
 
 // rodata interns a string literal and returns (offset, length).

@@ -1,0 +1,196 @@
+package compile_test
+
+import (
+	"testing"
+
+	"kex/internal/kernel"
+	"kex/internal/safext/compile"
+	"kex/internal/safext/runtime"
+	"kex/internal/safext/toolchain"
+)
+
+// compileOpt runs the front half of the toolchain with the analyzer in the
+// loop, so the object carries the elision ledger.
+func compileOpt(t *testing.T, src string) *compile.Object {
+	t.Helper()
+	obj, err := toolchain.BuildOptimized("test", src)
+	if err != nil {
+		t.Fatalf("build optimized: %v", err)
+	}
+	return obj
+}
+
+// execOpt runs an analyzer-optimized build end to end.
+func execOpt(t *testing.T, src string) *runtime.Verdict {
+	t.Helper()
+	k := kernel.NewDefault()
+	rt := runtime.New(k, runtime.DefaultConfig())
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+	so, err := signer.BuildAndSignOptimized("test", src)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ext, err := rt.Load(so)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	v, err := ext.Run(runtime.RunOptions{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+// TestBoundsCheckEmissionEdgeCases pins where the bounds check is emitted
+// vs. elided at the edges of the index space, for both the naive build
+// (everything dynamic) and the optimized build (proven sites dropped).
+func TestBoundsCheckEmissionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// optimized-build expectations; naive must emit all of them
+		wantEmitted int
+		wantElided  int
+	}{
+		{
+			name: "constant zero",
+			src: `fn main() -> i64 {
+	let mut a: [u8; 8];
+	a[0] = 1;
+	return a[0];
+}`,
+			wantEmitted: 0, wantElided: 2,
+		},
+		{
+			name: "constant len minus one",
+			src: `fn main() -> i64 {
+	let mut a: [u8; 8];
+	a[7] = 1;
+	return a[7];
+}`,
+			wantEmitted: 0, wantElided: 2,
+		},
+		{
+			name: "constant equal to len",
+			src: `fn main() -> i64 {
+	let mut a: [u8; 8];
+	a[8] = 1;
+	return 0;
+}`,
+			wantEmitted: 1, wantElided: 0,
+		},
+		{
+			name: "negative constant",
+			src: `fn main() -> i64 {
+	let a: [u8; 8];
+	let i: i64 = 0 - 1;
+	return a[i];
+}`,
+			wantEmitted: 1, wantElided: 0,
+		},
+		{
+			name: "helper return unproven",
+			src: `fn main() -> i64 {
+	let a: [u8; 8];
+	let i: i64 = kernel::pkt_read_u8(0);
+	return a[i];
+}`,
+			wantEmitted: 1, wantElided: 0,
+		},
+		{
+			name: "helper return masked",
+			src: `fn main() -> i64 {
+	let a: [u8; 8];
+	let i: i64 = kernel::ktime() % 8;
+	return a[i];
+}`,
+			wantEmitted: 0, wantElided: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			naive := compileSrc(t, c.src)
+			total := c.wantEmitted + c.wantElided
+			if naive.Checks.BoundsEmitted != total || naive.Checks.BoundsElided != 0 {
+				t.Errorf("naive build: emitted %d elided %d, want %d/0",
+					naive.Checks.BoundsEmitted, naive.Checks.BoundsElided, total)
+			}
+			opt := compileOpt(t, c.src)
+			if opt.Checks.BoundsEmitted != c.wantEmitted || opt.Checks.BoundsElided != c.wantElided {
+				t.Errorf("optimized build: emitted %d elided %d, want %d/%d",
+					opt.Checks.BoundsEmitted, opt.Checks.BoundsElided, c.wantEmitted, c.wantElided)
+			}
+		})
+	}
+}
+
+// TestElidedBuildStillTrapsOutOfRange proves the retained dynamic checks do
+// their job in an optimized build: sites the analyzer cannot prove keep the
+// runtime check and still trap.
+func TestElidedBuildStillTrapsOutOfRange(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"constant len", `fn main() -> i64 { let mut a: [u8; 2]; a[2] = 1; return 0; }`},
+		{"negative", `fn main() -> i64 { let a: [u8; 2]; let i: i64 = 0 - 1; return a[i]; }`},
+		{"dynamic", `fn main() -> i64 { let mut a: [u8; 2]; let i = kernel::rand() % 2 + 2; a[i] = 1; return 0; }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := execOpt(t, c.src)
+			if !v.Terminated || v.Reason != "trap" || v.TrapCode != compile.TrapOOB {
+				t.Fatalf("verdict = %+v, want OOB trap", v)
+			}
+		})
+	}
+}
+
+// TestElidedBuildMatchesNaive runs the same program both ways and demands
+// identical results — the execution-oracle version of what the fuzzer
+// checks at scale.
+func TestElidedBuildMatchesNaive(t *testing.T) {
+	const src = `
+fn main() -> i64 {
+	let mut a: [u8; 16];
+	let mut sum: i64 = 0;
+	for i in 0..16 {
+		a[i] = i * 3;
+	}
+	for i in 0..16 {
+		if a[i] % 2 == 0 {
+			sum += a[i] / 2;
+		}
+	}
+	return sum + (1 << 62) % 1000;
+}`
+	naive := execSrc(t, src)
+	opt := execOpt(t, src)
+	if !naive.Completed || !opt.Completed {
+		t.Fatalf("naive = %+v, opt = %+v", naive, opt)
+	}
+	if naive.R0 != opt.R0 {
+		t.Fatalf("R0 diverged: naive %d, optimized %d", naive.R0, opt.R0)
+	}
+}
+
+// TestElisionRecordsCarryLines pins that every elision names its kind and
+// source line, so the signed metadata is auditable.
+func TestElisionRecordsCarryLines(t *testing.T) {
+	obj := compileOpt(t, `fn main() -> i64 {
+	let a: [u8; 4];
+	return a[3] / 2;
+}`)
+	if len(obj.Checks.Elisions) == 0 {
+		t.Fatal("no elision records")
+	}
+	for _, el := range obj.Checks.Elisions {
+		if el.Kind == "" || el.Line <= 0 {
+			t.Errorf("malformed elision record %+v", el)
+		}
+	}
+}

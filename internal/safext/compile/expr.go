@@ -53,7 +53,7 @@ func (fc *funcComp) expr(e lang.Expr) error {
 			return err
 		}
 		fc.popReg(isa.R1)
-		fc.emitBoundsCheck(isa.R1, vi.typ.Len)
+		fc.emitBoundsCheck(isa.R1, vi.typ.Len, e)
 		fc.emit(isa.Mov64Reg(isa.R2, isa.R10))
 		fc.emit(isa.ALU64Imm(isa.OpAdd, isa.R2, int32(vi.off)))
 		fc.emit(isa.ALU64Reg(isa.OpAdd, isa.R2, isa.R1))
@@ -121,7 +121,7 @@ func (fc *funcComp) binary(e *lang.BinaryExpr) error {
 		return nil
 	}
 
-	if err := fc.emitArith(e.Op, isa.R1, isa.R2); err != nil {
+	if err := fc.emitArith(e.Op, isa.R1, isa.R2, fc.arithFactsFor(e)); err != nil {
 		return err
 	}
 	fc.pushReg(isa.R1)

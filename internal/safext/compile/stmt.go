@@ -252,7 +252,7 @@ func (fc *funcComp) assign(s *lang.AssignStmt) error {
 		}
 		fc.popReg(isa.R2)
 		fc.emit(isa.LoadMem(isa.SizeDW, isa.R1, isa.R10, int16(vi.off)))
-		if err := fc.emitArith(s.Op[:1], isa.R1, isa.R2); err != nil {
+		if err := fc.emitArith(s.Op[:1], isa.R1, isa.R2, fc.assignFactsFor(s)); err != nil {
 			return err
 		}
 		fc.emit(isa.StoreMem(isa.SizeDW, isa.R10, int16(vi.off), isa.R1))
@@ -273,7 +273,7 @@ func (fc *funcComp) assign(s *lang.AssignStmt) error {
 		}
 		fc.popReg(isa.R2) // value
 		fc.popReg(isa.R1) // index
-		fc.emitBoundsCheck(isa.R1, vi.typ.Len)
+		fc.emitBoundsCheck(isa.R1, vi.typ.Len, target)
 		// R3 = r10 + off + idx
 		fc.emit(isa.Mov64Reg(isa.R3, isa.R10))
 		fc.emit(isa.ALU64Imm(isa.OpAdd, isa.R3, int32(vi.off)))
@@ -284,7 +284,7 @@ func (fc *funcComp) assign(s *lang.AssignStmt) error {
 		}
 		fc.emit(isa.LoadMem(isa.SizeB, isa.R4, isa.R3, 0))
 		// Compound ops on bytes: compute in R4, store low byte.
-		if err := fc.emitArithRegs(s.Op[:1], isa.R4, isa.R2, isa.R5); err != nil {
+		if err := fc.emitArithRegs(s.Op[:1], isa.R4, isa.R2, isa.R5, fc.assignFactsFor(s)); err != nil {
 			return err
 		}
 		fc.emit(isa.StoreMem(isa.SizeB, isa.R3, 0, isa.R4))
@@ -293,21 +293,58 @@ func (fc *funcComp) assign(s *lang.AssignStmt) error {
 	return &Error{s.Line, "invalid assignment target"}
 }
 
-// emitBoundsCheck traps when reg (unsigned) >= len.
-func (fc *funcComp) emitBoundsCheck(reg isa.Register, length int64) {
+// emitBoundsCheck traps when reg (unsigned) >= len — unless the analyze
+// pass proved the index in range, in which case the check (and its trap
+// path) is dropped and recorded as an elision.
+func (fc *funcComp) emitBoundsCheck(reg isa.Register, length int64, site *lang.IndexExpr) {
+	cs := &fc.c.obj.Checks
+	if fc.c.indexProven(site) {
+		cs.BoundsElided++
+		fc.c.elide("bounds", site.Line)
+		return
+	}
+	cs.BoundsEmitted++
 	ok := fc.emit(isa.JmpImm(isa.OpJlt, reg, int32(length), 0)) // patched over trap site
 	fc.emitTrapJump(TrapOOB)
 	fc.insns[ok].Off = int16(len(fc.insns) - ok - 1)
 }
 
+// arithFacts carries the analyze pass's verdicts for one arithmetic site.
+// The zero value means "nothing proven": emit every check.
+type arithFacts struct {
+	divOK   bool // divisor proven non-zero
+	shiftOK bool // shift amount proven in [0, 63]
+	line    int
+}
+
+// arithFactsFor looks up the proofs for a binary-expression site.
+func (fc *funcComp) arithFactsFor(e *lang.BinaryExpr) arithFacts {
+	f := fc.c.facts
+	if f == nil {
+		return arithFacts{line: e.Line}
+	}
+	return arithFacts{divOK: f.DivNonZero[e], shiftOK: f.ShiftBounded[e], line: e.Line}
+}
+
+// assignFactsFor looks up the proofs for a compound-assignment site (the
+// grammar has no compound shifts, so only the div fact applies).
+func (fc *funcComp) assignFactsFor(s *lang.AssignStmt) arithFacts {
+	f := fc.c.facts
+	if f == nil {
+		return arithFacts{line: s.Line}
+	}
+	return arithFacts{divOK: f.AssignDivNonZero[s], line: s.Line}
+}
+
 // emitArith emits dst = dst <op> src with the safety instrumentation
-// (division checks, masked shifts).
-func (fc *funcComp) emitArith(op string, dst, src isa.Register) error {
-	return fc.emitArithRegs(op, dst, src, isa.R3)
+// (division checks, masked shifts), eliding what af proves redundant.
+func (fc *funcComp) emitArith(op string, dst, src isa.Register, af arithFacts) error {
+	return fc.emitArithRegs(op, dst, src, isa.R3, af)
 }
 
 // emitArithRegs is emitArith with an explicit scratch register for checks.
-func (fc *funcComp) emitArithRegs(op string, dst, src, scratch isa.Register) error {
+func (fc *funcComp) emitArithRegs(op string, dst, src, scratch isa.Register, af arithFacts) error {
+	cs := &fc.c.obj.Checks
 	switch op {
 	case "+":
 		fc.emit(isa.ALU64Reg(isa.OpAdd, dst, src))
@@ -317,9 +354,15 @@ func (fc *funcComp) emitArithRegs(op string, dst, src, scratch isa.Register) err
 		fc.emit(isa.ALU64Reg(isa.OpMul, dst, src))
 	case "/", "%":
 		// Divide-by-zero traps instead of silently producing 0.
-		ok := fc.emit(isa.JmpImm(isa.OpJne, src, 0, 0))
-		fc.emitTrapJump(TrapDivByZero)
-		fc.insns[ok].Off = int16(len(fc.insns) - ok - 1)
+		if af.divOK {
+			cs.DivElided++
+			fc.c.elide("div", af.line)
+		} else {
+			cs.DivEmitted++
+			ok := fc.emit(isa.JmpImm(isa.OpJne, src, 0, 0))
+			fc.emitTrapJump(TrapDivByZero)
+			fc.insns[ok].Off = int16(len(fc.insns) - ok - 1)
+		}
 		if op == "/" {
 			fc.emit(isa.ALU64Reg(isa.OpDiv, dst, src))
 		} else {
@@ -332,8 +375,17 @@ func (fc *funcComp) emitArithRegs(op string, dst, src, scratch isa.Register) err
 	case "^":
 		fc.emit(isa.ALU64Reg(isa.OpXor, dst, src))
 	case "<<", ">>":
-		// Shift amounts are masked to 0..63, Rust-release style.
-		fc.emit(isa.ALU64Imm(isa.OpAnd, src, 63))
+		// Shift amounts are masked to 0..63, Rust-release style. The ALU
+		// masks identically (dst << (src & 63), see interp.EvalALU, shared
+		// by the JIT), so the mask instruction is pure belt-and-suspenders
+		// the analyzer may drop when the amount is proven in range.
+		if af.shiftOK {
+			cs.MaskElided++
+			fc.c.elide("shift-mask", af.line)
+		} else {
+			cs.MaskEmitted++
+			fc.emit(isa.ALU64Imm(isa.OpAnd, src, 63))
+		}
 		if op == "<<" {
 			fc.emit(isa.ALU64Reg(isa.OpLsh, dst, src))
 		} else {

@@ -481,7 +481,7 @@ func (p *parser) postfix() (Expr, error) {
 		return nil, err
 	}
 	for {
-		if p.accept(TokPunct, "[") {
+		if line := p.cur().Line; p.accept(TokPunct, "[") {
 			idx, err := p.expr()
 			if err != nil {
 				return nil, err
@@ -489,7 +489,7 @@ func (p *parser) postfix() (Expr, error) {
 			if _, err := p.expect(TokPunct, "]"); err != nil {
 				return nil, err
 			}
-			x = &IndexExpr{Arr: x, Idx: idx}
+			x = &IndexExpr{Arr: x, Idx: idx, Line: line}
 			continue
 		}
 		return x, nil

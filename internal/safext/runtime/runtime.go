@@ -89,6 +89,11 @@ type Stats struct {
 	Quarantines    int // invocations denied at the supervisor gate
 	CleanedSocks   int
 	CleanedLocks   int
+	// FuelElisions counts invocations that ran without per-instruction
+	// fuel metering because the signed object carried a static instruction
+	// bound under the configured budget — the toolchain's termination
+	// proof, accepted on the strength of the signature.
+	FuelElisions int
 }
 
 // New boots a safext runtime: standard helpers plus the kernel crate, and
@@ -158,6 +163,11 @@ type Extension struct {
 	// Capabilities as declared in the signed object.
 	Capabilities []string
 
+	// Checks is the signed object's check ledger: the dynamic checks the
+	// program still carries, the checks the toolchain's analyzer proved
+	// away, and the static instruction bound (0 = unbounded).
+	Checks compile.CheckStats
+
 	// LoadPhases times the Figure 5 pipeline for this extension: the
 	// toolchain's parse/typecheck/compile/sign (when the signed object
 	// carried them) plus the loader's validate and fixup.
@@ -194,12 +204,13 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 	rec.Mark("fixup")
 	ext.LoadPhases = append(append(exec.PhaseTimings(nil), so.Phases...), rec.Phases()...)
 	rt.Core.Stats.RecordLoad(ext.Name, ext.LoadPhases)
+	rt.Core.Stats.RecordChecks(ext.Name, uint64(ext.Checks.Emitted()), uint64(ext.Checks.Elided()))
 	return ext, nil
 }
 
 // install performs the load-time fixup on a deserialized object.
 func (rt *Runtime) install(obj *compile.Object) (*Extension, error) {
-	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, maps: make(map[string]maps.Map)}
+	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, Checks: obj.Checks, maps: make(map[string]maps.Map)}
 
 	for _, spec := range obj.Maps {
 		mspec := maps.Spec{
@@ -330,13 +341,24 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 	rt.Stats.Invocations++
 	rs := &runState{rt: rt, ext: ext, cpu: opts.CPU}
 
+	// Fuel coalescing: when the signed object proves a static instruction
+	// bound that fits the budget, the per-instruction fuel meter collapses
+	// into this one load-time comparison. The watchdog stays armed — the
+	// proof bounds instructions, defence in depth covers everything else.
+	fuel := rt.Cfg.Fuel
+	if b := ext.Checks.StaticInsnBound; b > 0 && fuel > 0 && uint64(b) <= fuel {
+		fuel = 0
+		rt.Stats.FuelElisions++
+		rt.Core.Stats.RecordFuelElision(ext.Name)
+	}
+
 	var v *Verdict
 	var runtimeErr error
 	req := exec.Request{
 		Program:    ext.Name,
 		CPU:        opts.CPU,
 		CtxAddr:    opts.CtxAddr,
-		Fuel:       rt.Cfg.Fuel,
+		Fuel:       fuel,
 		WatchdogNs: rt.Cfg.WatchdogNs,
 		Setup: func(env *helpers.Env) {
 			env.Scratch = rs

@@ -43,7 +43,7 @@ func (g *slxGen) expr(depth int, scope map[string]int64) (string, int64) {
 	}
 	ls, lv := g.expr(depth-1, scope)
 	rs, rv := g.expr(depth-1, scope)
-	switch g.rng.Intn(7) {
+	switch g.rng.Intn(9) {
 	case 0:
 		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
 	case 1:
@@ -56,6 +56,32 @@ func (g *slxGen) expr(depth int, scope map[string]int64) (string, int64) {
 		return fmt.Sprintf("(%s | %s)", ls, rs), lv | rv
 	case 5:
 		return fmt.Sprintf("(%s ^ %s)", ls, rs), lv ^ rv
+	case 6:
+		// SLX / and % are unsigned 64-bit. `| 1` pins the divisor nonzero,
+		// which the analyzer can prove via known bits — so optimized builds
+		// elide this div-by-zero check and the differential covers the
+		// elision. Rarely, emit a literal zero divisor instead: both builds
+		// must then agree on the trap verdict.
+		if g.rng.Intn(8) == 0 {
+			op := "/"
+			if g.rng.Intn(2) == 0 {
+				op = "%"
+			}
+			// The trap aborts before any fold; the value never matters.
+			return fmt.Sprintf("(%s %s 0)", ls, op), 0
+		}
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s / (%s | 1))", ls, rs), int64(uint64(lv) / uint64(rv|1))
+		}
+		return fmt.Sprintf("(%s %% (%s | 1))", ls, rs), int64(uint64(lv) % uint64(rv|1))
+	case 7:
+		// Variable shift amounts: SLX masks src & 63 in compile/interp/jit
+		// alike, the reference must mirror it. Amounts routinely exceed 63
+		// and go negative, exercising the masking edge.
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s << %s)", ls, rs), lv << uint(uint64(rv)&63)
+		}
+		return fmt.Sprintf("(%s >> %s)", ls, rs), int64(uint64(lv) >> uint(uint64(rv)&63))
 	default:
 		s := g.rng.Intn(8) // small shifts keep values interesting
 		// SLX << and >> are 64-bit with masked amounts; >> is logical.
@@ -222,7 +248,7 @@ func evalPrefix(s string, scope map[string]int64) (int64, string) {
 		l, rest := evalPrefix(s[1:], scope)
 		rest = strings.TrimLeft(rest, " ")
 		var op string
-		for _, cand := range []string{"<<", ">>", "+", "-", "*", "&", "|", "^"} {
+		for _, cand := range []string{"<<", ">>", "+", "-", "*", "/", "%", "&", "|", "^"} {
 			if strings.HasPrefix(rest, cand) {
 				op = cand
 				break
@@ -241,6 +267,16 @@ func evalPrefix(s string, scope map[string]int64) (int64, string) {
 			v = l - r
 		case "*":
 			v = l * r
+		case "/":
+			// SLX division is unsigned; a zero divisor traps at runtime, so
+			// the value is never observed — 0 keeps the model total.
+			if r != 0 {
+				v = int64(uint64(l) / uint64(r))
+			}
+		case "%":
+			if r != 0 {
+				v = int64(uint64(l) % uint64(r))
+			}
 		case "&":
 			v = l & r
 		case "|":
@@ -300,20 +336,40 @@ func slxDifferentialTrial(tb testing.TB, signer *toolchain.Signer, seed int64) {
 	k := kernel.NewDefault()
 	rt := New(k, DefaultConfig())
 	rt.AddKey(signer.PublicKey())
-	so, err := signer.BuildAndSign("fuzz", src)
+
+	// Every input runs twice: the naive build with every runtime check in
+	// place, and the analyzer-optimized build with proven checks elided.
+	// The two must be bit-identical in result AND trap verdict — elision is
+	// only sound if it is observationally invisible.
+	so, err := signer.BuildAndSign("fuzz-naive", src)
 	if err != nil {
 		tb.Fatalf("seed %d: build: %v\n%s", seed, err, src)
 	}
-	ext, err := rt.Load(so)
+	soOpt, err := signer.BuildAndSignOptimized("fuzz-opt", src)
 	if err != nil {
-		tb.Fatalf("seed %d: load: %v", seed, err)
+		tb.Fatalf("seed %d: build optimized: %v\n%s", seed, err, src)
 	}
-	v, err := ext.Run(RunOptions{})
-	if err != nil {
-		tb.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+	run := func(so *toolchain.SignedObject) *Verdict {
+		ext, err := rt.Load(so)
+		if err != nil {
+			tb.Fatalf("seed %d: load: %v", seed, err)
+		}
+		v, err := ext.Run(RunOptions{})
+		if err != nil {
+			tb.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+		}
+		return v
+	}
+	v := run(so)
+	vOpt := run(soOpt)
+	if v.Completed != vOpt.Completed || v.Terminated != vOpt.Terminated ||
+		v.R0 != vOpt.R0 || v.Reason != vOpt.Reason || v.TrapCode != vOpt.TrapCode {
+		tb.Fatalf("seed %d: naive and optimized builds diverged:\nnaive     %+v\noptimized %+v\n%s",
+			seed, v, vOpt, src)
 	}
 	if !v.Completed {
-		// Early returns make the final fold unreachable; skip those.
+		// Early returns and seeded zero-divisor traps make the final fold
+		// unreachable; the build-vs-build comparison above still counted.
 		return
 	}
 	if strings.Contains(src, "return v") && strings.Count(src, "return") > 1 {
@@ -337,7 +393,16 @@ func TestSLXDifferentialFuzz(t *testing.T) {
 
 // FuzzSLXDifferential is the go test -fuzz entry point over the same
 // differential oracle: the fuzzer explores generator seeds beyond the fixed
-// corpus the table-driven test covers.
+// corpus the table-driven test covers. Each input exercises both the naive
+// and the analyzer-optimized build (see slxDifferentialTrial).
+//
+// The checked-in corpus entry testdata/fuzz/FuzzSLXDifferential/
+// shift-mask-div-trap pins a seed whose program shifts by variable amounts
+// ≥64 and below zero: all three layers (compile's emitted mask, the
+// interpreter's EvalALU, and the JIT that reuses it) mask shift amounts
+// with src & 63, and this seed keeps that equivalence under test. The same
+// seed also carries a literal zero divisor, pinning trap-verdict equality
+// between builds.
 func FuzzSLXDifferential(f *testing.F) {
 	signer, err := toolchain.NewSigner()
 	if err != nil {

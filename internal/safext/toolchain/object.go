@@ -31,6 +31,11 @@ var (
 	secMaps = [4]byte{'M', 'A', 'P', 'S'}
 	secCaps = [4]byte{'C', 'A', 'P', 'S'}
 	secRelo = [4]byte{'R', 'E', 'L', 'O'}
+	// secChek carries the check ledger: emitted/elided counts, the static
+	// instruction bound, and the per-site elision records. It rides inside
+	// the signed payload, so the signature vouches for what was proven,
+	// not just for the final instruction stream.
+	secChek = [4]byte{'C', 'H', 'E', 'K'}
 )
 
 // Serialize encodes a compiled object into the SLXO container.
@@ -98,6 +103,28 @@ func Serialize(obj *compile.Object) ([]byte, error) {
 		writeStr(&capsBuf, c)
 	}
 	section(secCaps, capsBuf.Bytes())
+
+	cs := obj.Checks
+	var chekBuf bytes.Buffer
+	for _, n := range []int{
+		cs.BoundsEmitted, cs.BoundsElided,
+		cs.DivEmitted, cs.DivElided,
+		cs.MaskEmitted, cs.MaskElided,
+	} {
+		le.PutUint32(v4[:], uint32(n))
+		chekBuf.Write(v4[:])
+	}
+	var v8 [8]byte
+	le.PutUint64(v8[:], uint64(cs.StaticInsnBound))
+	chekBuf.Write(v8[:])
+	le.PutUint32(v4[:], uint32(len(cs.Elisions)))
+	chekBuf.Write(v4[:])
+	for _, el := range cs.Elisions {
+		writeStr(&chekBuf, el.Kind)
+		le.PutUint32(v4[:], uint32(el.Line))
+		chekBuf.Write(v4[:])
+	}
+	section(secChek, chekBuf.Bytes())
 
 	return buf.Bytes(), nil
 }
@@ -189,6 +216,41 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 					return nil, err
 				}
 				obj.Capabilities = append(obj.Capabilities, c)
+			}
+		case secChek:
+			r := bytes.NewReader(body)
+			var v4 [4]byte
+			counts := [6]*int{
+				&obj.Checks.BoundsEmitted, &obj.Checks.BoundsElided,
+				&obj.Checks.DivEmitted, &obj.Checks.DivElided,
+				&obj.Checks.MaskEmitted, &obj.Checks.MaskElided,
+			}
+			for _, dst := range counts {
+				if _, err := r.Read(v4[:]); err != nil {
+					return nil, fmt.Errorf("toolchain: truncated CHEK section")
+				}
+				*dst = int(binary.LittleEndian.Uint32(v4[:]))
+			}
+			var v8 [8]byte
+			if _, err := r.Read(v8[:]); err != nil {
+				return nil, fmt.Errorf("toolchain: truncated CHEK section")
+			}
+			obj.Checks.StaticInsnBound = int64(binary.LittleEndian.Uint64(v8[:]))
+			if _, err := r.Read(v4[:]); err != nil {
+				return nil, fmt.Errorf("toolchain: truncated CHEK section")
+			}
+			n := binary.LittleEndian.Uint32(v4[:])
+			for i := uint32(0); i < n; i++ {
+				var el compile.Elision
+				var err error
+				if el.Kind, err = readStr(r); err != nil {
+					return nil, err
+				}
+				if _, err := r.Read(v4[:]); err != nil {
+					return nil, fmt.Errorf("toolchain: truncated CHEK section")
+				}
+				el.Line = int(binary.LittleEndian.Uint32(v4[:]))
+				obj.Checks.Elisions = append(obj.Checks.Elisions, el)
 			}
 		default:
 			return nil, fmt.Errorf("toolchain: unknown section %q", tag)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"kex/internal/exec"
+	"kex/internal/safext/analyze"
 	"kex/internal/safext/compile"
 	"kex/internal/safext/lang"
 )
@@ -89,9 +90,60 @@ func BuildProfiled(name, src string) (*compile.Object, exec.PhaseTimings, error)
 	return obj, rec.Phases(), nil
 }
 
+// BuildOptimized compiles SLX source with the abstract-interpretation pass
+// in the loop: the analyzer's proofs elide redundant runtime checks, and
+// the elision ledger travels in the object (behind the signature once
+// signed).
+func BuildOptimized(name, src string) (*compile.Object, error) {
+	obj, _, _, err := BuildOptimizedProfiled(name, src)
+	return obj, err
+}
+
+// BuildOptimizedProfiled is BuildOptimized with per-phase wall timings and
+// the raw analysis result (for inspection and reporting).
+func BuildOptimizedProfiled(name, src string) (*compile.Object, *analyze.Result, exec.PhaseTimings, error) {
+	rec := exec.NewPhaseRecorder()
+	f, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec.Mark("parse")
+	checked, err := lang.Check(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec.Mark("typecheck")
+	facts := analyze.Analyze(checked)
+	rec.Mark("analyze")
+	obj, err := compile.CompileWithOptions(name, checked, compile.Options{Facts: facts})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec.Mark("compile")
+	return obj, facts, rec.Phases(), nil
+}
+
 // BuildAndSign runs the full pipeline and signs the result.
 func (s *Signer) BuildAndSign(name, src string) (*SignedObject, error) {
 	obj, phases, err := BuildProfiled(name, src)
+	if err != nil {
+		return nil, err
+	}
+	so, err := s.Sign(obj)
+	if err != nil {
+		return nil, err
+	}
+	so.Phases = append(phases, so.Phases...)
+	return so, nil
+}
+
+// BuildAndSignOptimized runs the analyze-enabled pipeline and signs the
+// result: the signature then vouches for the elisions, which is the trust
+// argument — the kernel loader accepts proven-away checks because the
+// toolchain that proved them is the thing being trusted, exactly as it is
+// trusted for codegen itself.
+func (s *Signer) BuildAndSignOptimized(name, src string) (*SignedObject, error) {
+	obj, _, phases, err := BuildOptimizedProfiled(name, src)
 	if err != nil {
 		return nil, err
 	}

@@ -76,6 +76,55 @@ func TestSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCheckLedgerRoundTrip(t *testing.T) {
+	const src = `
+fn main() -> i64 {
+	let a: [u8; 8];
+	a[0] = 1;
+	a[7] = 2;
+	let i: i64 = kernel::ktime() % 8;
+	return a[i] + a[3] / 2;
+}
+`
+	obj, err := BuildOptimized("chek", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Checks.BoundsElided == 0 {
+		t.Fatalf("expected elisions from the analyzer, got %+v", obj.Checks)
+	}
+	if obj.Checks.StaticInsnBound <= 0 {
+		t.Fatalf("straight-line program should carry a static bound, got %d", obj.Checks.StaticInsnBound)
+	}
+	payload, err := Serialize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Deserialize(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Checks, obj.Checks) {
+		t.Fatalf("check ledger did not round-trip:\n got %+v\nwant %+v", back.Checks, obj.Checks)
+	}
+	if len(back.Checks.Elisions) == 0 {
+		t.Fatal("elision records lost in serialization")
+	}
+
+	// A naive build of the same source must carry more dynamic checks and
+	// no static bound — the signed artifacts are distinguishable.
+	naive, err := Build("chek-naive", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Checks.Elided() != 0 || naive.Checks.StaticInsnBound != 0 {
+		t.Fatalf("naive build should elide nothing: %+v", naive.Checks)
+	}
+	if naive.Checks.Emitted() <= obj.Checks.Emitted() {
+		t.Fatalf("naive emitted %d checks, optimized emitted %d", naive.Checks.Emitted(), obj.Checks.Emitted())
+	}
+}
+
 func TestDeserializeRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,

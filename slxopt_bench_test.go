@@ -1,0 +1,129 @@
+package kexbench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"kex/examples/progs"
+	"kex/internal/kernel"
+	"kex/internal/safext/runtime"
+	"kex/internal/safext/toolchain"
+)
+
+// The BenchmarkSLXOpt_* family measures what the abstract-interpretation
+// pass buys at run time: the same SLX program built naively (every check
+// dynamic, fuel metered per instruction) and optimized (proven checks
+// elided, fuel coalesced under the static bound), side by side on the
+// interpreter. TestMain persists the rows to BENCH_slxopt.json so the
+// naive-vs-elided delta is machine-readable across commits.
+
+type slxOptRow struct {
+	Config          string  `json:"config"`
+	WallNsPerOp     float64 `json:"wall_ns_per_op"`
+	VirtNsPerOp     float64 `json:"virtual_ns_per_op"`
+	InsnsPerOp      float64 `json:"insns_per_op"`
+	FuelPerOp       float64 `json:"fuel_per_op"`
+	DynamicChecks   uint64  `json:"dynamic_checks"`
+	ElidedChecks    uint64  `json:"elided_checks"`
+	StaticInsnBound int64   `json:"static_insn_bound"`
+	FuelElisions    uint64  `json:"fuel_elisions"`
+	BenchmarkIter   int     `json:"benchmark_iters"`
+}
+
+var (
+	slxOptMu   sync.Mutex
+	slxOptRows = map[string]slxOptRow{}
+)
+
+func benchSLXOpt(b *testing.B, config, name, src string, optimized bool) {
+	rt := runtime.New(kernel.NewDefault(), runtime.DefaultConfig())
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+	var so *toolchain.SignedObject
+	if optimized {
+		so, err = signer.BuildAndSignOptimized(name, src)
+	} else {
+		so, err = signer.BuildAndSign(name, src)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext, err := rt.Load(so)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ext.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := ext.Run(runtime.RunOptions{})
+		if err != nil || !v.Completed {
+			b.Fatalf("verdict = %+v, %v", v, err)
+		}
+	}
+	b.StopTimer()
+	ps := rt.Core.Stats.Snapshot().Programs[name]
+	n := float64(ps.Invocations)
+	row := slxOptRow{
+		Config:          config,
+		WallNsPerOp:     float64(ps.WallNs) / n,
+		VirtNsPerOp:     float64(ps.RuntimeNs) / n,
+		InsnsPerOp:      float64(ps.Instructions) / n,
+		FuelPerOp:       float64(ps.FuelUsed) / n,
+		DynamicChecks:   ps.DynamicChecks,
+		ElidedChecks:    ps.ElidedChecks,
+		StaticInsnBound: ext.Checks.StaticInsnBound,
+		FuelElisions:    ps.FuelElisions,
+		BenchmarkIter:   b.N,
+	}
+	b.ReportMetric(row.VirtNsPerOp, "virtual-ns/op")
+	b.ReportMetric(float64(row.ElidedChecks), "elided-checks")
+	slxOptMu.Lock()
+	slxOptRows[config] = row
+	slxOptMu.Unlock()
+}
+
+func BenchmarkSLXOpt_HistogramNaive(b *testing.B) {
+	benchSLXOpt(b, "histogram/naive", "hist", progs.Histogram, false)
+}
+func BenchmarkSLXOpt_HistogramElided(b *testing.B) {
+	benchSLXOpt(b, "histogram/elided", "hist", progs.Histogram, true)
+}
+func BenchmarkSLXOpt_PolicyNaive(b *testing.B) {
+	benchSLXOpt(b, "policy/naive", "policy", progs.SyscallPolicy, false)
+}
+func BenchmarkSLXOpt_PolicyElided(b *testing.B) {
+	benchSLXOpt(b, "policy/elided", "policy", progs.SyscallPolicy, true)
+}
+func BenchmarkSLXOpt_CounterNaive(b *testing.B) {
+	benchSLXOpt(b, "counter/naive", "counter", progs.Counter, false)
+}
+func BenchmarkSLXOpt_CounterElided(b *testing.B) {
+	benchSLXOpt(b, "counter/elided", "counter", progs.Counter, true)
+}
+
+// writeSLXOptBench persists the BenchmarkSLXOpt_* rows.
+func writeSLXOptBench() {
+	slxOptMu.Lock()
+	defer slxOptMu.Unlock()
+	if len(slxOptRows) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(slxOptRows))
+	for k := range slxOptRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]slxOptRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, slxOptRows[k])
+	}
+	if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
+		_ = os.WriteFile("BENCH_slxopt.json", append(data, '\n'), 0o644)
+	}
+}
