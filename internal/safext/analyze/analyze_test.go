@@ -159,6 +159,39 @@ fn main() -> i64 {
 	}
 }
 
+func TestForLoopTripCountOverflow(t *testing.T) {
+	// to-from overflows int64 here (~1.2e19 trips); the walker must not
+	// wrap to a falsely small bound that would let the loader disable
+	// per-instruction fuel metering. No static bound may be signed.
+	_, res := mustAnalyze(t, `
+fn main() -> i64 {
+    let mut x = 0;
+    for i in -6000000000000000000..6000000000000000000 {
+        x += 1;
+    }
+    return x;
+}`)
+	if res.FuelBound != 0 {
+		t.Fatalf("overflowing trip count must have no static fuel bound, got %d", res.FuelBound)
+	}
+}
+
+func TestForLoopHugeTripCountRejected(t *testing.T) {
+	// No overflow, but the product blows past fuelCap: the bound is
+	// useless and must be dropped rather than reported.
+	_, res := mustAnalyze(t, `
+fn main() -> i64 {
+    let mut x = 0;
+    for i in 0..8000000000000000000 {
+        x += 1;
+    }
+    return x;
+}`)
+	if res.FuelBound != 0 {
+		t.Fatalf("beyond-cap trip count must have no static fuel bound, got %d", res.FuelBound)
+	}
+}
+
 func TestWhileLoopWidening(t *testing.T) {
 	_, res := mustAnalyze(t, `
 fn main() -> i64 {

@@ -15,7 +15,11 @@ const (
 	fuelPerNode  = 12
 	fuelPerStmt  = 12
 	fuelPrologue = 32
-	fuelUnbound  = int64(-1)
+	// fuelPerCleanup dominates one scope-exit release: a sock release is a
+	// load plus a crate call, a lock release a map ref, a load and a crate
+	// call. Charged once per live cleanup on every exit path.
+	fuelPerCleanup = 16
+	fuelUnbound    = int64(-1)
 	// fuelCap rejects astronomically large bounds; beyond it a static
 	// bound is useless (no budget would admit it) and products risk
 	// overflow.
@@ -27,6 +31,7 @@ func fuelBound(checked *lang.Checked) int64 {
 		funcs: make(map[string]*lang.FuncDecl),
 		memo:  make(map[string]int64),
 		open:  make(map[string]bool),
+		types: checked.ExprTypes,
 	}
 	for _, fn := range checked.File.Funcs {
 		fb.funcs[fn.Name] = fn
@@ -42,6 +47,14 @@ type fuelWalker struct {
 	funcs map[string]*lang.FuncDecl
 	memo  map[string]int64
 	open  map[string]bool // recursion detection
+	types map[lang.Expr]lang.Type
+
+	// live counts the cleanups (sock handles, sync locks) currently held
+	// along the walked path; the compiler emits one release per live
+	// cleanup on every return/break/continue/scope-exit path, so exit
+	// charges scale with it rather than using a flat constant.
+	live     int
+	loopLive []int // live count at entry to each enclosing loop
 }
 
 // addB saturates at fuelUnbound and fuelCap.
@@ -81,17 +94,26 @@ func (fb *fuelWalker) fn(name string) int64 {
 		return fuelUnbound
 	}
 	fb.open[name] = true
+	// Each function has its own cleanup stack; a callee's returns only
+	// release the callee's cleanups.
+	savedLive, savedLoops := fb.live, fb.loopLive
+	fb.live, fb.loopLive = 0, nil
 	b := addB(fuelPrologue, fb.blockCost(decl.Body))
+	fb.live, fb.loopLive = savedLive, savedLoops
 	delete(fb.open, name)
 	fb.memo[name] = b
 	return b
 }
 
 func (fb *fuelWalker) blockCost(b *lang.Block) int64 {
+	entry := fb.live
 	total := int64(fuelPerStmt)
 	for _, s := range b.Stmts {
 		total = addB(total, fb.stmtCost(s))
 	}
+	// Normal-path scope exit releases every cleanup acquired in this block.
+	total = addB(total, mulB(int64(fb.live-entry), fuelPerCleanup))
+	fb.live = entry
 	return total
 }
 
@@ -102,6 +124,9 @@ func (fb *fuelWalker) stmtCost(s lang.Stmt) int64 {
 	case *lang.LetStmt:
 		if s.Init == nil {
 			return addB(fuelPerStmt, s.Type.Size()/8*2)
+		}
+		if fb.types[s.Init].Kind == lang.TypeSock {
+			fb.live++ // RAII handle, released when its scope exits
 		}
 		return addB(fuelPerStmt, fb.exprCost(s.Init))
 	case *lang.AssignStmt:
@@ -123,24 +148,46 @@ func (fb *fuelWalker) stmtCost(s lang.Stmt) int64 {
 		if !ok1 || !ok2 {
 			return fuelUnbound
 		}
-		trips := to - from
-		if trips < 0 {
-			trips = 0
+		// to-from can overflow int64 for extreme literal bounds (e.g.
+		// -6e18 .. 6e18), which would wrap negative and clamp to zero
+		// trips; compute the trip count in uint64, where the two's-
+		// complement difference is exact whenever to > from.
+		var trips int64
+		if to > from {
+			if u := uint64(to) - uint64(from); u > uint64(fuelCap) {
+				trips = fuelCap + 1 // saturate; mulB pushes this past fuelCap
+			} else {
+				trips = int64(u)
+			}
 		}
+		fb.loopLive = append(fb.loopLive, fb.live)
 		iter := addB(fb.blockCost(s.Body), fuelPerStmt)
+		fb.loopLive = fb.loopLive[:len(fb.loopLive)-1]
 		c := addB(fuelPerStmt, addB(fb.exprCost(s.From), fb.exprCost(s.To)))
 		return addB(c, mulB(trips, iter))
 	case *lang.ReturnStmt:
-		c := int64(fuelPerStmt + 32) // value + cleanups on the exit path
+		// Return value plus the retSlot spill/reload around the cleanup
+		// run, plus one release per cleanup live on this exit path.
+		c := addB(int64(fuelPerStmt+8), mulB(int64(fb.live), fuelPerCleanup))
 		if s.Value != nil {
 			c = addB(c, fb.exprCost(s.Value))
 		}
 		return c
 	case *lang.BreakStmt, *lang.ContinueStmt:
-		return fuelPerStmt + 16
+		// Releases every cleanup acquired since the enclosing loop's entry.
+		depth := fb.live
+		if n := len(fb.loopLive); n > 0 {
+			depth = fb.live - fb.loopLive[n-1]
+		}
+		return addB(int64(fuelPerStmt+16), mulB(int64(depth), fuelPerCleanup))
 	case *lang.SyncStmt:
 		c := addB(fuelPerStmt+24, fb.exprCost(s.Key))
-		return addB(c, fb.blockCost(s.Body))
+		entry := fb.live
+		fb.live++ // the entry lock is held for the body's duration
+		c = addB(c, fb.blockCost(s.Body))
+		c = addB(c, fuelPerCleanup) // lock release on the normal path
+		fb.live = entry
+		return c
 	case *lang.TrapStmt:
 		return fuelPerStmt
 	}

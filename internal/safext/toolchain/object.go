@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"kex/internal/ebpf/isa"
 	"kex/internal/safext/compile"
@@ -138,16 +139,16 @@ func writeStr(b *bytes.Buffer, s string) {
 
 func readStr(b *bytes.Reader) (string, error) {
 	var v4 [4]byte
-	if _, err := b.Read(v4[:]); err != nil {
-		return "", err
+	if _, err := io.ReadFull(b, v4[:]); err != nil {
+		return "", fmt.Errorf("toolchain: truncated string")
 	}
 	n := binary.LittleEndian.Uint32(v4[:])
 	if uint32(b.Len()) < n {
 		return "", fmt.Errorf("toolchain: truncated string")
 	}
 	out := make([]byte, n)
-	if _, err := b.Read(out); err != nil {
-		return "", err
+	if _, err := io.ReadFull(b, out); err != nil {
+		return "", fmt.Errorf("toolchain: truncated string")
 	}
 	return string(out), nil
 }
@@ -196,13 +197,13 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 					return nil, err
 				}
 				var v [8]byte
-				if _, err := r.Read(v[:]); err != nil {
-					return nil, err
+				if _, err := io.ReadFull(r, v[:]); err != nil {
+					return nil, fmt.Errorf("toolchain: truncated MAPS section")
 				}
 				m.KeySize = int(binary.LittleEndian.Uint32(v[:4]))
 				m.ValSize = int(binary.LittleEndian.Uint32(v[4:]))
-				if _, err := r.Read(v[:]); err != nil {
-					return nil, err
+				if _, err := io.ReadFull(r, v[:]); err != nil {
+					return nil, fmt.Errorf("toolchain: truncated MAPS section")
 				}
 				m.Entries = int64(binary.LittleEndian.Uint32(v[:4]))
 				m.Locked = binary.LittleEndian.Uint32(v[4:]) == 1
@@ -226,17 +227,17 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 				&obj.Checks.MaskEmitted, &obj.Checks.MaskElided,
 			}
 			for _, dst := range counts {
-				if _, err := r.Read(v4[:]); err != nil {
+				if _, err := io.ReadFull(r, v4[:]); err != nil {
 					return nil, fmt.Errorf("toolchain: truncated CHEK section")
 				}
 				*dst = int(binary.LittleEndian.Uint32(v4[:]))
 			}
 			var v8 [8]byte
-			if _, err := r.Read(v8[:]); err != nil {
+			if _, err := io.ReadFull(r, v8[:]); err != nil {
 				return nil, fmt.Errorf("toolchain: truncated CHEK section")
 			}
 			obj.Checks.StaticInsnBound = int64(binary.LittleEndian.Uint64(v8[:]))
-			if _, err := r.Read(v4[:]); err != nil {
+			if _, err := io.ReadFull(r, v4[:]); err != nil {
 				return nil, fmt.Errorf("toolchain: truncated CHEK section")
 			}
 			n := binary.LittleEndian.Uint32(v4[:])
@@ -246,7 +247,7 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 				if el.Kind, err = readStr(r); err != nil {
 					return nil, err
 				}
-				if _, err := r.Read(v4[:]); err != nil {
+				if _, err := io.ReadFull(r, v4[:]); err != nil {
 					return nil, fmt.Errorf("toolchain: truncated CHEK section")
 				}
 				el.Line = int(binary.LittleEndian.Uint32(v4[:]))
@@ -264,8 +265,8 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 	r := bytes.NewReader(relo)
 	for r.Len() > 0 {
 		var v4 [4]byte
-		if _, err := r.Read(v4[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(r, v4[:]); err != nil {
+			return nil, fmt.Errorf("toolchain: truncated RELO section")
 		}
 		idx := binary.LittleEndian.Uint32(v4[:])
 		name, err := readStr(r)

@@ -131,6 +131,9 @@ func TestDeserializeRejectsGarbage(t *testing.T) {
 		[]byte("nope"),
 		[]byte("SLXO\x02\x00\x00\x00"), // bad version
 		[]byte("SLXO\x01\x00\x00\x00XXXX\xff\xff\xff\xff"), // truncated section
+		// CHEK body cut 2 bytes short of the elision count: the reader
+		// must report truncation, not parse a short read as zero.
+		append([]byte("SLXO\x01\x00\x00\x00CHEK\x22\x00\x00\x00"), make([]byte, 34)...),
 	}
 	for _, raw := range cases {
 		if _, err := Deserialize(raw); err == nil {
