@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench lint check clean
+.PHONY: all build vet test race fuzz soundness bench lint check clean
 
 all: check
 
@@ -32,15 +32,27 @@ race:
 fuzz:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run '^$$' ./internal/safext/runtime
 
+# Soundness smoke: the statecheck oracle (state-embedding cross-check of
+# verifier abstract states vs concrete interpreter traces) over its unit
+# suite, the deterministic seed corpus, the bug-catch regressions, and a
+# short continuous FuzzVerifierSoundness run. Witness repros land in
+# internal/ebpf/statecheck_witnesses/ for CI to upload.
+soundness:
+	$(GO) test ./internal/analysis/statecheck/ ./internal/bugcorpus/
+	$(GO) test -run 'TestSoundnessFuzz' ./internal/ebpf/
+	$(GO) test -fuzz FuzzVerifierSoundness -fuzztime 15s -run '^$$' ./internal/ebpf/
+
 # Regenerates BENCH_exec.json (the ExecCore family), BENCH_supervisor.json
 # (healthy-path overhead and time-to-recover of the supervised recovery
-# layer) and BENCH_slxopt.json (naive-vs-elided safext builds) under
+# layer), BENCH_slxopt.json (naive-vs-elided safext builds) and
+# BENCH_statecheck.json (soundness-oracle cost + verifier precision) under
 # testing.B.
 bench:
-	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSupervisor|BenchmarkSLXOpt' -benchtime 20x .
+	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSupervisor|BenchmarkSLXOpt|BenchmarkStatecheck' -benchtime 20x .
 
 check: lint build test race
 
 clean:
-	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json
+	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json
+	rm -rf internal/ebpf/statecheck_witnesses
 	$(GO) clean -testcache

@@ -9,9 +9,11 @@
 //	kexverify -type socket_filter prog.s   choose the program type
 //	kexverify -map counts:4:8 prog.s       declare a map (name:key:value)
 //	kexverify -dump-state prog.s           print per-instruction abstract state
+//	kexverify -dump-state=json prog.s      emit the abstract-state table as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +31,31 @@ type mapFlags []string
 func (m *mapFlags) String() string     { return strings.Join(*m, ",") }
 func (m *mapFlags) Set(s string) error { *m = append(*m, s); return nil }
 
+// stateFlag is -dump-state: a boolean flag that also accepts =json to
+// select the machine-readable snapshot table instead of the log dump.
+type stateFlag struct{ mode string }
+
+func (f *stateFlag) String() string { return f.mode }
+func (f *stateFlag) Set(s string) error {
+	switch s {
+	case "true":
+		f.mode = "text"
+	case "false":
+		f.mode = ""
+	case "text", "json":
+		f.mode = s
+	default:
+		return fmt.Errorf("want -dump-state, -dump-state=text or -dump-state=json, got %q", s)
+	}
+	return nil
+}
+func (f *stateFlag) IsBoolFlag() bool { return true }
+
 func main() {
 	era := flag.String("era", "", "kernel era feature set (v3.18, v4.9, v4.20, v5.4, v5.15)")
 	progType := flag.String("type", "tracing", "program type: tracing, socket_filter, xdp, syscall")
-	dumpState := flag.Bool("dump-state", false, "print the per-instruction abstract state the verifier explored")
+	var dumpState stateFlag
+	flag.Var(&dumpState, "dump-state", "print the per-instruction abstract state the verifier explored (=json for machine-readable)")
 	var mapDecls mapFlags
 	flag.Var(&mapDecls, "map", "declare a map as name:keysize:valuesize (repeatable)")
 	flag.Parse()
@@ -83,13 +106,22 @@ func main() {
 		cfg = verifier.EraConfig(*era)
 		fmt.Printf("using %s feature set (%d features)\n", *era, cfg.FeatureCount())
 	}
-	cfg.LogState = *dumpState
+	cfg.LogState = dumpState.mode == "text"
+	cfg.CaptureState = dumpState.mode == "json"
 	prog := &isa.Program{Name: flag.Arg(0), Type: pt, Insns: insns}
 	res, err := verifier.Verify(prog, reg, mapMeta, cfg)
-	if *dumpState {
+	switch dumpState.mode {
+	case "text":
 		for _, line := range res.Log {
 			fmt.Println(line)
 		}
+	case "json":
+		out, jerr := json.MarshalIndent(res.States, "", "  ")
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, jerr)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 	}
 	fmt.Printf("instructions processed: %d\nstates explored: %d (pruned %d, peak %d)\n",
 		res.InsnsProcessed, res.StatesExplored, res.StatesPruned, res.PeakStates)

@@ -65,6 +65,7 @@ func TestMain(m *testing.M) {
 	execBenchMu.Unlock()
 	writeSupervisorBench()
 	writeSLXOptBench()
+	writeStatecheckBench()
 	os.Exit(code)
 }
 

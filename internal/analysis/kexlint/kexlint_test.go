@@ -49,18 +49,18 @@ func TestFixtureViolations(t *testing.T) {
 	}
 
 	rd := findingsBy(t, "randdeterminism", all)
-	if len(rd) != 2 {
-		t.Fatalf("randdeterminism findings = %v, want Seed and Intn", rd)
+	if len(rd) != 3 {
+		t.Fatalf("randdeterminism findings = %v, want Seed, Intn and the trace-hook Int63n", rd)
 	}
-	msgs := rd[0].Message + " " + rd[1].Message
-	for _, want := range []string{"rand.Seed", "rand.Intn"} {
+	msgs := rd[0].Message + " " + rd[1].Message + " " + rd[2].Message
+	for _, want := range []string{"rand.Seed", "rand.Intn", "rand.Int63n"} {
 		if !strings.Contains(msgs, want) {
 			t.Errorf("randdeterminism missed %s: %v", want, rd)
 		}
 	}
 
-	if len(all) != 4 {
-		t.Errorf("total findings = %d, want 4: %v", len(all), all)
+	if len(all) != 5 {
+		t.Errorf("total findings = %d, want 5: %v", len(all), all)
 	}
 }
 

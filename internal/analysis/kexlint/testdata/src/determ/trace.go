@@ -1,0 +1,35 @@
+// Trace-hook fixture: a statecheck-style concrete-execution observer whose
+// replay must be seed-deterministic. Parse-only — never built.
+package determ
+
+import (
+	"math/rand"
+)
+
+// TraceObserver records per-instruction register snapshots during a
+// soundness check. Replaying the same seed must revisit the same pcs.
+type TraceObserver struct {
+	rng *rand.Rand
+	pcs []int
+}
+
+// NewTraceObserver owns its generator — the sanctioned idiom. Pass.
+func NewTraceObserver(seed int64) *TraceObserver {
+	return &TraceObserver{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Observe is the per-instruction hook; sampling from the owned rng keeps
+// the run replayable. Pass: method call on a field.
+func (o *TraceObserver) Observe(pc int) bool {
+	o.pcs = append(o.pcs, pc)
+	return o.rng.Intn(4) == 0
+}
+
+// ReplayProbe picks a recorded pc to re-examine from the process-global
+// source, so two replays of the same witness diverge. One finding.
+func ReplayProbe(pcs []int) int {
+	if len(pcs) == 0 {
+		return -1
+	}
+	return pcs[rand.Int63n(int64(len(pcs)))]
+}

@@ -1,0 +1,185 @@
+package statecheck
+
+import (
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/verifier"
+)
+
+// Corpus returns the handwritten check programs: small, deliberately
+// path-diverse programs covering the abstract domains the checker can
+// anchor (scalar tnums and bounds, ctx and stack pointers, spills, branch
+// refinement in all four signedness/width quadrants). The tree is healthy
+// iff every corpus program checks SOUND under the default verifier.
+func Corpus() []Program {
+	lookupIdiom := []isa.Instruction{
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 3),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+		isa.LoadMapRef(isa.R1, genMapName),
+	}
+	return []Program{
+		{
+			Name: "branch_bounds", Type: isa.Tracing,
+			// Unsigned refinement: a ctx word is masked, compared, and used
+			// as a scalar; both sides of every branch execute across the
+			// default run set.
+			Insns: []isa.Instruction{
+				isa.LoadMem(isa.SizeW, isa.R2, isa.R1, 0),
+				isa.ALU64Imm(isa.OpAnd, isa.R2, 0xff),
+				isa.JmpImm(isa.OpJgt, isa.R2, 64, 2),
+				isa.ALU64Imm(isa.OpAdd, isa.R2, 1),
+				isa.Ja(1),
+				isa.Mov64Imm(isa.R2, 0),
+				isa.Mov64Reg(isa.R0, isa.R2),
+				isa.Exit(),
+			},
+		},
+		{
+			Name: "signed32_compare", Type: isa.Tracing,
+			// The Jmp32SignedBounds64 shape: a 32-bit word with the sign
+			// bit possibly set, compared with a 32-bit signed jump.
+			Insns: []isa.Instruction{
+				isa.LoadMem(isa.SizeW, isa.R3, isa.R1, 0),
+				isa.Jmp32Imm(isa.OpJsgt, isa.R3, 1, 2),
+				isa.Mov64Imm(isa.R0, 1),
+				isa.Exit(),
+				isa.Mov64Imm(isa.R0, 2),
+				isa.Exit(),
+			},
+		},
+		{
+			Name: "spill_reload", Type: isa.Tracing,
+			// Stack spill of a scalar and of a ctx pointer, reload, use.
+			Insns: []isa.Instruction{
+				isa.LoadMem(isa.SizeW, isa.R2, isa.R1, 4),
+				isa.StoreMem(isa.SizeDW, isa.R10, -8, isa.R2),
+				isa.StoreMem(isa.SizeDW, isa.R10, -16, isa.R1),
+				isa.StoreImm(isa.SizeDW, isa.R10, -24, 0),
+				isa.LoadMem(isa.SizeDW, isa.R4, isa.R10, -8),
+				isa.LoadMem(isa.SizeDW, isa.R5, isa.R10, -16),
+				isa.LoadMem(isa.SizeW, isa.R0, isa.R5, 8),
+				isa.ALU64Reg(isa.OpAdd, isa.R0, isa.R4),
+				isa.Exit(),
+			},
+		},
+		{
+			Name: "lookup_checked", Type: isa.Tracing,
+			Maps: GenMaps(),
+			Insns: append(append([]isa.Instruction{}, lookupIdiom...),
+				isa.Call(helperID("bpf_map_lookup_elem")),
+				isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+				isa.Mov64Imm(isa.R0, 0),
+				isa.Exit(),
+				isa.LoadMem(isa.SizeDW, isa.R0, isa.R0, 0),
+				isa.Exit(),
+			),
+		},
+		{
+			Name: "bounded_loop", Type: isa.Tracing,
+			// A counted loop: the checker sees many concrete states per pc
+			// and the table must cover all of them.
+			Insns: []isa.Instruction{
+				isa.Mov64Imm(isa.R2, 0),
+				isa.Mov64Imm(isa.R0, 0),
+				isa.ALU64Imm(isa.OpAdd, isa.R0, 2),
+				isa.ALU64Imm(isa.OpAdd, isa.R2, 1),
+				isa.JmpImm(isa.OpJlt, isa.R2, 8, -3),
+				isa.Exit(),
+			},
+		},
+		{
+			Name: "cpu_id", Type: isa.Tracing,
+			// Helper call: R1-R5 are clobbered abstractly (NotInit) and
+			// concretely (zeroed); R0 is an unknown scalar.
+			Insns: []isa.Instruction{
+				isa.Call(helperID("bpf_get_smp_processor_id")),
+				isa.JmpImm(isa.OpJgt, isa.R0, 2, 1),
+				isa.ALU64Imm(isa.OpMul, isa.R0, 2),
+				isa.Exit(),
+			},
+		},
+	}
+}
+
+// helperID resolves a helper name against the default registry; corpus
+// construction is infallible by design.
+func helperID(name string) int32 {
+	spec, ok := helpers.NewRegistry().ByName(name)
+	if !ok {
+		panic("statecheck: unknown helper " + name)
+	}
+	return int32(spec.ID)
+}
+
+// CampaignResult aggregates a generated-program soundness campaign — the
+// numbers the SC1 experiment and BENCH_statecheck.json report.
+type CampaignResult struct {
+	Programs int `json:"programs"`
+	Accepted int `json:"accepted"`
+	Runs     int `json:"runs"`
+	// Checked is the total concrete observations validated.
+	Checked   int        `json:"checked"`
+	Witnesses []*Witness `json:"witnesses,omitempty"`
+	// WitnessSeeds are the generator seeds that produced witnesses.
+	WitnessSeeds []int64 `json:"witness_seeds,omitempty"`
+	// Precision aggregates the snapshot tables of accepted programs.
+	Precision verifier.Precision `json:"precision"`
+}
+
+// Campaign generates n programs from consecutive seeds and checks each.
+// The corpus programs are prepended so every campaign also covers the
+// handwritten shapes.
+func Campaign(seed int64, n int, cfg Config) (*CampaignResult, error) {
+	res := &CampaignResult{}
+	var scalarW, tnumBits, boundsW float64
+	add := func(s int64, p Program, c Config) error {
+		v, err := Check(p, c)
+		if err != nil {
+			return err
+		}
+		res.Programs++
+		if !v.Accepted {
+			return nil
+		}
+		res.Accepted++
+		res.Runs += v.Runs
+		res.Checked += v.Checked
+		if len(v.Witnesses) > 0 {
+			res.Witnesses = append(res.Witnesses, v.Witnesses...)
+			res.WitnessSeeds = append(res.WitnessSeeds, s)
+		}
+		p2 := v.Table.Precision()
+		res.Precision.Insns += p2.Insns
+		res.Precision.Snapshots += p2.Snapshots
+		if p2.MaxSnapsPerInsn > res.Precision.MaxSnapsPerInsn {
+			res.Precision.MaxSnapsPerInsn = p2.MaxSnapsPerInsn
+		}
+		res.Precision.ScalarRegs += p2.ScalarRegs
+		w := float64(p2.ScalarRegs)
+		scalarW += w
+		tnumBits += p2.MeanUnknownTnumBits * w
+		boundsW += p2.MeanBoundsWidthLog2 * w
+		return nil
+	}
+	for _, p := range Corpus() {
+		if err := add(-1, p, cfg); err != nil {
+			return nil, err
+		}
+	}
+	for i := int64(0); i < int64(n); i++ {
+		c := cfg
+		c.Seed = seed + i
+		if err := add(seed+i, Generate(seed+i, 0), c); err != nil {
+			return nil, err
+		}
+	}
+	if res.Precision.Insns > 0 {
+		res.Precision.MeanSnapsPerInsn = float64(res.Precision.Snapshots) / float64(res.Precision.Insns)
+	}
+	if scalarW > 0 {
+		res.Precision.MeanUnknownTnumBits = tnumBits / scalarW
+		res.Precision.MeanBoundsWidthLog2 = boundsW / scalarW
+	}
+	return res, nil
+}

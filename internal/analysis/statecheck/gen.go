@@ -1,0 +1,205 @@
+package statecheck
+
+import (
+	"math/rand"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/maps"
+)
+
+// The campaign generator: random-but-structured programs in the same
+// vocabulary as the acceptance fuzz's progGen (internal/ebpf
+// fuzz_test.go), rebuilt here because that generator is unexported and
+// this package must stay importable from package ebpf. The vocabulary is
+// biased toward verifiable code — an unsoundness witness needs an ACCEPTED
+// program — while keeping the shapes that stress abstract operators:
+// pointer arithmetic, stack spills at random offsets, map lookups with and
+// without null checks, signed/unsigned and 32-bit branches.
+
+// genMapName is the array map every generated program may reference.
+const genMapName = "scmap"
+
+// GenMaps returns the map specs generated programs assume.
+func GenMaps() []maps.Spec {
+	return []maps.Spec{{Name: genMapName, Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 8}}
+}
+
+// generator accumulates one random program.
+type generator struct {
+	rng      *rand.Rand
+	insns    []isa.Instruction
+	inited   map[isa.Register]bool
+	ptrish   map[isa.Register]bool
+	written  []int16
+	lookupID int32
+	cpuID    int32
+}
+
+// Generate builds the seed'th campaign program with the given number of
+// vocabulary steps. Same seed, same program — campaigns and persisted
+// repros replay deterministically.
+func Generate(seed int64, steps int) Program {
+	reg := helpers.NewRegistry()
+	lookup, _ := reg.ByName("bpf_map_lookup_elem")
+	cpu, _ := reg.ByName("bpf_get_smp_processor_id")
+	g := &generator{
+		rng:      rand.New(rand.NewSource(seed)),
+		inited:   map[isa.Register]bool{isa.R1: true, isa.R10: true},
+		ptrish:   map[isa.Register]bool{isa.R1: true, isa.R10: true},
+		lookupID: int32(lookup.ID),
+		cpuID:    int32(cpu.ID),
+	}
+	if steps <= 0 {
+		steps = 4 + g.rng.Intn(20)
+	}
+	for i := 0; i < steps; i++ {
+		g.step()
+	}
+	return Program{Name: "statecheck_gen", Type: isa.Tracing, Insns: g.finish(), Maps: GenMaps()}
+}
+
+func (g *generator) emit(ins isa.Instruction) { g.insns = append(g.insns, ins) }
+
+func (g *generator) reg(initedOnly bool) isa.Register {
+	if initedOnly {
+		var cands []isa.Register
+		for r := isa.Register(0); r < isa.R10; r++ {
+			if g.inited[r] {
+				cands = append(cands, r)
+			}
+		}
+		if len(cands) == 0 {
+			return isa.R1
+		}
+		return cands[g.rng.Intn(len(cands))]
+	}
+	return isa.Register(g.rng.Intn(10))
+}
+
+func (g *generator) scalarReg() isa.Register {
+	if g.rng.Intn(8) == 0 {
+		return g.reg(true)
+	}
+	var cands []isa.Register
+	for r := isa.Register(0); r < isa.R10; r++ {
+		if g.inited[r] && !g.ptrish[r] {
+			cands = append(cands, r)
+		}
+	}
+	if len(cands) == 0 {
+		return g.reg(true)
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// step appends one random statement; the 17th case (32-bit signed
+// compare) exists specifically to drive the JMP32 bounds-projection logic
+// the Jmp32SignedBounds64 bug class lives in.
+func (g *generator) step() {
+	switch g.rng.Intn(17) {
+	case 0, 1, 2: // constant move
+		dst := g.reg(false)
+		g.emit(isa.Mov64Imm(dst, int32(g.rng.Int63n(1<<20)-1<<19)))
+		g.inited[dst] = true
+		g.ptrish[dst] = false
+	case 3, 4: // ALU, usually on scalars
+		ops := []uint8{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpRsh, isa.OpDiv}
+		op := ops[g.rng.Intn(len(ops))]
+		dst := g.scalarReg()
+		if g.rng.Intn(2) == 0 {
+			g.emit(isa.ALU64Imm(op, dst, int32(g.rng.Intn(64))))
+		} else {
+			g.emit(isa.ALU64Reg(op, dst, g.scalarReg()))
+		}
+	case 5: // register copy (may copy r10)
+		dst := g.reg(false)
+		src := g.reg(true)
+		if g.rng.Intn(4) == 0 {
+			src = isa.R10
+		}
+		g.emit(isa.Mov64Reg(dst, src))
+		g.inited[dst] = true
+		g.ptrish[dst] = g.ptrish[src]
+	case 6, 7: // stack store, usually in frame
+		off := int16(-8 * (1 + g.rng.Intn(8)))
+		if g.rng.Intn(8) == 0 {
+			off = int16(-8 * g.rng.Intn(70))
+		}
+		g.emit(isa.StoreMem(isa.SizeDW, isa.R10, off, g.reg(true)))
+		g.written = append(g.written, off)
+	case 8, 9: // stack load, usually from a written slot
+		dst := g.reg(false)
+		var off int16
+		if len(g.written) > 0 && g.rng.Intn(8) != 0 {
+			off = g.written[g.rng.Intn(len(g.written))]
+		} else {
+			off = int16(-8 * (1 + g.rng.Intn(68)))
+		}
+		g.emit(isa.LoadMem(isa.SizeDW, dst, isa.R10, off))
+		g.inited[dst] = true
+		g.ptrish[dst] = true
+	case 10: // context load, occasionally a wild dereference
+		dst := g.reg(false)
+		if g.rng.Intn(4) == 0 {
+			g.emit(isa.LoadMem(isa.SizeW, dst, g.reg(true), int16(g.rng.Intn(128)-16)))
+		} else {
+			g.emit(isa.LoadMem(isa.SizeW, dst, isa.R1, int16(g.rng.Intn(15)*4)))
+		}
+		g.inited[dst] = true
+		g.ptrish[dst] = false
+	case 11, 12: // forward conditional branch on a scalar
+		remaining := 3 + g.rng.Intn(4)
+		ops := []uint8{isa.OpJeq, isa.OpJne, isa.OpJgt, isa.OpJsgt, isa.OpJle}
+		g.emit(isa.JmpImm(ops[g.rng.Intn(len(ops))], g.scalarReg(), int32(g.rng.Intn(100)), int16(g.rng.Intn(remaining))))
+	case 13: // helper call with a deterministic result
+		g.emit(isa.Call(g.cpuID))
+		g.inited[isa.R0] = true
+		g.ptrish[isa.R0] = false
+		for r := isa.R1; r <= isa.R5; r++ {
+			g.inited[r] = false
+		}
+	case 14: // the map lookup idiom, sometimes missing its null check
+		g.emit(isa.StoreImm(isa.SizeW, isa.R10, -4, int32(g.rng.Intn(8))))
+		g.emit(isa.Mov64Reg(isa.R2, isa.R10))
+		g.emit(isa.ALU64Imm(isa.OpAdd, isa.R2, -4))
+		g.emit(isa.LoadMapRef(isa.R1, genMapName))
+		g.emit(isa.Call(g.lookupID))
+		g.inited[isa.R0] = true
+		g.ptrish[isa.R0] = true
+		for r := isa.R1; r <= isa.R5; r++ {
+			g.inited[r] = false
+		}
+		if g.rng.Intn(4) > 0 {
+			g.emit(isa.JmpImm(isa.OpJne, isa.R0, 0, 1))
+			g.emit(isa.Mov64Imm(isa.R0, 0))
+			if g.rng.Intn(2) == 0 {
+				dst := g.reg(false)
+				g.emit(isa.LoadMem(isa.SizeW, dst, isa.R0, int16(g.rng.Intn(16))))
+				g.inited[dst] = true
+				g.ptrish[dst] = false
+			}
+		}
+	case 15: // 32-bit ALU op
+		g.emit(isa.ALU32Imm(isa.OpAdd, g.scalarReg(), int32(g.rng.Intn(1000))))
+	case 16: // 32-bit signed compare against a boundary-ish immediate
+		remaining := 3 + g.rng.Intn(4)
+		ops := []uint8{isa.OpJsgt, isa.OpJsle, isa.OpJsge, isa.OpJslt}
+		imms := []int32{-1, 0, 1, 0x7fffffff, -0x80000000, int32(g.rng.Intn(100))}
+		g.emit(isa.Jmp32Imm(ops[g.rng.Intn(len(ops))], g.scalarReg(), imms[g.rng.Intn(len(imms))], int16(g.rng.Intn(remaining))))
+	}
+}
+
+func (g *generator) finish() []isa.Instruction {
+	g.emit(isa.Mov64Imm(isa.R0, int32(g.rng.Intn(2))))
+	g.emit(isa.Exit())
+	n := len(g.insns)
+	for i := range g.insns {
+		if g.insns[i].IsJump() {
+			if tgt := i + 1 + int(g.insns[i].Off); tgt >= n || tgt < 0 {
+				g.insns[i].Off = int16(n - 1 - i - 1)
+			}
+		}
+	}
+	return g.insns
+}

@@ -1,0 +1,80 @@
+package statecheck
+
+import "kex/internal/ebpf/isa"
+
+// The shrinker: delta-debug a witness program down to a minimal repro. A
+// fuzz-found violation arrives wrapped in dozens of irrelevant generated
+// instructions; the bug report worth keeping is the handful that actually
+// drive the verifier into its false belief. Greedy single-instruction
+// removal to a fixpoint is enough here — programs are short and every
+// candidate is validated end-to-end (still verifies, still witnesses).
+
+// shrink minimizes p.Insns while the check still produces a witness.
+func shrink(p Program, cfg Config) []isa.Instruction {
+	cfg.Shrink = false // candidates are validated flat, not recursively
+	cur := append([]isa.Instruction(nil), p.Insns...)
+	for reduced := true; reduced; {
+		reduced = false
+		// Never drop the final instruction: structure validation requires
+		// a terminating Exit.
+		for k := len(cur) - 2; k >= 0; k-- {
+			cand := removeInsn(cur, k)
+			if cand == nil || !reproduces(p, cfg, cand) {
+				continue
+			}
+			cur = cand
+			reduced = true
+		}
+	}
+	return cur
+}
+
+// reproduces re-checks the candidate program: the removal is kept only if
+// the verifier still accepts it and the concrete runs still violate.
+func reproduces(p Program, cfg Config, insns []isa.Instruction) bool {
+	v, err := Check(Program{Name: p.Name, Type: p.Type, Insns: insns, Maps: p.Maps}, cfg)
+	return err == nil && v.Accepted && len(v.Witnesses) > 0
+}
+
+// removeInsn deletes instruction k and repairs every pc-relative field.
+// After the deletion an instruction at index i sits at i (i<k) or i-1
+// (i>k); a branch target t moves the same way, and a target of exactly k
+// resolves to the instruction that now occupies k (the old k+1). Returns
+// nil when a repaired offset would not fit its encoding.
+func removeInsn(insns []isa.Instruction, k int) []isa.Instruction {
+	out := make([]isa.Instruction, 0, len(insns)-1)
+	for i, ins := range insns {
+		if i == k {
+			continue
+		}
+		newIdx := i
+		if i > k {
+			newIdx = i - 1
+		}
+		switch {
+		case ins.IsJump():
+			tgt := i + 1 + int(ins.Off)
+			off := newTarget(tgt, k) - newIdx - 1
+			if off != int(int16(off)) {
+				return nil
+			}
+			ins.Off = int16(off)
+		case ins.IsBPFCall():
+			tgt := i + 1 + int(ins.Imm)
+			ins.Imm = int32(newTarget(tgt, k) - newIdx - 1)
+		case ins.IsFuncRef():
+			ins.Const = int64(newTarget(int(ins.Const), k))
+			ins.Imm = int32(ins.Const)
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+// newTarget maps an instruction index through the removal of index k.
+func newTarget(t, k int) int {
+	if t > k {
+		return t - 1
+	}
+	return t
+}

@@ -1,0 +1,250 @@
+package statecheck
+
+import (
+	"testing"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/verifier"
+)
+
+func defaultCfg() Config {
+	return Config{Verifier: verifier.DefaultConfig()}
+}
+
+// The clean tree's contract: every handwritten corpus program verifies and
+// checks SOUND — zero containment violations across the default run set.
+func TestCorpusSound(t *testing.T) {
+	for _, p := range Corpus() {
+		v, err := Check(p, defaultCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !v.Accepted {
+			t.Fatalf("%s: corpus program rejected: %s", p.Name, v.RejectErr)
+		}
+		if v.Checked == 0 {
+			t.Errorf("%s: no observations validated — trace hook dead?", p.Name)
+		}
+		for _, w := range v.Witnesses {
+			t.Errorf("%s: unsoundness witness: %v", p.Name, w)
+		}
+	}
+}
+
+// A bounded generated campaign must also be witness-free on the fixed
+// verifier. 60 programs keeps this under a second while covering the full
+// generator vocabulary.
+func TestCampaignSound(t *testing.T) {
+	res, err := Campaign(1, 60, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted < 5 {
+		t.Fatalf("campaign too hostile: only %d/%d accepted", res.Accepted, res.Programs)
+	}
+	if res.Checked == 0 {
+		t.Fatal("campaign validated no observations")
+	}
+	for _, w := range res.Witnesses {
+		t.Errorf("witness (seeds %v): %v", res.WitnessSeeds, w)
+	}
+	if res.Precision.Snapshots == 0 || res.Precision.ScalarRegs == 0 {
+		t.Errorf("precision metrics empty: %+v", res.Precision)
+	}
+}
+
+// ctxWord builds a run whose context begins with the given 32-bit word.
+func ctxWord(v uint32) RunSpec {
+	ctx := make([]byte, ctxSize)
+	ctx[0] = byte(v)
+	ctx[1] = byte(v >> 8)
+	ctx[2] = byte(v >> 16)
+	ctx[3] = byte(v >> 24)
+	return RunSpec{Ctx: ctx}
+}
+
+// The OffByOneJle bug makes the verifier believe v <= imm-1 on the taken
+// branch of JLE; running the boundary value through must produce a
+// bounds-violation witness.
+func TestWitnessOffByOneJle(t *testing.T) {
+	p := Program{
+		Name: "jle_boundary", Type: isa.Tracing,
+		Insns: []isa.Instruction{
+			isa.LoadMem(isa.SizeW, isa.R2, isa.R1, 0),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.JmpImm(isa.OpJle, isa.R2, 5, 1),
+			isa.Ja(1),
+			isa.Mov64Reg(isa.R0, isa.R2), // taken target: believed r2 <= 4
+			isa.Exit(),
+		},
+	}
+	cfg := defaultCfg()
+	cfg.Verifier.Bugs.OffByOneJle = true
+	cfg.Runs = []RunSpec{ctxWord(5)}
+	v, err := Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("rejected: %s", v.RejectErr)
+	}
+	if len(v.Witnesses) == 0 {
+		t.Fatal("off-by-one refinement produced no witness")
+	}
+	w := v.Witnesses[0]
+	if w.Kind != "reg" || w.Reg != 2 || w.Concrete != 5 {
+		t.Errorf("unexpected witness: %v", w)
+	}
+
+	// Sanity: the fixed verifier is sound on the same program and input.
+	cfg.Verifier.Bugs.OffByOneJle = false
+	v, err = Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Sound() {
+		t.Errorf("fixed verifier not sound on jle_boundary: %v", v.Witnesses)
+	}
+}
+
+// The Jmp32SignedBounds64 bug reasons about 32-bit signed jumps with
+// 64-bit bounds: a value with bit 31 set is a large positive int64 but a
+// negative int32, so the verifier proves the fall-through dead and the
+// concrete execution lands on instructions with no captured state.
+func TestWitnessJmp32SignedBounds64(t *testing.T) {
+	p := Program{
+		Name: "jmp32_signed", Type: isa.Tracing,
+		Insns: []isa.Instruction{
+			isa.LoadMem(isa.SizeW, isa.R2, isa.R1, 0),
+			isa.ALU64Imm(isa.OpAnd, isa.R2, 0xff),
+			isa.Mov64Imm(isa.R3, 1),
+			isa.ALU64Imm(isa.OpLsh, isa.R3, 31),
+			isa.ALU64Reg(isa.OpOr, isa.R2, isa.R3), // r2 in [2^31, 2^31+255]: int64-positive
+			isa.Jmp32Imm(isa.OpJsgt, isa.R2, 1, 2), // int32(r2) < 0: never taken
+			isa.Mov64Imm(isa.R0, 7),
+			isa.Exit(),
+			isa.Mov64Imm(isa.R0, 1),
+			isa.Exit(),
+		},
+	}
+	cfg := defaultCfg()
+	cfg.Verifier.Bugs.Jmp32SignedBounds64 = true
+	cfg.Runs = []RunSpec{ctxWord(0)}
+	v, err := Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("rejected: %s", v.RejectErr)
+	}
+	if len(v.Witnesses) == 0 {
+		t.Fatal("32-bit signed-bounds confusion produced no witness")
+	}
+	if w := v.Witnesses[0]; w.Kind != "unverified-pc" || w.PC != 6 {
+		t.Errorf("unexpected witness: %v", w)
+	}
+
+	cfg.Verifier.Bugs.Jmp32SignedBounds64 = false
+	v, err = Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Sound() {
+		t.Errorf("fixed verifier not sound on jmp32_signed: %v", v.Witnesses)
+	}
+}
+
+// The TnumAddNoCarry bug drops carry propagation: {0,1} + 1 is believed to
+// stay within mask 1 (so {0,1}), but the concrete sum of an odd input is 2.
+func TestWitnessTnumAddNoCarry(t *testing.T) {
+	p := Program{
+		Name: "tnum_carry", Type: isa.Tracing,
+		Insns: []isa.Instruction{
+			isa.LoadMem(isa.SizeW, isa.R2, isa.R1, 0),
+			isa.ALU64Imm(isa.OpAnd, isa.R2, 1),
+			isa.ALU64Imm(isa.OpAdd, isa.R2, 1),
+			isa.Mov64Reg(isa.R0, isa.R2),
+			isa.Exit(),
+		},
+	}
+	cfg := defaultCfg()
+	cfg.Verifier.Bugs.TnumAddNoCarry = true
+	cfg.Runs = []RunSpec{ctxWord(1)}
+	v, err := Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("rejected: %s", v.RejectErr)
+	}
+	if len(v.Witnesses) == 0 {
+		t.Fatal("broken tnum add produced no witness")
+	}
+	if w := v.Witnesses[0]; w.Kind != "reg" || w.Reg != 2 || w.Concrete != 2 {
+		t.Errorf("unexpected witness: %v", w)
+	}
+
+	cfg.Verifier.Bugs.TnumAddNoCarry = false
+	v, err = Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Sound() {
+		t.Errorf("fixed verifier not sound on tnum_carry: %v", v.Witnesses)
+	}
+}
+
+// The shrinker must strip padding instructions and keep a reproducing
+// core: re-checking the shrunk program still yields a witness.
+func TestShrinkMinimizesWitness(t *testing.T) {
+	pad := func(r isa.Register, v int32) isa.Instruction { return isa.Mov64Imm(r, v) }
+	p := Program{
+		Name: "jle_padded", Type: isa.Tracing,
+		Insns: []isa.Instruction{
+			pad(isa.R6, 11),
+			isa.LoadMem(isa.SizeW, isa.R2, isa.R1, 0),
+			isa.Mov64Imm(isa.R0, 0),
+			pad(isa.R7, 22),
+			isa.JmpImm(isa.OpJle, isa.R2, 5, 2),
+			pad(isa.R8, 33),
+			isa.Ja(2),
+			pad(isa.R9, 44),
+			isa.Mov64Reg(isa.R0, isa.R2),
+			isa.Exit(),
+		},
+	}
+	cfg := defaultCfg()
+	cfg.Verifier.Bugs.OffByOneJle = true
+	cfg.Runs = []RunSpec{ctxWord(5)}
+	cfg.Shrink = true
+	v, err := Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Witnesses) == 0 {
+		t.Fatal("no witness to shrink")
+	}
+	shrunk := v.Witnesses[0].Insns
+	if len(shrunk) >= len(p.Insns) {
+		t.Fatalf("shrinker removed nothing: %d insns", len(shrunk))
+	}
+	cfg.Shrink = false
+	if !reproduces(p, cfg, shrunk) {
+		t.Fatalf("shrunk program does not reproduce:\n%v", shrunk)
+	}
+	t.Logf("shrunk %d -> %d insns", len(p.Insns), len(shrunk))
+}
+
+// Generate is deterministic: same seed, same program.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 0)
+	b := Generate(42, 0)
+	if len(a.Insns) != len(b.Insns) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Insns), len(b.Insns))
+	}
+	for i := range a.Insns {
+		if a.Insns[i] != b.Insns[i] {
+			t.Fatalf("insn %d differs: %v vs %v", i, a.Insns[i], b.Insns[i])
+		}
+	}
+}

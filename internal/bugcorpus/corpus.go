@@ -126,7 +126,7 @@ func All() []*Bug {
 			Ref:   "CVE-2022-23222"},
 		{ID: "V02", Category: ArbitraryRW, Component: InVerifier,
 			Title: "32-bit bounds tracking confusion yields attacker-controlled offsets",
-			Ref:   "CVE-2021-31440"},
+			Ref:   "CVE-2021-31440", Reproduce: reproVerifier32BitBounds},
 		{ID: "V03", Category: PtrLeak, Component: InVerifier,
 			Title: "kernel address leaks through atomic cmpxchg's r0 aux register state",
 			Ref:   "commit a82fe085f344"},

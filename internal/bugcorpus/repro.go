@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"kex/internal/analysis/statecheck"
 	"kex/internal/ebpf"
 	"kex/internal/ebpf/helpers"
 	"kex/internal/ebpf/isa"
@@ -460,4 +461,46 @@ func reproJITBranchBug() (*Evidence, error) {
 		return nil, fmt.Errorf("expected crash, got %v", err)
 	}
 	return evidence(k, "JIT compiled a verified >= check as >, letting index 57 corrupt memory past the map value")
+}
+
+// reproVerifier32BitBounds is the CVE-2021-31440 class: a 32-bit signed
+// compare reasoned about with 64-bit bounds. A value in [2^31, 2^32) is a
+// large positive int64 but a negative int32, so the buggy verifier proves
+// the fall-through dead and never verifies the path the hardware takes.
+// The statecheck oracle convicts it directly: the concrete trace lands on
+// instructions with no captured abstract state.
+func reproVerifier32BitBounds() (*Evidence, error) {
+	prog := statecheck.Program{Name: "jmp32_bounds_confusion", Type: isa.Tracing, Insns: []isa.Instruction{
+		isa.LoadMem(isa.SizeW, isa.R2, isa.R1, 0),
+		isa.ALU64Imm(isa.OpAnd, isa.R2, 0xff),
+		isa.Mov64Imm(isa.R3, 1),
+		isa.ALU64Imm(isa.OpLsh, isa.R3, 31),
+		isa.ALU64Reg(isa.OpOr, isa.R2, isa.R3), // r2 in [2^31, 2^31+255]: int64-positive, int32-negative
+		isa.Jmp32Imm(isa.OpJsgt, isa.R2, 1, 2),
+		isa.Mov64Imm(isa.R0, 7), // the path execution takes; buggy verifier proves it dead
+		isa.Exit(),
+		isa.Mov64Imm(isa.R0, 1),
+		isa.Exit(),
+	}}
+	cfg := statecheck.Config{Verifier: verifier.DefaultConfig()}
+	cfg.Verifier.Bugs = verifier.BugConfig{Jmp32SignedBounds64: true}
+	v, err := statecheck.Check(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !v.Accepted {
+		return nil, fmt.Errorf("buggy verifier rejected the program: %s", v.RejectErr)
+	}
+	if len(v.Witnesses) == 0 {
+		return nil, fmt.Errorf("expected an unsoundness witness, state table covered the trace")
+	}
+	// The fixed verifier projects 32-bit signed bounds and stays sound.
+	cfg.Verifier.Bugs = verifier.BugConfig{}
+	if v2, err := statecheck.Check(prog, cfg); err != nil {
+		return nil, err
+	} else if !v2.Sound() {
+		return nil, fmt.Errorf("fixed verifier still unsound: %v", v2.Witnesses[0])
+	}
+	return &Evidence{Summary: fmt.Sprintf(
+		"statecheck witness: %v — verifier reasoned about a 32-bit signed jump with 64-bit bounds and never explored the executed path", v.Witnesses[0])}, nil
 }

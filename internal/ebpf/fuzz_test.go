@@ -86,7 +86,7 @@ func (g *progGen) emit(ins isa.Instruction) { g.insns = append(g.insns, ins) }
 // wild stack offsets, arbitrary-register dereference, missing null checks,
 // pointer copies — stays in the mix to probe the verifier.
 func (g *progGen) step() {
-	switch g.rng.Intn(16) {
+	switch g.rng.Intn(17) {
 	case 0, 1, 2: // constant move
 		dst := g.reg(false)
 		g.emit(isa.Mov64Imm(dst, int32(g.rng.Int63n(1<<20)-1<<19)))
@@ -172,6 +172,11 @@ func (g *progGen) step() {
 		}
 	case 15: // 32-bit op
 		g.emit(isa.ALU32Imm(isa.OpAdd, g.scalarReg(), int32(g.rng.Intn(1000))))
+	case 16: // 32-bit signed compare against a boundary-ish immediate
+		remaining := 3 + g.rng.Intn(4)
+		ops := []uint8{isa.OpJsgt, isa.OpJsle, isa.OpJsge, isa.OpJslt}
+		imms := []int32{-1, 0, 1, 0x7fffffff, -0x80000000, int32(g.rng.Intn(100))}
+		g.emit(isa.Jmp32Imm(ops[g.rng.Intn(len(ops))], g.scalarReg(), imms[g.rng.Intn(len(imms))], int16(g.rng.Intn(remaining))))
 	}
 }
 

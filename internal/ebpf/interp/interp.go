@@ -28,6 +28,15 @@ var (
 	ErrCallDepth = errors.New("interp: call stack exhausted")
 )
 
+// Observer receives the concrete machine state entering each instruction:
+// the instruction's element index, the register file of the current
+// activation (R10 is the frame pointer of that activation), and the
+// BPF-to-BPF call depth (callbacks invoked by helpers observe at depth 1).
+// The registers must be treated as read-only — an observer is a probe, not
+// an instrumentation pass. The hook costs one nil check per retired
+// instruction when unset.
+type Observer func(pc int, regs *[11]uint64, depth int)
+
 // Options tunes one program execution.
 type Options struct {
 	// Fuel, when non-zero, bounds retired instructions. Zero means trust
@@ -41,6 +50,11 @@ type Options struct {
 	Bugs helpers.BugConfig
 	// ProgArray is the tail-call program array, if any.
 	ProgArray []*isa.Program
+	// Observe, when non-nil, is called before every instruction retires —
+	// the statecheck soundness oracle's concrete-trace hook. A tail call
+	// disarms it: the observed pcs would index a different program. The
+	// JIT engine does not support observation and ignores it.
+	Observe Observer
 }
 
 // ErrWatchdogExpired reports that the watchdog timer fired and the program
@@ -85,6 +99,7 @@ type run struct {
 	insns []isa.Instruction
 	fuel  uint64
 	used  uint64
+	obs   Observer
 
 	stacks    []*kernel.Region // all mapped frames, for release at end
 	freeStack []*kernel.Region // reusable frames (callback-heavy programs)
@@ -102,7 +117,7 @@ const tickBatch = 64
 // on the kernel afterwards. The returned error reports abnormal
 // termination (crash, fuel exhaustion), not the program's exit code.
 func (m *Machine) Run(prog *isa.Program, env *helpers.Env, opts Options) (uint64, error) {
-	r := &run{m: m, env: env, opts: opts, insns: prog.Insns, fuel: opts.Fuel}
+	r := &run{m: m, env: env, opts: opts, insns: prog.Insns, fuel: opts.Fuel, obs: opts.Observe}
 	env.Bugs = opts.Bugs
 	env.CallFunc = func(pc int32, a1, a2, a3 uint64) (uint64, error) {
 		var regs [11]uint64
@@ -136,8 +151,10 @@ func (m *Machine) Run(prog *isa.Program, env *helpers.Env, opts Options) (uint64
 			return ret, nil
 		}
 		// Tail call: restart in the target program with the original ctx.
+		// The observer is disarmed: its pcs index the original program.
 		r.insns = r.tailTo.Insns
 		r.tailTo = nil
+		r.obs = nil
 		regs = [11]uint64{}
 		regs[1] = env.CtxAddr
 	}
@@ -203,6 +220,9 @@ func (r *run) exec(pc int, regs [11]uint64, depth int) (uint64, error) {
 			return 0, fmt.Errorf("interp: pc %d out of range", pc)
 		}
 		ins := r.insns[pc]
+		if r.obs != nil {
+			r.obs(pc, &regs, depth)
+		}
 		batch++
 		if batch >= tickBatch {
 			if err := r.charge(batch); err != nil {

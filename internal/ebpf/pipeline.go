@@ -156,6 +156,10 @@ type RunOptions struct {
 	// Fuel is zero for the verified stack: the verifier is trusted for
 	// termination. The safext runtime sets it.
 	Fuel uint64
+	// Observe is the per-instruction concrete-trace hook (statecheck's
+	// oracle input). Interpreter-only: build the stack with UseJIT=false
+	// to observe.
+	Observe interp.Observer
 }
 
 // Run invokes the program once on the given CPU through the shared
@@ -177,6 +181,7 @@ func (l *Loaded) Run(opts RunOptions) (*RunReport, error) {
 		Fuel:      opts.Fuel,
 		Bugs:      opts.Bugs,
 		ProgArray: l.ProgArray,
+		Observe:   opts.Observe,
 	}
 	if l.stack.sup != nil {
 		return l.stack.sup.Run(l.engine, req, l.reverify)

@@ -69,7 +69,7 @@ func (v *Verifier) checkBranch(st *state, ins isa.Instruction) (bool, *state, er
 		return false, nil, v.errf(st.pc, "R%d pointer comparison prohibited", ins.Dst)
 	}
 
-	canTrue, canFalse := branchFeasible(op, dst, &src, is32)
+	canTrue, canFalse := branchFeasible(op, dst, &src, is32, v.cfg.Bugs)
 
 	// refine tightens the dst (and live src) bounds of one state for one
 	// branch direction. Immediate comparisons refine against a local copy
@@ -203,12 +203,23 @@ func extendPktRange(st *state, bytes int64) {
 }
 
 // branchFeasible decides which sides of a comparison are possible given
-// the operands' bounds.
-func branchFeasible(op uint8, dst, src *Reg, is32 bool) (canTrue, canFalse bool) {
+// the operands' bounds. bugs gates the reintroduced Jmp32SignedBounds64
+// defect; the recursion for inverse operators threads it through.
+func branchFeasible(op uint8, dst, src *Reg, is32 bool, bugs BugConfig) (canTrue, canFalse bool) {
 	if is32 && (dst.UMax > math.MaxUint32 || src.UMax > math.MaxUint32) {
 		// 32-bit comparison on a value we only track in 64 bits: assume
 		// either side possible.
 		return true, true
+	}
+	// Signed bounds in the width the comparison actually uses. A JMP32
+	// compares int32-truncated values: a 64-bit-positive value like
+	// 0x8000_0000 is negative there, so deciding from the 64-bit SMin/SMax
+	// proves the wrong side dead. The reintroduced bug does exactly that.
+	dSMin, dSMax := dst.SMin, dst.SMax
+	sSMin, sSMax := src.SMin, src.SMax
+	if is32 && !bugs.Jmp32SignedBounds64 {
+		dSMin, dSMax = sbounds32(dst)
+		sSMin, sSMax = sbounds32(src)
 	}
 	switch op {
 	case isa.OpJeq:
@@ -216,27 +227,27 @@ func branchFeasible(op uint8, dst, src *Reg, is32 bool) (canTrue, canFalse bool)
 		bothSingle := dst.UMin == dst.UMax && src.UMin == src.UMax
 		return overlap, !(bothSingle && dst.UMin == src.UMin)
 	case isa.OpJne:
-		canTrue, canFalse = branchFeasible(isa.OpJeq, dst, src, is32)
+		canTrue, canFalse = branchFeasible(isa.OpJeq, dst, src, is32, bugs)
 		return canFalse, canTrue
 	case isa.OpJgt:
 		return dst.UMax > src.UMin, dst.UMin <= src.UMax
 	case isa.OpJge:
 		return dst.UMax >= src.UMin, dst.UMin < src.UMax
 	case isa.OpJlt:
-		t, f := branchFeasible(isa.OpJge, dst, src, is32)
+		t, f := branchFeasible(isa.OpJge, dst, src, is32, bugs)
 		return f, t
 	case isa.OpJle:
-		t, f := branchFeasible(isa.OpJgt, dst, src, is32)
+		t, f := branchFeasible(isa.OpJgt, dst, src, is32, bugs)
 		return f, t
 	case isa.OpJsgt:
-		return dst.SMax > src.SMin, dst.SMin <= src.SMax
+		return dSMax > sSMin, dSMin <= sSMax
 	case isa.OpJsge:
-		return dst.SMax >= src.SMin, dst.SMin < src.SMax
+		return dSMax >= sSMin, dSMin < sSMax
 	case isa.OpJslt:
-		t, f := branchFeasible(isa.OpJsge, dst, src, is32)
+		t, f := branchFeasible(isa.OpJsge, dst, src, is32, bugs)
 		return f, t
 	case isa.OpJsle:
-		t, f := branchFeasible(isa.OpJsgt, dst, src, is32)
+		t, f := branchFeasible(isa.OpJsgt, dst, src, is32, bugs)
 		return f, t
 	case isa.OpJset:
 		if dst.IsConst() && src.IsConst() {
@@ -246,6 +257,18 @@ func branchFeasible(op uint8, dst, src *Reg, is32 bool) (canTrue, canFalse bool)
 		return true, true
 	}
 	return true, true
+}
+
+// sbounds32 projects a register's 32-bit signed range from its unsigned
+// bounds. The caller guarantees UMax <= MaxUint32, so every concrete value
+// truncates to itself; int32 reinterpretation is monotonic on [0, 2^31)
+// and on [2^31, 2^32) separately, and a range crossing that boundary wraps
+// — only the full int32 range is then sound.
+func sbounds32(r *Reg) (smin, smax int64) {
+	if r.UMin <= math.MaxInt32 && r.UMax > math.MaxInt32 {
+		return math.MinInt32, math.MaxInt32
+	}
+	return int64(int32(uint32(r.UMin))), int64(int32(uint32(r.UMax)))
 }
 
 // refineBranch tightens bounds on one side of a comparison. src may be nil

@@ -1,0 +1,228 @@
+package verifier
+
+import (
+	"math"
+	"testing"
+
+	"kex/internal/ebpf/isa"
+)
+
+// Edge-case tests for branch feasibility and refinement at the extremes
+// of the signed/unsigned domains, where saturating arithmetic and
+// width projection are easiest to get wrong: INT64_MIN/MAX endpoints,
+// the int32 wrap boundary, and 32-bit subregister comparisons.
+
+// rangeScalar builds a scalar whose unsigned range is [lo, hi], with
+// signed bounds and tnum derived consistently.
+func rangeScalar(lo, hi uint64) Reg {
+	r := unknownScalar()
+	r.UMin, r.UMax = lo, hi
+	if int64(lo) <= int64(hi) {
+		r.SMin, r.SMax = int64(lo), int64(hi)
+	}
+	r.Tnum = TnumRange(lo, hi)
+	return r
+}
+
+func TestBranchFeasibleSignedExtremes(t *testing.T) {
+	max := constScalar(uint64(math.MaxInt64))
+	min := constScalar(uint64(1) << 63)
+	cases := []struct {
+		name              string
+		op                uint8
+		dst, src          Reg
+		canTrue, canFalse bool
+	}{
+		// No int64 exceeds INT64_MAX and none is below INT64_MIN.
+		{"jsgt_max_vs_max", isa.OpJsgt, max, max, false, true},
+		{"jsgt_min_vs_min", isa.OpJsgt, min, min, false, true},
+		{"jsge_max_vs_max", isa.OpJsge, max, max, true, false},
+		{"jsge_min_vs_min", isa.OpJsge, min, min, true, false},
+		{"jslt_min_vs_min", isa.OpJslt, min, min, false, true},
+		{"jsle_min_vs_min", isa.OpJsle, min, min, true, false},
+		{"jsle_max_vs_min", isa.OpJsle, max, min, false, true},
+		{"jsgt_max_vs_min", isa.OpJsgt, max, min, true, false},
+		// Full-range signed vs the endpoints: both sides except where the
+		// endpoint leaves a single outcome.
+		{"jsgt_any_vs_max", isa.OpJsgt, unknownScalar(), max, false, true},
+		{"jsge_any_vs_min", isa.OpJsge, unknownScalar(), min, true, false},
+		{"jslt_any_vs_min", isa.OpJslt, unknownScalar(), min, false, true},
+		{"jsle_any_vs_max", isa.OpJsle, unknownScalar(), max, true, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ct, cf := branchFeasible(tc.op, &tc.dst, &tc.src, false, BugConfig{})
+			if ct != tc.canTrue || cf != tc.canFalse {
+				t.Fatalf("feasible=(%v,%v), want (%v,%v)", ct, cf, tc.canTrue, tc.canFalse)
+			}
+		})
+	}
+}
+
+func TestBranchFeasibleUnsignedExtremes(t *testing.T) {
+	top := constScalar(math.MaxUint64)
+	zero := constScalar(0)
+	any := unknownScalar()
+	if ct, cf := branchFeasible(isa.OpJgt, &any, &top, false, BugConfig{}); ct || !cf {
+		t.Fatalf("x > MaxUint64: feasible=(%v,%v), want (false,true)", ct, cf)
+	}
+	if ct, cf := branchFeasible(isa.OpJge, &any, &zero, false, BugConfig{}); !ct || cf {
+		t.Fatalf("x >= 0: feasible=(%v,%v), want (true,false)", ct, cf)
+	}
+	if ct, cf := branchFeasible(isa.OpJlt, &any, &zero, false, BugConfig{}); ct || !cf {
+		t.Fatalf("x < 0 unsigned: feasible=(%v,%v), want (false,true)", ct, cf)
+	}
+}
+
+// Saturating refinement at the endpoints must not wrap around.
+func TestRefineBranchSaturatesAtExtremes(t *testing.T) {
+	// taken JSGT vs INT64_MAX: nothing is greater; the refined SMin must
+	// saturate to INT64_MAX, not wrap to INT64_MIN.
+	d := unknownScalar()
+	s := constScalar(uint64(math.MaxInt64))
+	refineBranch(isa.OpJsgt, true, &d, &s)
+	if d.SMin != math.MaxInt64 {
+		t.Fatalf("JSGT MAX taken: SMin=%d, want MaxInt64", d.SMin)
+	}
+
+	// fall-through JSGE vs INT64_MIN: "dst < INT64_MIN" is empty; the
+	// refined SMax must saturate to INT64_MIN, not wrap to INT64_MAX.
+	d = unknownScalar()
+	s = constScalar(uint64(1) << 63)
+	refineBranch(isa.OpJsge, false, &d, &s)
+	if d.SMax != math.MinInt64 {
+		t.Fatalf("JSGE MIN fall-through: SMax=%d, want MinInt64", d.SMax)
+	}
+
+	// taken JSLE vs INT64_MIN pins the value to exactly INT64_MIN.
+	d = unknownScalar()
+	s = constScalar(uint64(1) << 63)
+	refineBranch(isa.OpJsle, true, &d, &s)
+	if d.SMax != math.MinInt64 {
+		t.Fatalf("JSLE MIN taken: SMax=%d, want MinInt64", d.SMax)
+	}
+
+	// unsigned: taken JGT vs MaxUint64 saturates UMin; fall-through JGE
+	// vs 0 saturates UMax.
+	d = unknownScalar()
+	s = constScalar(math.MaxUint64)
+	refineBranch(isa.OpJgt, true, &d, &s)
+	if d.UMin != math.MaxUint64 {
+		t.Fatalf("JGT MaxUint64 taken: UMin=%#x", d.UMin)
+	}
+	d = unknownScalar()
+	s = constScalar(0)
+	refineBranch(isa.OpJge, false, &d, &s)
+	if d.UMax != 0 {
+		t.Fatalf("JGE 0 fall-through: UMax=%#x", d.UMax)
+	}
+}
+
+// 32-bit subregister comparisons: feasibility must reason from the
+// int32-truncated view of the value, not the 64-bit signed bounds.
+func TestBranchFeasibleJmp32Subregister(t *testing.T) {
+	// [2^31, 2^31+255]: positive as int64, negative as int32.
+	d := rangeScalar(0x8000_0000, 0x8000_00ff)
+	s := constScalar(1)
+
+	// Fixed verifier: "jsgt32 r, 1" can never be taken (the subregister
+	// is negative), and the fall-through is certain.
+	ct, cf := branchFeasible(isa.OpJsgt, &d, &s, true, BugConfig{})
+	if ct || !cf {
+		t.Fatalf("fixed: feasible=(%v,%v), want (false,true)", ct, cf)
+	}
+	// Reintroduced CVE-2021-31440-class bug: the 64-bit bounds say the
+	// value is big and positive, proving the WRONG side dead.
+	ct, cf = branchFeasible(isa.OpJsgt, &d, &s, true, BugConfig{Jmp32SignedBounds64: true})
+	if !ct || cf {
+		t.Fatalf("buggy: feasible=(%v,%v), want (true,false)", ct, cf)
+	}
+
+	// A range straddling the int32 sign boundary projects to the full
+	// int32 range: both sides stay feasible.
+	d = rangeScalar(0x7fff_ffff, 0x8000_0001)
+	ct, cf = branchFeasible(isa.OpJsgt, &d, &s, true, BugConfig{})
+	if !ct || !cf {
+		t.Fatalf("straddling: feasible=(%v,%v), want (true,true)", ct, cf)
+	}
+
+	// A value only tracked in 64 bits (UMax > 2^32-1) must keep both
+	// sides feasible — the subregister could be anything.
+	d = rangeScalar(0, math.MaxUint64)
+	for _, op := range []uint8{isa.OpJsgt, isa.OpJsle, isa.OpJsge, isa.OpJslt} {
+		ct, cf = branchFeasible(op, &d, &s, true, BugConfig{})
+		if !ct || !cf {
+			t.Fatalf("op %#x wide: feasible=(%v,%v), want (true,true)", op, ct, cf)
+		}
+	}
+}
+
+// Brute-force soundness at the int32 boundary: for concrete values around
+// the interesting edges, a side of the branch that execution actually
+// takes must never be declared infeasible.
+func TestBranchFeasibleJmp32BruteForce(t *testing.T) {
+	vals := []uint64{
+		0, 1, 0x7fff_fffe, 0x7fff_ffff, 0x8000_0000, 0x8000_0001,
+		0xffff_fffe, 0xffff_ffff,
+	}
+	imms := []int32{math.MinInt32, -1, 0, 1, math.MaxInt32}
+	type cmp struct {
+		op   uint8
+		test func(a int32, b int32) bool
+	}
+	cmps := []cmp{
+		{isa.OpJsgt, func(a, b int32) bool { return a > b }},
+		{isa.OpJsge, func(a, b int32) bool { return a >= b }},
+		{isa.OpJslt, func(a, b int32) bool { return a < b }},
+		{isa.OpJsle, func(a, b int32) bool { return a <= b }},
+	}
+	for _, lo := range vals {
+		for _, hi := range vals {
+			if hi < lo {
+				continue
+			}
+			d := rangeScalar(lo, hi)
+			for _, imm := range imms {
+				// The comparison operand is the sign-extended immediate,
+				// exactly as checkBranch folds it.
+				s := constScalar(uint64(int64(imm)))
+				for _, c := range cmps {
+					ct, cf := branchFeasible(c.op, &d, &s, true, BugConfig{})
+					// Witness concrete values at the range endpoints.
+					for _, v := range []uint64{lo, hi} {
+						taken := c.test(int32(uint32(v)), imm)
+						if taken && !ct {
+							t.Fatalf("op %#x [%#x,%#x] vs %d: value %#x takes the branch but canTrue=false", c.op, lo, hi, imm, v)
+						}
+						if !taken && !cf {
+							t.Fatalf("op %#x [%#x,%#x] vs %d: value %#x falls through but canFalse=false", c.op, lo, hi, imm, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// sbounds32 itself: projection at the boundary.
+func TestSBounds32Projection(t *testing.T) {
+	cases := []struct {
+		lo, hi     uint64
+		smin, smax int64
+	}{
+		{0, 10, 0, 10},
+		{0x7fff_ffff, 0x7fff_ffff, math.MaxInt32, math.MaxInt32},
+		{0x8000_0000, 0x8000_0000, math.MinInt32, math.MinInt32},
+		{0x8000_0000, 0xffff_ffff, math.MinInt32, -1},
+		{0x7fff_ffff, 0x8000_0000, math.MinInt32, math.MaxInt32}, // wraps: full range
+		{0xffff_ffff, 0xffff_ffff, -1, -1},
+	}
+	for _, tc := range cases {
+		r := rangeScalar(tc.lo, tc.hi)
+		smin, smax := sbounds32(&r)
+		if smin != tc.smin || smax != tc.smax {
+			t.Errorf("sbounds32[%#x,%#x] = [%d,%d], want [%d,%d]", tc.lo, tc.hi, smin, smax, tc.smin, tc.smax)
+		}
+	}
+}

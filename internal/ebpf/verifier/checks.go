@@ -187,6 +187,12 @@ func (v *Verifier) adjustScalars(st *state, op uint8, dst, src Reg, is64 bool) (
 	switch op {
 	case isa.OpAdd:
 		out.Tnum = dst.Tnum.Add(src.Tnum)
+		if v.cfg.Bugs.TnumAddNoCarry {
+			// Reintroduced operator bug: forget that a carry can leave the
+			// unknown-bit region, claiming known-zero bits that can be set.
+			mu := dst.Tnum.Mask | src.Tnum.Mask
+			out.Tnum = Tnum{Value: (dst.Tnum.Value + src.Tnum.Value) &^ mu, Mask: mu}
+		}
 		if sAddOverflows(dst.SMin, src.SMin) || sAddOverflows(dst.SMax, src.SMax) {
 			out.SMin, out.SMax = math.MinInt64, math.MaxInt64
 		} else {

@@ -1,0 +1,179 @@
+package verifier
+
+import (
+	"testing"
+
+	"kex/internal/ebpf/isa"
+)
+
+// Exhaustive validation of the tnum transfer functions on the 6-bit
+// sub-lattice. Randomized property tests (tnum_test.go) sample the space;
+// here we close it: every valid 6-bit tnum pair, every concrete value
+// pair they abstract. Two properties per operator:
+//
+//   soundness:  the abstract result contains every concrete result;
+//   optimality: the abstract result EQUALS the brute-force union of the
+//               concrete results — the least tnum containing them all.
+//
+// add/sub/and/or/xor and constant shifts are optimal abstract operators
+// (Vishwanathan et al., CGO'22 prove this for the kernel's tnum); mul
+// trades precision for linear time, so it is held to soundness only.
+
+// tnums6 enumerates every valid tnum with value and mask confined to the
+// low 6 bits: 3^6 = 729 of them (each bit independently 0, 1, or unknown).
+func tnums6() []Tnum {
+	var out []Tnum
+	for mask := uint64(0); mask < 64; mask++ {
+		for value := uint64(0); value < 64; value++ {
+			if value&mask == 0 {
+				out = append(out, Tnum{Value: value, Mask: mask})
+			}
+		}
+	}
+	return out
+}
+
+// concretes6 lists the 6-bit values a 6-bit tnum abstracts.
+func concretes6(t Tnum) []uint64 {
+	var out []uint64
+	for v := uint64(0); v < 64; v++ {
+		if t.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// bruteUnion folds the least tnum containing every value in vs.
+func bruteUnion(vs []uint64) Tnum {
+	acc := TnumConst(vs[0])
+	for _, v := range vs[1:] {
+		acc = acc.Union(TnumConst(v))
+	}
+	return acc
+}
+
+func TestTnumExhaustive6BitBinops(t *testing.T) {
+	type binop struct {
+		name     string
+		abstract func(Tnum, Tnum) Tnum
+		concrete func(uint64, uint64) uint64
+		optimal  bool
+	}
+	ops := []binop{
+		{"add", Tnum.Add, func(a, b uint64) uint64 { return a + b }, true},
+		{"sub", Tnum.Sub, func(a, b uint64) uint64 { return a - b }, true},
+		{"and", Tnum.And, func(a, b uint64) uint64 { return a & b }, true},
+		{"or", Tnum.Or, func(a, b uint64) uint64 { return a | b }, true},
+		{"xor", Tnum.Xor, func(a, b uint64) uint64 { return a ^ b }, true},
+		{"mul", Tnum.Mul, func(a, b uint64) uint64 { return a * b }, false},
+	}
+	all := tnums6()
+	gammas := make([][]uint64, len(all))
+	for i, tn := range all {
+		gammas[i] = concretes6(tn)
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			for i, ta := range all {
+				for j, tb := range all {
+					out := op.abstract(ta, tb)
+					results := make([]uint64, 0, len(gammas[i])*len(gammas[j]))
+					for _, a := range gammas[i] {
+						for _, b := range gammas[j] {
+							r := op.concrete(a, b)
+							if !out.Contains(r) {
+								t.Fatalf("%s UNSOUND: %v %s %v = %v misses %d %s %d = %#x",
+									op.name, ta, op.name, tb, out, a, op.name, b, r)
+							}
+							results = append(results, r)
+						}
+					}
+					if op.optimal {
+						if best := bruteUnion(results); out != best {
+							t.Fatalf("%s SUBOPTIMAL: %v %s %v = %v, best is %v",
+								op.name, ta, op.name, tb, out, best)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTnumExhaustive6BitShifts(t *testing.T) {
+	type shiftop struct {
+		name     string
+		abstract func(Tnum, uint8) Tnum
+		concrete func(uint64, uint8) uint64
+	}
+	ops := []shiftop{
+		{"lsh", Tnum.Lshift, func(a uint64, s uint8) uint64 { return a << s }},
+		{"rsh", Tnum.Rshift, func(a uint64, s uint8) uint64 { return a >> s }},
+		{"arsh", Tnum.Arshift, func(a uint64, s uint8) uint64 { return uint64(int64(a) >> s) }},
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			for _, ta := range tnums6() {
+				gamma := concretes6(ta)
+				for s := uint8(0); s < 12; s++ {
+					out := op.abstract(ta, s)
+					results := make([]uint64, len(gamma))
+					for k, a := range gamma {
+						r := op.concrete(a, s)
+						if !out.Contains(r) {
+							t.Fatalf("%s UNSOUND: %v >>|<< %d = %v misses %#x", op.name, ta, s, out, r)
+						}
+						results[k] = r
+					}
+					if best := bruteUnion(results); out != best {
+						t.Fatalf("%s SUBOPTIMAL: %v by %d = %v, best is %v", op.name, ta, s, out, best)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTnumExhaustiveFalsifiesAddNoCarry proves the property test has
+// teeth: run the SAME soundness sweep against the reintroduced
+// carry-dropping add (Bugs.TnumAddNoCarry), through the verifier's real
+// adjustScalars path, and require a counterexample. If this test ever
+// fails, the exhaustive sweep has gone blind and the statecheck oracle is
+// the only line of defence left.
+func TestTnumExhaustiveFalsifiesAddNoCarry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bugs.TnumAddNoCarry = true
+	v := &Verifier{cfg: cfg, res: &Result{}}
+	st := newState()
+	for _, ta := range tnums6() {
+		for _, tb := range tnums6() {
+			da, db := scalarFromTnum6(ta), scalarFromTnum6(tb)
+			out, err := v.adjustScalars(st, isa.OpAdd, da, db, true)
+			if err != nil {
+				continue
+			}
+			for _, a := range concretes6(ta) {
+				for _, b := range concretes6(tb) {
+					if !out.Tnum.Contains(a + b) {
+						t.Logf("falsified: %v + %v = %v misses %d+%d=%d", ta, tb, out.Tnum, a, b, a+b)
+						return
+					}
+				}
+			}
+		}
+	}
+	t.Fatal("exhaustive sweep failed to falsify TnumAddNoCarry — the property test is blind")
+}
+
+// scalarFromTnum6 builds a scalar register abstracting exactly the 6-bit
+// tnum's values, with interval bounds derived from it.
+func scalarFromTnum6(tn Tnum) Reg {
+	r := unknownScalar()
+	r.Tnum = tn
+	r.UMin, r.UMax = tn.UnsignedBounds()
+	r.SMin, r.SMax = int64(r.UMin), int64(r.UMax)
+	return r
+}

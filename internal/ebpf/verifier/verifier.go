@@ -43,6 +43,12 @@ type Config struct {
 	// number of explored paths, not program size.
 	LogState bool
 
+	// CaptureState records every abstract state the worklist steps into
+	// Result.States, the machine-readable snapshot table behind
+	// `kexverify -dump-state=json` and the statecheck soundness oracle.
+	// Off by default for the same reason as LogState.
+	CaptureState bool
+
 	// Bugs reintroduces historical verifier defects for the Table 1
 	// corpus. All flags default to off (the fixed verifier).
 	Bugs BugConfig
@@ -70,6 +76,21 @@ type BugConfig struct {
 	// of commit f1db20814af5 ("wrong reg type conversion in
 	// release_reference").
 	SkipReleaseScrub bool
+	// Jmp32SignedBounds64 makes 32-bit signed conditional jumps reason
+	// from the 64-bit signed bounds. A value in [0x8000_0000, 0xffff_ffff]
+	// is positive as an int64 but negative as the int32 the hardware
+	// compares, so the verifier proves the wrong side of the branch dead
+	// and never verifies the path execution takes — the 32-bit
+	// bounds-tracking confusion class of CVE-2021-31440.
+	Jmp32SignedBounds64 bool
+	// TnumAddNoCarry makes tnum addition ignore carry propagation out of
+	// unknown bits: the result's mask is just the union of the operand
+	// masks, claiming bits known-zero that a carry can in fact set. A
+	// synthetic abstract-operator bug (the shape of the historical
+	// tnum/32-bit tracking defects) used to validate that the tnum
+	// property tests and the statecheck oracle both catch a broken
+	// transfer function.
+	TnumAddNoCarry bool
 }
 
 // DefaultConfig returns the modern-kernel feature set.
@@ -142,6 +163,10 @@ type Result struct {
 	StatesPruned   int
 	PeakStates     int
 	Log            []string
+	// States is the per-instruction abstract-state snapshot table, present
+	// only when Config.CaptureState was set. On a rejection it holds the
+	// states captured up to the failing instruction.
+	States *StateTable
 }
 
 // Verifier holds one verification run.
@@ -157,6 +182,7 @@ type Verifier struct {
 	prunePoint map[int]bool
 	verifiedCB map[int32]bool
 	logOn      bool
+	snaps      *snapshotter
 
 	// lastConstSize remembers the most recent exact ArgConstSize value, so
 	// RetMemOrNull helpers (ringbuf_reserve) know their allocation size.
@@ -178,10 +204,14 @@ func Verify(prog *isa.Program, reg *helpers.Registry, mapMeta map[string]*MapMet
 		prunePoint: make(map[int]bool),
 		verifiedCB: make(map[int32]bool),
 	}
-	if err := v.run(); err != nil {
-		return v.res, err
+	if cfg.CaptureState {
+		v.snaps = newSnapshotter(len(prog.Insns))
 	}
-	return v.res, nil
+	err := v.run()
+	if v.snaps != nil {
+		v.res.States = v.snaps.table()
+	}
+	return v.res, err
 }
 
 func (v *Verifier) errf(pc int, format string, args ...any) error {
@@ -347,6 +377,9 @@ func (v *Verifier) explore(entry *state) error {
 func (v *Verifier) step(st *state) (cont bool, branch *state, err error) {
 	ins := v.prog.Insns[st.pc]
 	v.logf("%d: %v ; %v", st.pc, ins, st)
+	if v.snaps != nil {
+		v.snaps.capture(st)
+	}
 	switch ins.Class() {
 	case isa.ClassALU, isa.ClassALU64:
 		if err := v.checkALU(st, ins); err != nil {

@@ -86,6 +86,10 @@ type Request struct {
 	Bugs helpers.BugConfig
 	// ProgArray is the tail-call target array, if any.
 	ProgArray []*isa.Program
+	// Observe, when non-nil, receives the concrete machine state entering
+	// every retired instruction — the statecheck oracle's trace hook.
+	// Interpreter-only; the JIT engine ignores it.
+	Observe interp.Observer
 
 	// Setup, when set, adjusts the freshly built Env before execution —
 	// the safext runtime hangs its resource-record state on Env.Scratch.
@@ -207,6 +211,7 @@ func (c *Core) Run(eng Engine, req Request) (rep *Report, err error) {
 		WatchdogNs: req.WatchdogNs,
 		Bugs:       req.Bugs,
 		ProgArray:  req.ProgArray,
+		Observe:    req.Observe,
 	}
 	var r0 uint64
 	r0, err = eng.Run(env, iopts)

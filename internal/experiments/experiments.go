@@ -58,6 +58,7 @@ func All() []*Result {
 		X1Protection(),
 		X2ExecCore(),
 		X3FaultCampaign(),
+		SC1Soundness(),
 	}
 }
 
@@ -70,7 +71,8 @@ func ByID(id string) (*Result, bool) {
 		"A1": A1VerifierScaling, "A2": A2LoadPath,
 		"A3": A3RuntimeTax, "A4": A4Expressiveness,
 		"X1": X1Protection, "X2": X2ExecCore,
-		"X3": X3FaultCampaign,
+		"X3":  X3FaultCampaign,
+		"SC1": SC1Soundness,
 	}
 	f, ok := funcs[strings.ToUpper(id)]
 	if !ok {
