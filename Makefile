@@ -44,15 +44,18 @@ soundness:
 
 # Regenerates BENCH_exec.json (the ExecCore family), BENCH_supervisor.json
 # (healthy-path overhead and time-to-recover of the supervised recovery
-# layer), BENCH_slxopt.json (naive-vs-elided safext builds) and
-# BENCH_statecheck.json (soundness-oracle cost + verifier precision) under
-# testing.B.
+# layer), BENCH_slxopt.json (naive-vs-elided safext builds),
+# BENCH_statecheck.json (soundness-oracle cost + verifier precision) and
+# BENCH_throughput.json (sharded data plane: simulated ops/sec vs shard
+# count and batch size) under testing.B. The Throughput family needs a
+# real iteration count for its scaling figures, hence the higher budget.
 bench:
 	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSupervisor|BenchmarkSLXOpt|BenchmarkStatecheck' -benchtime 20x .
+	$(GO) test -bench 'BenchmarkThroughput' -benchtime 2000x .
 
 check: lint build test race
 
 clean:
-	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json
+	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json
 	rm -rf internal/ebpf/statecheck_witnesses
 	$(GO) clean -testcache

@@ -9,6 +9,7 @@
 //	kexload -n 5 ext.slx         run five invocations
 //	kexload -build-only ext.slx  compile and print object info, don't run
 //	kexload -deny pkt_write_u8 ext.slx   signing policy denies a capability
+//	kexload -n 1000 -shards 4 -batch 32 ext.slx   sharded batched submission
 package main
 
 import (
@@ -16,7 +17,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
+	"kex/internal/exec"
 	"kex/internal/safext/runtime"
 	"kex/internal/safext/toolchain"
 	"kex/pkg/kex"
@@ -32,6 +36,8 @@ func main() {
 	buildOnly := flag.Bool("build-only", false, "compile and report, do not run")
 	fuel := flag.Uint64("fuel", 0, "fuel limit (0 = config default)")
 	watchdog := flag.Int64("watchdog-ms", 0, "watchdog in virtual ms (0 = config default)")
+	shards := flag.Int("shards", 1, "simulated CPUs to spread invocations across (1 = serial)")
+	batch := flag.Int("batch", 16, "invocations per submitted batch in sharded mode")
 	var deny denyFlags
 	flag.Var(&deny, "deny", "capability the signing policy refuses (repeatable)")
 	flag.Parse()
@@ -70,7 +76,11 @@ func main() {
 	}
 	fmt.Printf("signed: %d-byte payload, ed25519 signature ok\n", len(so.Payload))
 
-	k := kex.NewKernel()
+	kcfg := kex.DefaultKernelConfig()
+	if *shards > kcfg.NumCPU {
+		kcfg.NumCPU = *shards
+	}
+	k := kex.NewKernelWithConfig(kcfg)
 	cfg := runtime.DefaultConfig()
 	if *fuel > 0 {
 		cfg.Fuel = *fuel
@@ -90,25 +100,99 @@ func main() {
 		fmt.Printf("load phases: %s\n", ext.LoadPhases)
 	}
 
-	for i := 0; i < *n; i++ {
-		v, err := ext.Run(runtime.RunOptions{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "run:", err)
-			os.Exit(1)
-		}
-		status := "completed"
-		if v.Terminated {
-			status = "terminated (" + v.Reason + ")"
-		}
-		fmt.Printf("run %d: %s, R0=%d, %d insns, %.3fms virtual, %.1fµs wall\n",
-			i+1, status, v.R0, v.Instructions, float64(v.RuntimeNs)/1e6, float64(v.WallNs)/1e3)
-		for _, t := range v.Trace {
-			fmt.Printf("  trace: %s\n", t)
+	if *shards > 1 {
+		runSharded(rt, ext, *n, *shards, *batch)
+	} else {
+		for i := 0; i < *n; i++ {
+			v, err := ext.Run(runtime.RunOptions{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "run:", err)
+				os.Exit(1)
+			}
+			status := "completed"
+			if v.Terminated {
+				status = "terminated (" + v.Reason + ")"
+			}
+			fmt.Printf("run %d: %s, R0=%d, %d insns, %.3fms virtual, %.1fµs wall\n",
+				i+1, status, v.R0, v.Instructions, float64(v.RuntimeNs)/1e6, float64(v.WallNs)/1e3)
+			for _, t := range v.Trace {
+				fmt.Printf("  trace: %s\n", t)
+			}
 		}
 	}
 	if k.Healthy() {
 		fmt.Println("kernel healthy.")
 	} else {
 		fmt.Println("kernel oops:", k.LastOops())
+	}
+}
+
+// runSharded spreads n invocations round-robin over a per-CPU sharded
+// data plane, batch requests at a time, and prints an aggregate summary
+// instead of per-run lines.
+func runSharded(rt *kex.SafeRuntime, ext *kex.Extension, n, shards, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	sh := rt.NewSharded(kex.ShardedConfig{Shards: shards})
+	defer sh.Close()
+	var mu sync.Mutex
+	var completed, terminated int
+	var insns uint64
+	var runErr error
+	start := time.Now()
+	cpu := 0
+	for remaining := n; remaining > 0; {
+		count := batch
+		if count > remaining {
+			count = remaining
+		}
+		preps := make([]*runtime.Prepared, count)
+		reqs := make([]exec.Request, count)
+		for i := range preps {
+			preps[i] = ext.Prepare(runtime.RunOptions{CPU: cpu})
+			reqs[i] = preps[i].Request()
+		}
+		b := kex.Batch{Engine: ext.Engine(), Reqs: reqs, Reload: ext.Revalidate(),
+			Done: func(results []kex.BatchResult) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i, r := range results {
+					v, err := preps[i].Finish(r.Report, r.Err)
+					if err != nil {
+						if runErr == nil {
+							runErr = err
+						}
+						continue
+					}
+					if v.Terminated {
+						terminated++
+					} else {
+						completed++
+					}
+					insns += v.Instructions
+				}
+			}}
+		if err := sh.SubmitWait(cpu, b); err != nil {
+			fmt.Fprintln(os.Stderr, "submit:", err)
+			os.Exit(1)
+		}
+		remaining -= count
+		cpu = (cpu + 1) % sh.Shards()
+	}
+	sh.Flush()
+	wall := time.Since(start)
+	mu.Lock()
+	defer mu.Unlock()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "run:", runErr)
+		os.Exit(1)
+	}
+	simSec := float64(sh.MaxBusyNs()) / 1e9
+	fmt.Printf("sharded: %d runs over %d shards (batch %d): %d completed, %d terminated, %d insns\n",
+		sh.Completed(), sh.Shards(), batch, completed, terminated, insns)
+	if simSec > 0 {
+		fmt.Printf("throughput: %.0f ops/sec simulated (makespan %.3fms), %.0f ops/sec wall (%.1fms)\n",
+			float64(n)/simSec, simSec*1e3, float64(n)/wall.Seconds(), float64(wall.Nanoseconds())/1e6)
 	}
 }

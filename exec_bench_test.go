@@ -66,6 +66,7 @@ func TestMain(m *testing.M) {
 	writeSupervisorBench()
 	writeSLXOptBench()
 	writeStatecheckBench()
+	writeThroughputBench()
 	os.Exit(code)
 }
 

@@ -10,6 +10,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"kex/internal/ebpf/helpers"
 	"kex/internal/ebpf/isa"
@@ -66,11 +67,64 @@ type Machine struct {
 	K       *kernel.Kernel
 	Helpers *helpers.Registry
 	Maps    *maps.Registry
+
+	// frames caches stack-frame regions per simulated CPU, shared by the
+	// interpreter and the JIT. Both engines map 512-byte frames on every
+	// run; under sharded execution that made the address-space write lock
+	// the hottest serialization point. Each shard worker recycles frames
+	// from its own CPU's cache instead, so steady-state runs do zero
+	// Map/Unmap traffic.
+	frames []frameCache
 }
+
+type frameCache struct {
+	mu   sync.Mutex // uncontended in shard use (one worker per CPU)
+	free []*kernel.Region
+}
+
+// frameCacheCap bounds cached frames per CPU; deeper recursion spills to
+// plain Map/Unmap.
+const frameCacheCap = 16
 
 // NewMachine builds an execution engine.
 func NewMachine(k *kernel.Kernel, reg *helpers.Registry, mapsReg *maps.Registry) *Machine {
-	return &Machine{K: k, Helpers: reg, Maps: mapsReg}
+	return &Machine{K: k, Helpers: reg, Maps: mapsReg, frames: make([]frameCache, len(k.CPUs()))}
+}
+
+// StackFrame returns a zeroed 512-byte stack frame for the given CPU,
+// reusing the CPU's cache when possible. Frames are cleared on reuse so a
+// cached frame is indistinguishable from a freshly mapped one — stale data
+// never leaks across program invocations.
+func (m *Machine) StackFrame(cpu int) *kernel.Region {
+	if cpu >= 0 && cpu < len(m.frames) {
+		fc := &m.frames[cpu]
+		fc.mu.Lock()
+		if n := len(fc.free); n > 0 {
+			s := fc.free[n-1]
+			fc.free = fc.free[:n-1]
+			fc.mu.Unlock()
+			clear(s.Data)
+			return s
+		}
+		fc.mu.Unlock()
+	}
+	return m.K.Mem.Map(512, kernel.ProtRW, "bpf_stack")
+}
+
+// ReleaseFrame returns a frame to the CPU's cache, unmapping it when the
+// cache is full or the CPU is out of range.
+func (m *Machine) ReleaseFrame(cpu int, s *kernel.Region) {
+	if cpu >= 0 && cpu < len(m.frames) {
+		fc := &m.frames[cpu]
+		fc.mu.Lock()
+		if len(fc.free) < frameCacheCap {
+			fc.free = append(fc.free, s)
+			fc.mu.Unlock()
+			return
+		}
+		fc.mu.Unlock()
+	}
+	m.K.Mem.Unmap(s)
 }
 
 // Relocate resolves symbolic map references to registered map handles,
@@ -162,7 +216,7 @@ func (m *Machine) Run(prog *isa.Program, env *helpers.Env, opts Options) (uint64
 
 func (r *run) releaseStacks() {
 	for _, s := range r.stacks {
-		r.m.K.Mem.Unmap(s)
+		r.m.ReleaseFrame(r.env.Ctx.CPUID, s)
 	}
 	r.stacks = nil
 }
@@ -178,7 +232,7 @@ func (r *run) newStack() *kernel.Region {
 		// and reading uninitialized stack is the verifier's problem.
 		return s
 	}
-	s := r.m.K.Mem.Map(512, kernel.ProtRW, "bpf_stack")
+	s := r.m.StackFrame(r.env.Ctx.CPUID)
 	r.stacks = append(r.stacks, s)
 	return s
 }

@@ -292,7 +292,7 @@ func (ex *exec) newStack() *kernel.Region {
 		clear(s.Data)
 		return s
 	}
-	s := ex.m.K.Mem.Map(512, kernel.ProtRW, "bpf_jit_stack")
+	s := ex.m.StackFrame(ex.env.Ctx.CPUID)
 	ex.stacks = append(ex.stacks, s)
 	return s
 }
@@ -355,7 +355,7 @@ func (c *Compiled) Run(m *interp.Machine, env *helpers.Env, opts interp.Options)
 		// Publish the fuel meter's final reading for the execution core.
 		env.FuelUsed = ex.used
 		for _, s := range ex.stacks {
-			m.K.Mem.Unmap(s)
+			m.ReleaseFrame(env.Ctx.CPUID, s)
 		}
 	}()
 

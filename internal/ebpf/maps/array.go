@@ -88,23 +88,52 @@ func (m *arrayMap) Delete([]byte) error { return ErrBadOp }
 
 func (m *arrayMap) Entries() int { return m.spec.MaxEntries }
 
+// LookupBatch resolves many indices without per-element interface calls;
+// array lookups are lock-free, so this is pure loop amortization.
+func (m *arrayMap) LookupBatch(cpu int, keys [][]byte) ([]uint64, []bool) {
+	return lookupBatchSlow(m, cpu, keys)
+}
+
+// UpdateBatch writes many elements under a single lock acquisition.
+func (m *arrayMap) UpdateBatch(_ int, keys, values [][]byte, flags uint64) (int, error) {
+	if flags == UpdateNoExist {
+		return 0, ErrExists
+	}
+	if flags != UpdateAny && flags != UpdateExist {
+		return 0, ErrBadFlags
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range keys {
+		if err := checkSizes(m.spec, keys[i], values[i], true); err != nil {
+			return i, err
+		}
+		idx, ok := m.index(keys[i])
+		if !ok {
+			return i, ErrNotFound
+		}
+		copy(m.region.Data[int(idx)*m.spec.ValueSize:], values[i])
+	}
+	return len(keys), nil
+}
+
 // perCPUArray gives each simulated CPU its own copy of every element, so
-// concurrent extensions never contend. Lookup returns the current CPU's
-// copy.
+// concurrent extensions never contend: each CPU's slots live in their own
+// region and updates take only that CPU's lock.
 type perCPUArray struct {
 	spec    Spec
 	regions []*kernel.Region
-	mu      sync.Mutex
+	mus     []sync.Mutex // one per CPU; shard workers never share one
 }
 
 func newPerCPUArray(k *kernel.Kernel, spec Spec) *perCPUArray {
 	spec.KeySize = 4
 	m := &perCPUArray{spec: spec}
-	for _, cpu := range k.CPUs() {
+	for range k.CPUs() {
 		m.regions = append(m.regions,
 			k.Mem.Map(spec.ValueSize*spec.MaxEntries, kernel.ProtRW, "map_percpu:"+spec.Name))
-		_ = cpu
 	}
+	m.mus = make([]sync.Mutex, len(m.regions))
 	return m
 }
 
@@ -132,8 +161,8 @@ func (m *perCPUArray) Update(cpu int, key, value []byte, flags uint64) error {
 	if !ok {
 		return ErrNotFound
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mus[cpu].Lock()
+	defer m.mus[cpu].Unlock()
 	r := m.regions[cpu]
 	copy(r.Data[addr-r.Base:], value)
 	return nil
@@ -142,3 +171,67 @@ func (m *perCPUArray) Update(cpu int, key, value []byte, flags uint64) error {
 func (m *perCPUArray) Delete([]byte) error { return ErrBadOp }
 
 func (m *perCPUArray) Entries() int { return m.spec.MaxEntries }
+
+// LookupBatch resolves many indices on one CPU.
+func (m *perCPUArray) LookupBatch(cpu int, keys [][]byte) ([]uint64, []bool) {
+	return lookupBatchSlow(m, cpu, keys)
+}
+
+// UpdateBatch writes many elements under one acquisition of the CPU's lock.
+func (m *perCPUArray) UpdateBatch(cpu int, keys, values [][]byte, flags uint64) (int, error) {
+	if flags == UpdateNoExist {
+		return 0, ErrExists
+	}
+	if cpu < 0 || cpu >= len(m.regions) {
+		return 0, ErrNotFound
+	}
+	m.mus[cpu].Lock()
+	defer m.mus[cpu].Unlock()
+	r := m.regions[cpu]
+	for i := range keys {
+		if err := checkSizes(m.spec, keys[i], values[i], true); err != nil {
+			return i, err
+		}
+		idx := binary.LittleEndian.Uint32(keys[i])
+		if int(idx) >= m.spec.MaxEntries {
+			return i, ErrNotFound
+		}
+		copy(r.Data[int(idx)*m.spec.ValueSize:], values[i])
+	}
+	return len(keys), nil
+}
+
+// PerCPUValues decodes the key's slot on every CPU as a little-endian
+// integer, for aggregation-on-read.
+func (m *perCPUArray) PerCPUValues(key []byte) ([]uint64, bool) {
+	if len(key) != 4 {
+		return nil, false
+	}
+	idx := binary.LittleEndian.Uint32(key)
+	if int(idx) >= m.spec.MaxEntries {
+		return nil, false
+	}
+	out := make([]uint64, len(m.regions))
+	for cpu, r := range m.regions {
+		m.mus[cpu].Lock()
+		out[cpu] = decodeCell(r.Data[int(idx)*m.spec.ValueSize:], m.spec.ValueSize)
+		m.mus[cpu].Unlock()
+	}
+	return out, true
+}
+
+// decodeCell reads a value cell as a little-endian unsigned integer. Cells
+// wider than 8 bytes decode their first 8 bytes.
+func decodeCell(b []byte, size int) uint64 {
+	switch {
+	case size >= 8:
+		return binary.LittleEndian.Uint64(b)
+	case size >= 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case size >= 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case size >= 1:
+		return uint64(b[0])
+	}
+	return 0
+}

@@ -15,7 +15,7 @@ type hashMap struct {
 	spec Spec
 	lru  bool
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[string]*kernel.Region
 	order   []string // LRU order, least recent first; maintained when lru
 }
@@ -42,6 +42,17 @@ func (m *hashMap) touch(key string) {
 func (m *hashMap) Lookup(_ int, key []byte) (uint64, bool) {
 	if len(key) != m.spec.KeySize {
 		return 0, false
+	}
+	if !m.lru {
+		// Non-LRU lookups don't mutate map state, so concurrent readers
+		// (e.g. shard workers probing a shared allowlist) share the lock.
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		r, ok := m.entries[string(key)]
+		if !ok {
+			return 0, false
+		}
+		return r.Base, true
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -118,21 +129,33 @@ func (m *hashMap) Delete(key []byte) error {
 }
 
 func (m *hashMap) Entries() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.entries)
 }
 
 // Keys returns a snapshot of the current keys, for iteration helpers and
 // userspace-style inspection in examples.
 func (m *hashMap) Keys() [][]byte {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([][]byte, 0, len(m.entries))
 	for k := range m.entries {
 		out = append(out, []byte(k))
 	}
 	return out
+}
+
+// LookupBatch resolves many keys element-wise. For non-LRU maps the reads
+// share the lock; batching amortizes the interface dispatch.
+func (m *hashMap) LookupBatch(cpu int, keys [][]byte) ([]uint64, []bool) {
+	return lookupBatchSlow(m, cpu, keys)
+}
+
+// UpdateBatch applies many updates; each element takes the write path, so
+// fault semantics (ErrNoSpace mid-batch, LRU eviction) match single ops.
+func (m *hashMap) UpdateBatch(cpu int, keys, values [][]byte, flags uint64) (int, error) {
+	return updateBatchSlow(m, cpu, keys, values, flags)
 }
 
 // KeyedMap is implemented by map types whose keys can be enumerated.

@@ -1,15 +1,16 @@
 // Package maps implements the eBPF map types the extension programs and
-// helper functions operate on: array, hash, per-CPU array, LRU hash, and a
-// ring buffer. Map value storage lives in the simulated kernel address
-// space, so programs hold real (simulated) kernel pointers into map values
-// — which is exactly what makes stale map pointers dangerous and gives the
-// verifier something to track.
+// helper functions operate on: array, hash, per-CPU array, per-CPU hash,
+// LRU hash, and a ring buffer. Map value storage lives in the simulated
+// kernel address space, so programs hold real (simulated) kernel pointers
+// into map values — which is exactly what makes stale map pointers
+// dangerous and gives the verifier something to track.
 package maps
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"kex/internal/kernel"
 )
@@ -24,6 +25,7 @@ const (
 	LRUHash
 	RingBuf
 	Queue
+	PerCPUHash
 )
 
 func (t MapType) String() string {
@@ -40,6 +42,8 @@ func (t MapType) String() string {
 		return "ringbuf"
 	case Queue:
 		return "queue"
+	case PerCPUHash:
+		return "percpu_hash"
 	}
 	return fmt.Sprintf("maptype(%d)", int(t))
 }
@@ -92,17 +96,53 @@ type Map interface {
 	Entries() int
 }
 
+// BatchMap is implemented by map types that support batched lookup and
+// update, the simulator's analogue of BPF_MAP_LOOKUP_BATCH /
+// BPF_MAP_UPDATE_BATCH. Batching amortizes per-op overhead (lock
+// round-trips, fault-hook consultation) across a whole submission ring's
+// worth of keys. Unlike the enumeration interfaces (KeyedMap, RingMap,
+// QueueMap), BatchMap IS forwarded by the fault-injection wrapper, so
+// campaigns see every batched element.
+type BatchMap interface {
+	Map
+	// LookupBatch resolves many keys at once. addrs[i] is the value
+	// address for keys[i]; hits[i] is false on miss (addrs[i] is then 0).
+	LookupBatch(cpu int, keys [][]byte) (addrs []uint64, hits []bool)
+	// UpdateBatch applies Update for each key/value pair, stopping at the
+	// first error. It returns how many updates were applied.
+	UpdateBatch(cpu int, keys, values [][]byte, flags uint64) (int, error)
+}
+
+// PerCPUMap is implemented by the per-CPU map variants. PerCPUValues
+// returns the value cell of every CPU for a key, decoded as little-endian
+// integers of the map's value size, for aggregation-on-read — the
+// userspace-side sum a real bpf_map_lookup_elem performs on per-CPU maps.
+// The fault-injection wrapper forwards this interface, so per-CPU maps
+// stay fully usable during X3-style fault campaigns without unwrapping.
+type PerCPUMap interface {
+	Map
+	PerCPUValues(key []byte) ([]uint64, bool)
+}
+
+// registryView is the immutable lookup state of a Registry. Every mutation
+// builds a fresh view and publishes it atomically, so the hot resolution
+// path — ByHandle on every map helper call — is a lock-free pointer load
+// instead of a mutex round-trip serialising all shard workers.
+type registryView struct {
+	byID   map[uint64]Map
+	byName map[string]Map
+	fault  FaultHook
+}
+
 // Registry hands out map handles: opaque 64-bit values that LDDW
 // instructions carry after relocation and helpers resolve back to maps.
 // Handles point into an unmapped carve-out of the address space, so a
 // program that dereferences a map handle directly faults rather than reads
 // kernel memory.
 type Registry struct {
-	mu     sync.Mutex
-	byID   map[uint64]Map
-	byName map[string]Map
-	next   uint64
-	fault  FaultHook
+	view atomic.Pointer[registryView]
+	wmu  sync.Mutex // serialises Create/register/SetFaultHook
+	next uint64     // next handle, under wmu
 }
 
 // FaultHook is the fault-injection seam of the map layer. MapAlloc is
@@ -120,27 +160,35 @@ type FaultHook interface {
 // Already-registered maps are re-wrapped in place, so a campaign can attach
 // to a stack whose maps exist and detach without leaving wrappers behind.
 func (r *Registry) SetFaultHook(h FaultHook) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.fault = h
-	for handle, m := range r.byID {
-		r.byID[handle] = r.wrapLocked(Unwrap(m))
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	old := r.view.Load()
+	fresh := &registryView{
+		byID:   make(map[uint64]Map, len(old.byID)),
+		byName: make(map[string]Map, len(old.byName)),
+		fault:  h,
 	}
-	for name, m := range r.byName {
-		r.byName[name] = r.wrapLocked(Unwrap(m))
+	for handle, m := range old.byID {
+		fresh.byID[handle] = wrap(Unwrap(m), h)
 	}
+	for name, m := range old.byName {
+		fresh.byName[name] = wrap(Unwrap(m), h)
+	}
+	r.view.Store(fresh)
 }
 
-func (r *Registry) wrapLocked(m Map) Map {
-	if r.fault == nil {
+func wrap(m Map, hook FaultHook) Map {
+	if hook == nil {
 		return m
 	}
-	return &faultMap{inner: m, hook: r.fault}
+	return &faultMap{inner: m, hook: hook}
 }
 
-// faultMap intercepts Update with the registry's fault hook and forwards
-// everything else. Extended-interface assertions (RingMap, KeyedMap,
-// QueueMap) must go through Unwrap.
+// faultMap intercepts Update (and the batched ops) with the registry's
+// fault hook and forwards everything else. It forwards the BatchMap and
+// PerCPUMap interfaces so the per-CPU variants keep their extended surface
+// under a fault campaign; the enumeration interfaces (RingMap, KeyedMap,
+// QueueMap) must still go through Unwrap.
 type faultMap struct {
 	inner Map
 	hook  FaultHook
@@ -159,14 +207,72 @@ func (f *faultMap) Update(cpu int, key, value []byte, flags uint64) error {
 func (f *faultMap) Delete(key []byte) error { return f.inner.Delete(key) }
 func (f *faultMap) Entries() int            { return f.inner.Entries() }
 
-// Unwrap strips any fault-injection wrapper. Callers that assert a map to
-// one of the extended interfaces (RingMap, KeyedMap, QueueMap) must unwrap
-// first — the wrapper only carries the base Map surface.
-func Unwrap(m Map) Map {
-	if f, ok := m.(*faultMap); ok {
-		return f.inner
+// LookupBatch forwards to the inner map's batched lookup, or falls back to
+// element-wise lookups when the inner type has no batch support.
+func (f *faultMap) LookupBatch(cpu int, keys [][]byte) ([]uint64, []bool) {
+	if bm, ok := f.inner.(BatchMap); ok {
+		return bm.LookupBatch(cpu, keys)
 	}
-	return m
+	return lookupBatchSlow(f.inner, cpu, keys)
+}
+
+// UpdateBatch consults the fault hook once per element — a campaign sees
+// batched updates exactly as it would see the equivalent single ops.
+func (f *faultMap) UpdateBatch(cpu int, keys, values [][]byte, flags uint64) (int, error) {
+	name := f.inner.Spec().Name
+	for i := range keys {
+		if err := f.hook.MapUpdate(name); err != nil {
+			return i, err
+		}
+		if err := f.inner.Update(cpu, keys[i], values[i], flags); err != nil {
+			return i, err
+		}
+	}
+	return len(keys), nil
+}
+
+// PerCPUValues forwards to the inner per-CPU map; ok is false when the
+// wrapped map is not per-CPU.
+func (f *faultMap) PerCPUValues(key []byte) ([]uint64, bool) {
+	if pm, ok := f.inner.(PerCPUMap); ok {
+		return pm.PerCPUValues(key)
+	}
+	return nil, false
+}
+
+// lookupBatchSlow is the element-wise fallback shared by map types without
+// a native batched path.
+func lookupBatchSlow(m Map, cpu int, keys [][]byte) ([]uint64, []bool) {
+	addrs := make([]uint64, len(keys))
+	hits := make([]bool, len(keys))
+	for i, k := range keys {
+		addrs[i], hits[i] = m.Lookup(cpu, k)
+	}
+	return addrs, hits
+}
+
+// updateBatchSlow is the element-wise fallback for UpdateBatch.
+func updateBatchSlow(m Map, cpu int, keys, values [][]byte, flags uint64) (int, error) {
+	for i := range keys {
+		if err := m.Update(cpu, keys[i], values[i], flags); err != nil {
+			return i, err
+		}
+	}
+	return len(keys), nil
+}
+
+// Unwrap strips fault-injection wrappers, however nested. Callers that
+// assert a map to one of the enumeration interfaces (RingMap, KeyedMap,
+// QueueMap) must unwrap first — the wrapper only carries the base Map,
+// BatchMap and PerCPUMap surfaces.
+func Unwrap(m Map) Map {
+	for {
+		f, ok := m.(*faultMap)
+		if !ok {
+			return m
+		}
+		m = f.inner
+	}
 }
 
 // HandleBase is the start of the map-handle carve-out.
@@ -174,15 +280,14 @@ const HandleBase uint64 = 0xffff_c000_0000_0000
 
 // NewRegistry returns an empty map registry.
 func NewRegistry() *Registry {
-	return &Registry{byID: make(map[uint64]Map), byName: make(map[string]Map), next: HandleBase}
+	r := &Registry{next: HandleBase}
+	r.view.Store(&registryView{byID: make(map[uint64]Map), byName: make(map[string]Map)})
+	return r
 }
 
 // Create builds a map from its spec and registers it.
 func (r *Registry) Create(k *kernel.Kernel, spec Spec) (Map, uint64, error) {
-	r.mu.Lock()
-	hook := r.fault
-	r.mu.Unlock()
-	if hook != nil {
+	if hook := r.view.Load().fault; hook != nil {
 		if err := hook.MapAlloc(spec.Name); err != nil {
 			return nil, 0, fmt.Errorf("maps: %q: allocation failed: %w", spec.Name, err)
 		}
@@ -210,6 +315,8 @@ func (r *Registry) Create(k *kernel.Kernel, spec Spec) (Map, uint64, error) {
 		m = newRingBuf(k, spec)
 	case Queue:
 		m = newQueue(k, spec)
+	case PerCPUHash:
+		m = newPerCPUHash(k, spec)
 	default:
 		return nil, 0, fmt.Errorf("maps: unknown map type %v", spec.Type)
 	}
@@ -218,31 +325,41 @@ func (r *Registry) Create(k *kernel.Kernel, spec Spec) (Map, uint64, error) {
 }
 
 func (r *Registry) register(name string, m Map) uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m = r.wrapLocked(m)
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	old := r.view.Load()
+	m = wrap(m, old.fault)
 	h := r.next
 	r.next += 8
-	r.byID[h] = m
-	if name != "" {
-		r.byName[name] = m
+	fresh := &registryView{
+		byID:   make(map[uint64]Map, len(old.byID)+1),
+		byName: make(map[string]Map, len(old.byName)+1),
+		fault:  old.fault,
 	}
+	for k, v := range old.byID {
+		fresh.byID[k] = v
+	}
+	for k, v := range old.byName {
+		fresh.byName[k] = v
+	}
+	fresh.byID[h] = m
+	if name != "" {
+		fresh.byName[name] = m
+	}
+	r.view.Store(fresh)
 	return h
 }
 
-// ByHandle resolves a handle to its map.
+// ByHandle resolves a handle to its map. This is the hot path of every
+// map helper call; it reads the current registry view without locking.
 func (r *Registry) ByHandle(h uint64) (Map, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m, ok := r.byID[h]
+	m, ok := r.view.Load().byID[h]
 	return m, ok
 }
 
 // ByName resolves a map name, for loader relocation.
 func (r *Registry) ByName(name string) (Map, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m, ok := r.byName[name]
+	m, ok := r.view.Load().byName[name]
 	return m, ok
 }
 
@@ -250,10 +367,8 @@ func (r *Registry) ByName(name string) (Map, bool) {
 // through fault-injection wrappers on either side, so handles stay stable
 // across SetFaultHook.
 func (r *Registry) Handle(m Map) (uint64, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	want := Unwrap(m)
-	for h, got := range r.byID {
+	for h, got := range r.view.Load().byID {
 		if Unwrap(got) == want {
 			return h, true
 		}

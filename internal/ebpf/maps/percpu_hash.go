@@ -1,0 +1,159 @@
+package maps
+
+import (
+	"sync"
+
+	"kex/internal/kernel"
+)
+
+// perCPUHash is the BPF_MAP_TYPE_PERCPU_HASH analogue: one shared keyset,
+// but every entry carries a value cell per CPU, laid out contiguously in
+// one region (cell i at offset i*ValueSize). Lookup returns the calling
+// CPU's cell, so hot-path increments from different shards touch disjoint
+// memory; userspace aggregates with PerCPUValues. The keyset itself is
+// guarded by an RWMutex — inserts and deletes are rare control-plane
+// events, while the data-plane Lookup/overwrite path only ever takes the
+// read side.
+type perCPUHash struct {
+	k    *kernel.Kernel
+	ncpu int
+	spec Spec
+
+	mu      sync.RWMutex
+	entries map[string]*kernel.Region // one region of ncpu*ValueSize per key
+}
+
+func newPerCPUHash(k *kernel.Kernel, spec Spec) *perCPUHash {
+	ncpu := len(k.CPUs())
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	return &perCPUHash{k: k, ncpu: ncpu, spec: spec, entries: make(map[string]*kernel.Region)}
+}
+
+func (m *perCPUHash) Spec() Spec { return m.spec }
+
+func (m *perCPUHash) Lookup(cpu int, key []byte) (uint64, bool) {
+	if len(key) != m.spec.KeySize || cpu < 0 || cpu >= m.ncpu {
+		return 0, false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.entries[string(key)]
+	if !ok {
+		return 0, false
+	}
+	return r.Base + uint64(cpu)*uint64(m.spec.ValueSize), true
+}
+
+func (m *perCPUHash) Update(cpu int, key, value []byte, flags uint64) error {
+	if err := checkSizes(m.spec, key, value, true); err != nil {
+		return err
+	}
+	if flags > UpdateExist {
+		return ErrBadFlags
+	}
+	if cpu < 0 || cpu >= m.ncpu {
+		return ErrNotFound
+	}
+	ks := string(key)
+
+	// Overwrite path: per-CPU cells are disjoint, so a read lock on the
+	// keyset suffices — concurrent shards writing their own cells of the
+	// same key do not conflict.
+	m.mu.RLock()
+	if r, ok := m.entries[ks]; ok {
+		if flags == UpdateNoExist {
+			m.mu.RUnlock()
+			return ErrExists
+		}
+		copy(r.Data[cpu*m.spec.ValueSize:(cpu+1)*m.spec.ValueSize], value)
+		m.mu.RUnlock()
+		return nil
+	}
+	m.mu.RUnlock()
+	if flags == UpdateExist {
+		return ErrNotFound
+	}
+
+	// Insert path: take the write lock and re-check, since another shard
+	// may have inserted the key between the two critical sections.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.entries[ks]; ok {
+		if flags == UpdateNoExist {
+			return ErrExists
+		}
+		copy(r.Data[cpu*m.spec.ValueSize:(cpu+1)*m.spec.ValueSize], value)
+		return nil
+	}
+	if len(m.entries) >= m.spec.MaxEntries {
+		return ErrNoSpace
+	}
+	r := m.k.Mem.Map(m.ncpu*m.spec.ValueSize, kernel.ProtRW, "map_percpu_hash_val:"+m.spec.Name)
+	copy(r.Data[cpu*m.spec.ValueSize:(cpu+1)*m.spec.ValueSize], value)
+	m.entries[ks] = r
+	return nil
+}
+
+func (m *perCPUHash) Delete(key []byte) error {
+	if len(key) != m.spec.KeySize {
+		return ErrKeySize
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ks := string(key)
+	r, ok := m.entries[ks]
+	if !ok {
+		return ErrNotFound
+	}
+	m.k.Mem.Unmap(r)
+	delete(m.entries, ks)
+	return nil
+}
+
+func (m *perCPUHash) Entries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// Keys returns a snapshot of the current keys.
+func (m *perCPUHash) Keys() [][]byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([][]byte, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, []byte(k))
+	}
+	return out
+}
+
+// LookupBatch resolves many keys on one CPU.
+func (m *perCPUHash) LookupBatch(cpu int, keys [][]byte) ([]uint64, []bool) {
+	return lookupBatchSlow(m, cpu, keys)
+}
+
+// UpdateBatch applies many updates on one CPU.
+func (m *perCPUHash) UpdateBatch(cpu int, keys, values [][]byte, flags uint64) (int, error) {
+	return updateBatchSlow(m, cpu, keys, values, flags)
+}
+
+// PerCPUValues decodes the key's cell on every CPU as a little-endian
+// integer, for aggregation-on-read.
+func (m *perCPUHash) PerCPUValues(key []byte) ([]uint64, bool) {
+	if len(key) != m.spec.KeySize {
+		return nil, false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.entries[string(key)]
+	if !ok {
+		return nil, false
+	}
+	out := make([]uint64, m.ncpu)
+	for cpu := 0; cpu < m.ncpu; cpu++ {
+		out[cpu] = decodeCell(r.Data[cpu*m.spec.ValueSize:], m.spec.ValueSize)
+	}
+	return out, true
+}

@@ -167,6 +167,32 @@ type RunOptions struct {
 // crash, fuel exhaustion); kernel damage is also visible in the report's
 // ExitOopses and on the kernel.
 func (l *Loaded) Run(opts RunOptions) (*RunReport, error) {
+	req := l.Request(opts)
+	if l.stack.sup != nil {
+		return l.stack.sup.Run(l.engine, req, l.reverify)
+	}
+	return l.stack.Core.Run(l.engine, req)
+}
+
+// RunBatch invokes the program once per option set, back-to-back and
+// pinned to one simulated CPU, through the core's batched path (and
+// through the supervisor's gate when the stack is supervised). It is the
+// unit of work a Sharded worker executes.
+func (l *Loaded) RunBatch(cpu int, opts []RunOptions) []exec.BatchResult {
+	reqs := make([]exec.Request, len(opts))
+	for i := range opts {
+		reqs[i] = l.Request(opts[i])
+	}
+	if l.stack.sup != nil {
+		return l.stack.sup.RunBatch(l.engine, cpu, reqs, l.reverify)
+	}
+	return l.stack.Core.RunBatch(l.engine, cpu, reqs)
+}
+
+// Request builds the execution-core request for one invocation, resolving
+// the default context exactly as Run does. Use it to assemble exec.Batch
+// values for submission to a Sharded data plane.
+func (l *Loaded) Request(opts RunOptions) exec.Request {
 	ctxAddr := opts.CtxAddr
 	if ctxAddr == 0 {
 		if l.defaultCtx == nil {
@@ -174,7 +200,7 @@ func (l *Loaded) Run(opts RunOptions) (*RunReport, error) {
 		}
 		ctxAddr = l.defaultCtx.Base
 	}
-	req := exec.Request{
+	return exec.Request{
 		Program:   l.Prog.Name,
 		CPU:       opts.CPU,
 		CtxAddr:   ctxAddr,
@@ -183,10 +209,22 @@ func (l *Loaded) Run(opts RunOptions) (*RunReport, error) {
 		ProgArray: l.ProgArray,
 		Observe:   opts.Observe,
 	}
-	if l.stack.sup != nil {
-		return l.stack.sup.Run(l.engine, req, l.reverify)
-	}
-	return l.stack.Core.Run(l.engine, req)
+}
+
+// Engine exposes the program's execution engine so callers can submit
+// exec.Batch values directly to a Sharded plane.
+func (l *Loaded) Engine() exec.Engine { return l.engine }
+
+// Reverify exposes the supervised recovery reload hook for batched
+// submission (exec.Batch.Reload).
+func (l *Loaded) Reverify() exec.Reload { return l.reverify }
+
+// NewSharded starts a per-CPU sharded data plane over this stack's core.
+// When the stack is supervised, every batch routes through the
+// supervisor's admission gate. The caller owns the plane's lifecycle and
+// must Close it.
+func (s *Stack) NewSharded(cfg exec.ShardedConfig) *exec.Sharded {
+	return exec.NewSharded(s.Core, s.sup, cfg)
 }
 
 // reverify is the supervised recovery reload for the verified stack: the

@@ -203,6 +203,7 @@ func (c *Core) Run(eng Engine, req Request) (rep *Report, err error) {
 			rep.ExitOopses = append(rep.ExitOopses, ctx.ExitAudit()...)
 		}()
 		rep.WallNs = time.Since(wallStart).Nanoseconds()
+		rep.CPUTimeNs = ctx.ConsumedNs()
 		c.Stats.recordRun(req.CPU, rep, err)
 	}()
 
@@ -218,6 +219,29 @@ func (c *Core) Run(eng Engine, req Request) (rep *Report, err error) {
 	rep = buildReport(r0)
 	finish()
 	return rep, err
+}
+
+// BatchResult pairs one batched request with its outcome.
+type BatchResult struct {
+	Report *Report
+	Err    error
+}
+
+// RunBatch dispatches a batch of requests on one simulated CPU, forcing
+// every request's CPU to the batch's. Each request still gets the full
+// per-invocation lifecycle — fresh context, RCU bracketing, exit audit —
+// so the safety guarantees are identical to serial Run calls; what the
+// batch amortizes is everything around the lifecycle (ring hand-off,
+// supervisor gating, engine/report plumbing staying hot in cache). This is
+// the unit of work a Sharded ring delivers to its worker.
+func (c *Core) RunBatch(eng Engine, cpu int, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	for i := range reqs {
+		reqs[i].CPU = cpu
+		rep, err := c.Run(eng, reqs[i])
+		out[i] = BatchResult{Report: rep, Err: err}
+	}
+	return out
 }
 
 // interpEngine runs a program on the interpreter.

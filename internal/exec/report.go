@@ -48,6 +48,13 @@ type Report struct {
 	// design: the simulator charges fixed virtual costs per instruction.
 	WallNs int64
 
+	// CPUTimeNs is the virtual CPU time the invocation's own context
+	// consumed (instructions × per-instruction cost). In serial execution
+	// it equals RuntimeNs; under sharded execution the global clock also
+	// carries other shards' progress, so per-shard busy-time accounting —
+	// and the simulated-throughput math built on it — uses this figure.
+	CPUTimeNs int64
+
 	// Trace accumulates bpf_trace_printk / kernel::trace output.
 	Trace []string
 

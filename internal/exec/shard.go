@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by the sharded submission path.
+var (
+	// ErrRingFull reports a non-blocking Submit against a shard whose
+	// submission ring is at capacity — the caller's backpressure signal.
+	ErrRingFull = errors.New("exec: shard submission ring full")
+	// ErrShardedClosed reports a submission after Close.
+	ErrShardedClosed = errors.New("exec: sharded executor closed")
+)
+
+// ShardedConfig sizes the sharded data plane.
+type ShardedConfig struct {
+	// Shards is the number of worker goroutines, one pinned per simulated
+	// CPU (worker i runs everything on CPU i). Zero or negative defaults
+	// to the kernel's CPU count; values above it are clamped, since a
+	// shard must own a real simulated CPU for per-CPU maps to resolve.
+	Shards int
+	// RingSize is the capacity, in batches, of each shard's submission
+	// ring. Zero defaults to 64.
+	RingSize int
+}
+
+// Batch is one unit of submission to a shard's ring: a set of requests to
+// run back-to-back on the shard's CPU.
+type Batch struct {
+	// Engine executes the batch's requests.
+	Engine Engine
+	// Reqs are the invocations; each request's CPU is forced to the shard's.
+	Reqs []Request
+	// Reload, for supervised executors, is the recovery-probe reload hook
+	// (see Supervisor.Run). Ignored when the executor has no supervisor.
+	Reload Reload
+	// Done, when set, receives the batch's results on the shard worker
+	// goroutine after the batch completes. It must not block the worker
+	// for long — it is the per-CPU completion context, like a NAPI poll
+	// callback, not a place to do synchronous downstream work.
+	Done func([]BatchResult)
+}
+
+// Sharded is the per-CPU sharded data plane over one Core: a fixed-size
+// submission ring per simulated CPU, drained by one worker goroutine
+// pinned to that CPU. Producers submit batches to a shard and either poll
+// results via Batch.Done or rendezvous with Flush. Per-invocation safety
+// machinery (fuel, watchdog, RCU bracketing, exit audit) is untouched —
+// each request still runs the full Core.Run lifecycle on its shard.
+//
+// Every layer a request crosses below here — stats cells, the map
+// registry view, map shards, the address-space snapshot, RCU reader
+// shards — is lock-free or sharded per CPU, so N workers make progress
+// without queueing on shared locks.
+type Sharded struct {
+	core *Core
+	sup  *Supervisor // nil for unsupervised executors
+
+	rings []chan Batch
+	// busy accumulates each shard's consumed virtual CPU time; aggregate
+	// simulated throughput is total ops over max shard busy time.
+	busy      []atomic.Int64
+	completed atomic.Uint64
+
+	pending atomic.Int64
+	flushMu sync.Mutex
+	flushCv *sync.Cond
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewSharded starts the shard workers over a core. A non-nil supervisor
+// routes every batch through its gate, making the circuit breaker the
+// shared admission control of all shards. Close must be called to stop
+// the workers.
+func NewSharded(core *Core, sup *Supervisor, cfg ShardedConfig) *Sharded {
+	ncpu := len(core.K.CPUs())
+	if cfg.Shards <= 0 || cfg.Shards > ncpu {
+		cfg.Shards = ncpu
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 64
+	}
+	s := &Sharded{
+		core:  core,
+		sup:   sup,
+		rings: make([]chan Batch, cfg.Shards),
+		busy:  make([]atomic.Int64, cfg.Shards),
+	}
+	s.flushCv = sync.NewCond(&s.flushMu)
+	for cpu := range s.rings {
+		s.rings[cpu] = make(chan Batch, cfg.RingSize)
+		s.wg.Add(1)
+		go s.worker(cpu)
+	}
+	return s
+}
+
+// worker drains one shard's ring. It is the only goroutine that ever runs
+// requests on its CPU, which is what makes per-CPU map cells and frame
+// caches contention-free.
+func (s *Sharded) worker(cpu int) {
+	defer s.wg.Done()
+	for b := range s.rings[cpu] {
+		var results []BatchResult
+		if s.sup != nil {
+			results = s.sup.RunBatch(b.Engine, cpu, b.Reqs, b.Reload)
+		} else {
+			results = s.core.RunBatch(b.Engine, cpu, b.Reqs)
+		}
+		var consumed int64
+		for _, r := range results {
+			if r.Report != nil {
+				consumed += r.Report.CPUTimeNs
+			}
+		}
+		s.busy[cpu].Add(consumed)
+		s.completed.Add(uint64(len(results)))
+		if b.Done != nil {
+			b.Done(results)
+		}
+		if s.pending.Add(-1) == 0 {
+			s.flushMu.Lock()
+			s.flushCv.Broadcast()
+			s.flushMu.Unlock()
+		}
+	}
+}
+
+// Shards returns the number of shard workers.
+func (s *Sharded) Shards() int { return len(s.rings) }
+
+// Submit enqueues a batch on a shard's ring without blocking. It returns
+// ErrRingFull when the ring is at capacity — callers under backpressure
+// either retry, spill to another shard, or shed load, exactly the choices
+// a NIC driver has at a full descriptor ring.
+func (s *Sharded) Submit(cpu int, b Batch) error {
+	if s.closed.Load() {
+		return ErrShardedClosed
+	}
+	if cpu < 0 || cpu >= len(s.rings) {
+		return fmt.Errorf("exec: submit to invalid shard %d of %d", cpu, len(s.rings))
+	}
+	s.pending.Add(1)
+	select {
+	case s.rings[cpu] <- b:
+		return nil
+	default:
+		s.pending.Add(-1)
+		return ErrRingFull
+	}
+}
+
+// SubmitWait enqueues a batch, blocking while the shard's ring is full.
+func (s *Sharded) SubmitWait(cpu int, b Batch) error {
+	if s.closed.Load() {
+		return ErrShardedClosed
+	}
+	if cpu < 0 || cpu >= len(s.rings) {
+		return fmt.Errorf("exec: submit to invalid shard %d of %d", cpu, len(s.rings))
+	}
+	s.pending.Add(1)
+	s.rings[cpu] <- b
+	return nil
+}
+
+// Flush blocks until every submitted batch has completed.
+func (s *Sharded) Flush() {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	for s.pending.Load() != 0 {
+		s.flushCv.Wait()
+	}
+}
+
+// Close drains the rings, stops the workers, and waits for them to exit.
+// Batches already submitted still complete; later submissions fail with
+// ErrShardedClosed.
+func (s *Sharded) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, ring := range s.rings {
+		close(ring)
+	}
+	s.wg.Wait()
+}
+
+// BusyNs returns the virtual CPU time shard cpu has consumed so far.
+func (s *Sharded) BusyNs(cpu int) int64 { return s.busy[cpu].Load() }
+
+// MaxBusyNs returns the busiest shard's consumed virtual CPU time — the
+// simulated makespan of the work so far. Aggregate simulated throughput
+// is completed ops divided by this figure: with perfect sharding the work
+// spreads evenly and the makespan stops growing with total ops.
+func (s *Sharded) MaxBusyNs() int64 {
+	var max int64
+	for i := range s.busy {
+		if b := s.busy[i].Load(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TotalBusyNs returns the summed consumed virtual CPU time of all shards.
+func (s *Sharded) TotalBusyNs() int64 {
+	var total int64
+	for i := range s.busy {
+		total += s.busy[i].Load()
+	}
+	return total
+}
+
+// Completed returns the number of requests fully executed so far.
+func (s *Sharded) Completed() uint64 { return s.completed.Load() }

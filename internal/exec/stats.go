@@ -5,20 +5,67 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats accumulates per-program and per-CPU execution counters plus
-// cumulative load-phase timings for one Core. All methods are safe for
-// concurrent use — the accounting must stay correct once runs go parallel —
-// and cheap enough to leave on: one mutex acquisition and a handful of
-// integer adds per invocation.
+// cumulative load-phase timings for one Core. The write path — one call
+// per invocation, from every shard worker — is lock-free: counters live in
+// atomic cells resolved through sync.Map, so parallel shards never queue
+// behind a stats mutex. Aggregation into the public Snapshot types happens
+// only on read, which is the cold path.
 type Stats struct {
-	mu         sync.Mutex
-	programs   map[string]*ProgramStats
-	cpus       map[int]*CPUStats
-	loads      uint64
+	programs sync.Map // program name -> *progCell
+	cpus     sync.Map // cpu id -> *cpuCell
+	loads    atomic.Uint64
+
+	// Load-phase timings are control-plane only (one update per program
+	// load), so a small mutex is fine and keeps the insertion order simple.
+	phaseMu    sync.Mutex
 	loadPhases map[string]int64
 	phaseOrder []string
+}
+
+// progCell is the hot accumulator behind one ProgramStats row.
+type progCell struct {
+	invocations  atomic.Uint64
+	errors       atomic.Uint64
+	instructions atomic.Uint64
+	fuelUsed     atomic.Uint64
+	mapOps       atomic.Uint64
+	runtimeNs    atomic.Int64
+	wallNs       atomic.Int64
+	cpuTimeNs    atomic.Int64
+
+	faults    atomic.Uint64
+	denied    atomic.Uint64
+	fallbacks atomic.Uint64
+
+	dynamicChecks atomic.Uint64
+	elidedChecks  atomic.Uint64
+	fuelElisions  atomic.Uint64
+
+	helperCalls sync.Map // helper name -> *atomic.Uint64
+	transitions sync.Map // "from->to" -> *atomic.Uint64
+}
+
+// cpuCell is the hot accumulator behind one CPUStats row.
+type cpuCell struct {
+	invocations  atomic.Uint64
+	instructions atomic.Uint64
+	runtimeNs    atomic.Int64
+	wallNs       atomic.Int64
+	cpuTimeNs    atomic.Int64
+}
+
+// counterIn bumps a named counter inside a sync.Map of atomic cells.
+func counterIn(m *sync.Map, key string, n uint64) {
+	if c, ok := m.Load(key); ok {
+		c.(*atomic.Uint64).Add(n)
+		return
+	}
+	c, _ := m.LoadOrStore(key, new(atomic.Uint64))
+	c.(*atomic.Uint64).Add(n)
 }
 
 // ProgramStats aggregates every invocation of one named program.
@@ -31,6 +78,7 @@ type ProgramStats struct {
 	HelperCalls  map[string]uint64
 	RuntimeNs    int64 // cumulative virtual latency
 	WallNs       int64 // cumulative wall latency
+	CPUTimeNs    int64 // cumulative virtual CPU time consumed by the program itself
 
 	// Supervisor accounting. Zero unless the program runs under an
 	// exec.Supervisor.
@@ -55,13 +103,14 @@ type CPUStats struct {
 	Instructions uint64
 	RuntimeNs    int64
 	WallNs       int64
+	CPUTimeNs    int64
 }
 
 // RecordLoad accounts one program load and its per-phase wall timings.
 func (s *Stats) RecordLoad(program string, phases PhaseTimings) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.loads++
+	s.loads.Add(1)
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
 	if s.loadPhases == nil {
 		s.loadPhases = make(map[string]int64)
 	}
@@ -76,100 +125,79 @@ func (s *Stats) RecordLoad(program string, phases PhaseTimings) {
 // RecordChecks accounts the static-vs-dynamic check split of one loaded
 // program, as read from its signed object metadata.
 func (s *Stats) RecordChecks(program string, dynamic, elided uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ps := s.prog(program)
-	ps.DynamicChecks = dynamic
-	ps.ElidedChecks = elided
+	ps.dynamicChecks.Store(dynamic)
+	ps.elidedChecks.Store(elided)
 }
 
 // RecordFuelElision accounts one invocation that ran without fuel metering
 // because the toolchain proved a static instruction bound under budget.
 func (s *Stats) RecordFuelElision(program string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.prog(program).FuelElisions++
+	s.prog(program).fuelElisions.Add(1)
 }
 
-// prog returns (creating on first use) the per-program row. Caller holds mu.
-func (s *Stats) prog(name string) *ProgramStats {
-	if s.programs == nil {
-		s.programs = make(map[string]*ProgramStats)
+// prog returns (creating on first use) the per-program accumulator.
+func (s *Stats) prog(name string) *progCell {
+	if c, ok := s.programs.Load(name); ok {
+		return c.(*progCell)
 	}
-	ps := s.programs[name]
-	if ps == nil {
-		ps = &ProgramStats{}
-		s.programs[name] = ps
+	c, _ := s.programs.LoadOrStore(name, &progCell{})
+	return c.(*progCell)
+}
+
+// cpu returns (creating on first use) the per-CPU accumulator.
+func (s *Stats) cpu(id int) *cpuCell {
+	if c, ok := s.cpus.Load(id); ok {
+		return c.(*cpuCell)
 	}
-	return ps
+	c, _ := s.cpus.LoadOrStore(id, &cpuCell{})
+	return c.(*cpuCell)
 }
 
 // recordFault accounts one supervised run the supervisor classified as a
 // fault (engine error or exit-audit damage).
 func (s *Stats) recordFault(program string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.prog(program).Faults++
+	s.prog(program).faults.Add(1)
 }
 
 // recordDenied accounts one dispatch refused at the supervisor gate;
 // fallback marks it as served the configured fallback R0.
 func (s *Stats) recordDenied(program string, fallback bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ps := s.prog(program)
-	ps.Denied++
+	ps.denied.Add(1)
 	if fallback {
-		ps.Fallbacks++
+		ps.fallbacks.Add(1)
 	}
 }
 
 // recordTransition accounts one supervisor state transition.
 func (s *Stats) recordTransition(program string, from, to State) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ps := s.prog(program)
-	if ps.Transitions == nil {
-		ps.Transitions = make(map[string]uint64, 4)
-	}
-	ps.Transitions[string(from)+"->"+string(to)]++
+	counterIn(&s.prog(program).transitions, string(from)+"->"+string(to), 1)
 }
 
 // recordRun accounts one invocation. The core calls it after assembling the
 // report; engineErr marks abnormal termination.
 func (s *Stats) recordRun(cpu int, rep *Report, engineErr error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cpus == nil {
-		s.cpus = make(map[int]*CPUStats)
-	}
 	ps := s.prog(rep.Program)
-	ps.Invocations++
+	ps.invocations.Add(1)
 	if engineErr != nil {
-		ps.Errors++
+		ps.errors.Add(1)
 	}
-	ps.Instructions += rep.Instructions
-	ps.FuelUsed += rep.FuelUsed
-	ps.MapOps += rep.MapOps
-	ps.RuntimeNs += rep.RuntimeNs
-	ps.WallNs += rep.WallNs
-	if len(rep.HelperCalls) > 0 {
-		if ps.HelperCalls == nil {
-			ps.HelperCalls = make(map[string]uint64, len(rep.HelperCalls))
-		}
-		for name, n := range rep.HelperCalls {
-			ps.HelperCalls[name] += n
-		}
+	ps.instructions.Add(rep.Instructions)
+	ps.fuelUsed.Add(rep.FuelUsed)
+	ps.mapOps.Add(rep.MapOps)
+	ps.runtimeNs.Add(rep.RuntimeNs)
+	ps.wallNs.Add(rep.WallNs)
+	ps.cpuTimeNs.Add(rep.CPUTimeNs)
+	for name, n := range rep.HelperCalls {
+		counterIn(&ps.helperCalls, name, n)
 	}
-	cs := s.cpus[cpu]
-	if cs == nil {
-		cs = &CPUStats{}
-		s.cpus[cpu] = cs
-	}
-	cs.Invocations++
-	cs.Instructions += rep.Instructions
-	cs.RuntimeNs += rep.RuntimeNs
-	cs.WallNs += rep.WallNs
+	cs := s.cpu(cpu)
+	cs.invocations.Add(1)
+	cs.instructions.Add(rep.Instructions)
+	cs.runtimeNs.Add(rep.RuntimeNs)
+	cs.wallNs.Add(rep.WallNs)
+	cs.cpuTimeNs.Add(rep.CPUTimeNs)
 }
 
 // Snapshot is a consistent, caller-owned copy of the accumulated stats.
@@ -180,38 +208,66 @@ type Snapshot struct {
 	CPUs       map[int]CPUStats
 }
 
+// counterMap materialises a sync.Map of atomic counters, or nil when empty.
+func counterMap(m *sync.Map) map[string]uint64 {
+	var out map[string]uint64
+	m.Range(func(k, v any) bool {
+		if out == nil {
+			out = make(map[string]uint64)
+		}
+		out[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return out
+}
+
 // Snapshot copies the current totals. The returned maps are deep copies and
-// safe to retain while execution continues.
+// safe to retain while execution continues. Counters written concurrently
+// with the snapshot land in either this snapshot or the next.
 func (s *Stats) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	snap := Snapshot{
-		Loads:    s.loads,
-		Programs: make(map[string]ProgramStats, len(s.programs)),
-		CPUs:     make(map[int]CPUStats, len(s.cpus)),
+		Loads:    s.loads.Load(),
+		Programs: make(map[string]ProgramStats),
+		CPUs:     make(map[int]CPUStats),
 	}
+	s.phaseMu.Lock()
 	for _, name := range s.phaseOrder {
 		snap.LoadPhases = append(snap.LoadPhases, Phase{Name: name, WallNs: s.loadPhases[name]})
 	}
-	for name, ps := range s.programs {
-		cp := *ps
-		if ps.HelperCalls != nil {
-			cp.HelperCalls = make(map[string]uint64, len(ps.HelperCalls))
-			for h, n := range ps.HelperCalls {
-				cp.HelperCalls[h] = n
-			}
+	s.phaseMu.Unlock()
+	s.programs.Range(func(k, v any) bool {
+		c := v.(*progCell)
+		snap.Programs[k.(string)] = ProgramStats{
+			Invocations:   c.invocations.Load(),
+			Errors:        c.errors.Load(),
+			Instructions:  c.instructions.Load(),
+			FuelUsed:      c.fuelUsed.Load(),
+			MapOps:        c.mapOps.Load(),
+			HelperCalls:   counterMap(&c.helperCalls),
+			RuntimeNs:     c.runtimeNs.Load(),
+			WallNs:        c.wallNs.Load(),
+			CPUTimeNs:     c.cpuTimeNs.Load(),
+			Faults:        c.faults.Load(),
+			Denied:        c.denied.Load(),
+			Fallbacks:     c.fallbacks.Load(),
+			Transitions:   counterMap(&c.transitions),
+			DynamicChecks: c.dynamicChecks.Load(),
+			ElidedChecks:  c.elidedChecks.Load(),
+			FuelElisions:  c.fuelElisions.Load(),
 		}
-		if ps.Transitions != nil {
-			cp.Transitions = make(map[string]uint64, len(ps.Transitions))
-			for t, n := range ps.Transitions {
-				cp.Transitions[t] = n
-			}
+		return true
+	})
+	s.cpus.Range(func(k, v any) bool {
+		c := v.(*cpuCell)
+		snap.CPUs[k.(int)] = CPUStats{
+			Invocations:  c.invocations.Load(),
+			Instructions: c.instructions.Load(),
+			RuntimeNs:    c.runtimeNs.Load(),
+			WallNs:       c.wallNs.Load(),
+			CPUTimeNs:    c.cpuTimeNs.Load(),
 		}
-		snap.Programs[name] = cp
-	}
-	for cpu, cs := range s.cpus {
-		snap.CPUs[cpu] = *cs
-	}
+		return true
+	})
 	return snap
 }
 
@@ -227,6 +283,7 @@ func (snap Snapshot) Totals() ProgramStats {
 		t.MapOps += ps.MapOps
 		t.RuntimeNs += ps.RuntimeNs
 		t.WallNs += ps.WallNs
+		t.CPUTimeNs += ps.CPUTimeNs
 		t.Faults += ps.Faults
 		t.Denied += ps.Denied
 		t.Fallbacks += ps.Fallbacks

@@ -114,6 +114,10 @@ type progHealth struct {
 	until   int64 // virtual deadline of the current quarantine
 	backoff int64 // current (jittered) backoff duration
 	rng     uint64
+	// probing single-flights the recovery probe: when several shards hit
+	// an expired backoff together, exactly one dispatch becomes the probe
+	// and the rest stay denied until its outcome is observed.
+	probing bool
 }
 
 // NewSupervisor builds a supervisor over the core. Zero-value config fields
@@ -209,15 +213,19 @@ func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error
 		s.mu.Unlock()
 		return s.deny(eng, req)
 	case StateQuarantined:
-		if s.core.K.Clock.Now() < st.until {
+		if s.core.K.Clock.Now() < st.until || st.probing {
+			// Still backing off — or another shard's dispatch already
+			// claimed the recovery probe and hasn't been observed yet.
 			s.mu.Unlock()
 			return s.deny(eng, req)
 		}
 		// Backoff expired: this dispatch is the recovery probe.
+		st.probing = true
 		s.mu.Unlock()
 		if reload != nil {
 			if err := reload(); err != nil {
 				s.mu.Lock()
+				st.probing = false
 				s.requarantine(st, req.Program)
 				s.mu.Unlock()
 				rep, _ := s.deny(eng, req)
@@ -235,6 +243,19 @@ func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error
 	rep.Supervision = string(st.state)
 	s.mu.Unlock()
 	return rep, err
+}
+
+// RunBatch dispatches a batch through the supervisor gate on one CPU.
+// Every request passes the gate individually, so a trip mid-batch denies
+// the remainder of the batch exactly as it would deny fresh dispatches.
+func (s *Supervisor) RunBatch(eng Engine, cpu int, reqs []Request, reload Reload) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	for i := range reqs {
+		reqs[i].CPU = cpu
+		rep, err := s.Run(eng, reqs[i], reload)
+		out[i] = BatchResult{Report: rep, Err: err}
+	}
+	return out
 }
 
 // deny answers a dispatch without running the program.
@@ -261,7 +282,9 @@ func (s *Supervisor) observe(st *progHealth, program string, fault bool) {
 		s.core.Stats.recordFault(program)
 	}
 	if st.state == StateQuarantined {
-		// This run was the recovery probe.
+		// This run was the recovery probe; its outcome releases the
+		// single-flight claim.
+		st.probing = false
 		if fault {
 			s.requarantine(st, program)
 			return

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kex/internal/ebpf/helpers"
+	"kex/internal/ebpf/interp"
+)
+
+var errBoom = errors.New("boom")
+
+// TestSupervisorConcurrentTrip drives one faulty program from several
+// shards at once: the breaker must trip and, once tripped, every shard
+// must observe a consistent denied/quarantined view. Run under -race.
+func TestSupervisorConcurrentTrip(t *testing.T) {
+	c := newTestCore()
+	var faults atomic.Uint64
+	eng := fakeEngine{name: "fake", run: func(env *helpers.Env, opts interp.Options) (uint64, error) {
+		env.Ctx.Tick(1)
+		faults.Add(1)
+		return 0, errBoom
+	}}
+	sup := NewSupervisor(c, SupervisorConfig{
+		Window:        8,
+		TripThreshold: 2,
+		BaseBackoffNs: 1 << 40, // far beyond what the runs advance: no probes
+		MaxBackoffNs:  1 << 41,
+		Policy:        DegradeFallback,
+		FallbackR0:    99,
+	})
+	sh := NewSharded(c, sup, ShardedConfig{Shards: 4, RingSize: 32})
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 4; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for b := 0; b < 10; b++ {
+				reqs := make([]Request, 4)
+				for i := range reqs {
+					reqs[i] = Request{Program: "bad"}
+				}
+				if err := sh.SubmitWait(cpu, Batch{Engine: eng, Reqs: reqs}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	sh.Flush()
+	sh.Close()
+
+	if st := sup.State("bad"); st != StateQuarantined {
+		t.Fatalf("state = %v, want quarantined", st)
+	}
+	snap := c.Stats.Snapshot()
+	ps := snap.Programs["bad"]
+	// Every dispatch either ran (and faulted) or was denied; none vanished.
+	if ps.Invocations+ps.Denied != 160 {
+		t.Fatalf("ran %d + denied %d != 160 dispatches", ps.Invocations, ps.Denied)
+	}
+	if ps.Faults != faults.Load() {
+		t.Fatalf("accounted faults %d != engine faults %d", ps.Faults, faults.Load())
+	}
+	if ps.Denied == 0 {
+		t.Fatal("no dispatch was denied after the trip")
+	}
+	if ps.Fallbacks != ps.Denied {
+		t.Fatalf("fallbacks %d != denied %d under DegradeFallback", ps.Fallbacks, ps.Denied)
+	}
+	// The breaker tripped exactly once: no duplicate *->quarantined rows
+	// beyond the single trip (no concurrent double-trip).
+	if n := ps.Transitions["degraded->quarantined"]; n != 1 {
+		t.Fatalf("degraded->quarantined transitions = %d, want 1 (%v)", n, ps.Transitions)
+	}
+}
+
+// TestSupervisorProbeSingleFlight expires a quarantine's backoff while
+// many shards are dispatching: exactly one dispatch may become the
+// recovery probe; the rest must stay denied until the probe's outcome is
+// observed. Without the single-flight claim this test races (and fails
+// -race ordering assertions) because several workers reload and probe at
+// once.
+func TestSupervisorProbeSingleFlight(t *testing.T) {
+	c := newTestCore()
+	var fail atomic.Bool
+	fail.Store(true)
+	var runs atomic.Uint64
+	eng := fakeEngine{name: "fake", run: func(env *helpers.Env, opts interp.Options) (uint64, error) {
+		env.Ctx.Tick(1)
+		runs.Add(1)
+		if fail.Load() {
+			return 0, errBoom
+		}
+		return 1, nil
+	}}
+	sup := NewSupervisor(c, SupervisorConfig{
+		Window:        4,
+		TripThreshold: 1,
+		BaseBackoffNs: 1000,
+		MaxBackoffNs:  2000,
+		Policy:        DegradeFallback,
+	})
+	// Trip the breaker serially.
+	if _, err := sup.Run(eng, Request{Program: "p"}, nil); err == nil {
+		t.Fatal("faulty run did not error")
+	}
+	if st := sup.State("p"); st != StateQuarantined {
+		t.Fatalf("state = %v", st)
+	}
+
+	// Expire the backoff, heal the program, and race many dispatches: all
+	// must pass through the single-flight gate without double-probing.
+	fail.Store(false)
+	c.K.Clock.Advance(1 << 20)
+	var reloads atomic.Uint64
+	reload := func() error { reloads.Add(1); return nil }
+	ranBefore := runs.Load()
+	sh := NewSharded(c, sup, ShardedConfig{Shards: 4, RingSize: 64})
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 4; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				err := sh.SubmitWait(cpu, Batch{Engine: eng, Reload: reload,
+					Reqs: []Request{{Program: "p"}}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	sh.Flush()
+	sh.Close()
+
+	// Exactly one dispatch became the probe (one reload), and after its
+	// success the program kept running (recovered/healthy), so more than
+	// one run happened in total — but never a concurrent second probe.
+	if got := reloads.Load(); got != 1 {
+		t.Fatalf("reloads = %d, want exactly 1 (probe single-flight)", got)
+	}
+	if st := sup.State("p"); st == StateQuarantined || st == StateDetached {
+		t.Fatalf("state after successful probe = %v", st)
+	}
+	if runs.Load() == ranBefore {
+		t.Fatal("no dispatch ran after quarantine expiry")
+	}
+	snap := c.Stats.Snapshot()
+	ps := snap.Programs["p"]
+	if n := ps.Transitions["quarantined->recovered"]; n != 1 {
+		t.Fatalf("quarantined->recovered = %d, want 1 (%v)", n, ps.Transitions)
+	}
+}

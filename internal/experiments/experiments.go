@@ -58,6 +58,7 @@ func All() []*Result {
 		X1Protection(),
 		X2ExecCore(),
 		X3FaultCampaign(),
+		X4Throughput(),
 		SC1Soundness(),
 	}
 }
@@ -72,6 +73,7 @@ func ByID(id string) (*Result, bool) {
 		"A3": A3RuntimeTax, "A4": A4Expressiveness,
 		"X1": X1Protection, "X2": X2ExecCore,
 		"X3":  X3FaultCampaign,
+		"X4":  X4Throughput,
 		"SC1": SC1Soundness,
 	}
 	f, ok := funcs[strings.ToUpper(id)]

@@ -1,10 +1,15 @@
 package kernel
 
+import "sync/atomic"
+
 // Context is one extension execution context: the kernel-side identity of a
 // running extension program. Both execution stacks — the verified-eBPF
 // interpreter/JIT and the safext runtime — run programs inside a Context,
 // so RCU nesting, held locks, acquired references and CPU time are
 // accounted identically for the two worlds the paper compares.
+//
+// A Context belongs to exactly one shard worker; the only fields that may
+// be observed from outside the owning goroutine are the atomic ones.
 type Context struct {
 	K     *Kernel
 	CPUID int
@@ -17,11 +22,18 @@ type Context struct {
 	// Instructions counts retired instructions in this context.
 	Instructions uint64
 
+	// consumedNs is the virtual CPU time this context itself has burned
+	// (Instructions × InstrCost). Under sharded execution the global clock
+	// advances with every shard's work, so per-context deadlines — watchdog,
+	// soft lockup, RCU stall — are judged against consumed time, which is
+	// what a per-CPU clock would read. Atomic so shard supervisors can peek.
+	consumedNs atomic.Int64
+
 	// startTime is the virtual time the context was entered.
 	startTime int64
-	// lastYield is the last time this context yielded to the scheduler,
+	// lastYieldNs is the consumed time at the last scheduling point,
 	// feeding the soft-lockup watchdog.
-	lastYield int64
+	lastYieldNs int64
 	// softLockupHit remembers that the soft-lockup watchdog already fired.
 	softLockupHit bool
 
@@ -29,48 +41,60 @@ type Context struct {
 	// can find leaks without scanning the whole kernel.
 	acquired []*Ref
 
-	// lastDetect is the virtual time the periodic detectors last ran;
+	// lastDetectNs is the consumed time the periodic detectors last ran;
 	// they re-run at detectorGranularity to keep Tick cheap.
-	lastDetect int64
+	lastDetectNs int64
 }
 
-// detectorGranularity is how often (in virtual ns) Tick runs the RCU-stall
-// and soft-lockup detectors. 1µs resolution against millisecond-scale
-// thresholds keeps detection accurate to 0.1%.
+// detectorGranularity is how often (in consumed virtual ns) Tick runs the
+// RCU-stall and soft-lockup detectors. 1µs resolution against
+// millisecond-scale thresholds keeps detection accurate to 0.1%.
 const detectorGranularity = 1000
 
 // NewContext enters a fresh execution context on the given CPU.
 func (k *Kernel) NewContext(cpu int) *Context {
 	now := k.Clock.Now()
-	return &Context{K: k, CPUID: cpu, InstrCost: 1, startTime: now, lastYield: now}
+	return &Context{K: k, CPUID: cpu, InstrCost: 1, startTime: now}
 }
 
 // Tick charges virtual time for n retired instructions and runs the
 // periodic detectors (RCU stall, soft lockup). Engines call it in batches.
 func (c *Context) Tick(n uint64) {
 	c.Instructions += n
-	now := c.K.Clock.Advance(int64(n) * c.InstrCost)
-	if now-c.lastDetect < detectorGranularity {
+	d := int64(n) * c.InstrCost
+	c.K.Clock.Advance(d)
+	consumed := c.consumedNs.Add(d)
+	if consumed-c.lastDetectNs < detectorGranularity {
 		return
 	}
-	c.lastDetect = now
-	c.K.rcu.CheckStalls()
-	if !c.softLockupHit && now-c.lastYield >= c.K.Cfg.SoftLockupTimeout {
+	c.lastDetectNs = consumed
+	c.K.rcu.checkStalls(c)
+	if !c.softLockupHit && consumed-c.lastYieldNs >= c.K.Cfg.SoftLockupTimeout {
 		c.softLockupHit = true
 		c.K.Oops(OopsSoftLockup, c.CPUID,
 			"watchdog: BUG: soft lockup - CPU#%d stuck for %ds", c.CPUID,
-			(now-c.lastYield)/1_000_000_000)
+			(consumed-c.lastYieldNs)/1_000_000_000)
 	}
 }
 
 // Yield marks a scheduling point, resetting the soft-lockup watchdog.
 func (c *Context) Yield() {
-	c.lastYield = c.K.Clock.Now()
+	c.lastYieldNs = c.consumedNs.Load()
 	c.softLockupHit = false
 }
 
-// Runtime returns the virtual time this context has been running.
-func (c *Context) Runtime() int64 { return c.K.Clock.Since(c.startTime) }
+// Runtime returns the virtual CPU time this context has consumed. Under
+// sharded execution this is the per-CPU view of elapsed time — the global
+// clock also carries every other shard's progress — so watchdog deadlines
+// keyed on it stay per-shard correct. In serial execution the two agree.
+func (c *Context) Runtime() int64 { return c.consumedNs.Load() }
+
+// ConsumedNs is Runtime under its accounting name; shard workers use it to
+// attribute busy time to their ring.
+func (c *Context) ConsumedNs() int64 { return c.consumedNs.Load() }
+
+// StartTime returns the virtual time the context was entered.
+func (c *Context) StartTime() int64 { return c.startTime }
 
 // TrackRef records a reference acquired during this run.
 func (c *Context) TrackRef(r *Ref) { c.acquired = append(c.acquired, r) }

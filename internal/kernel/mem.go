@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Prot describes the access permissions of a mapped region.
@@ -82,12 +84,20 @@ func (f *Fault) Error() string {
 }
 
 // AddressSpace is the simulated kernel virtual address space: a sparse set
-// of mapped regions ordered by base address. It is not safe for concurrent
-// mutation; the simulated kernel serialises mapping operations, matching a
-// real kernel's mmap_lock discipline.
+// of mapped regions ordered by base address. Mapping operations are
+// serialised on an internal lock (the simulator's mmap_lock), while the
+// access paths — locate, check, the Load/Store family — read an immutable
+// copy-on-write snapshot of the region list and take no lock at all. That
+// is what lets per-CPU shard workers translate addresses concurrently
+// without the address space becoming the data plane's serialization point.
 type AddressSpace struct {
-	regions []*Region // sorted by Base, non-overlapping
-	next    uint64    // next allocation cursor
+	// regions points at the current sorted, non-overlapping region list.
+	// Mutators build a fresh slice under wmu and publish it here; readers
+	// load whatever snapshot is current, exactly like RCU-protected VMA
+	// walks against a held-off unmap.
+	regions atomic.Pointer[[]*Region]
+	wmu     sync.Mutex // serialises Map/MapAt/Unmap and guards next
+	next    uint64     // next allocation cursor
 
 	// ActiveKeys is the set of protection-domain keys the current execution
 	// context may touch. Bit i set means key i is accessible. The default
@@ -98,14 +108,20 @@ type AddressSpace struct {
 // NewAddressSpace returns an empty address space whose allocator starts at
 // KernelBase and which permits every protection key.
 func NewAddressSpace() *AddressSpace {
-	return &AddressSpace{next: KernelBase, ActiveKeys: ^uint64(0)}
+	as := &AddressSpace{next: KernelBase, ActiveKeys: ^uint64(0)}
+	as.regions.Store(&[]*Region{})
+	return as
 }
+
+// snapshot returns the current region list. The slice is immutable.
+func (as *AddressSpace) snapshot() []*Region { return *as.regions.Load() }
 
 // locate returns the region containing addr, or nil.
 func (as *AddressSpace) locate(addr uint64) *Region {
-	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].End() > addr })
-	if i < len(as.regions) && as.regions[i].Base <= addr {
-		return as.regions[i]
+	regions := as.snapshot()
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].End() > addr })
+	if i < len(regions) && regions[i].Base <= addr {
+		return regions[i]
 	}
 	return nil
 }
@@ -116,10 +132,16 @@ func (as *AddressSpace) Map(size int, prot Prot, name string) *Region {
 	if size <= 0 {
 		panic(fmt.Sprintf("kernel: Map with non-positive size %d", size))
 	}
+	as.wmu.Lock()
+	defer as.wmu.Unlock()
 	r := &Region{Base: as.next, Data: make([]byte, size), Prot: prot, Name: name}
 	// Leave an unmapped guard gap between regions so adjacent overruns fault.
 	as.next += uint64(size) + 4096
-	as.regions = append(as.regions, r)
+	old := as.snapshot()
+	fresh := make([]*Region, len(old)+1)
+	copy(fresh, old)
+	fresh[len(old)] = r // next is monotonic, so appending keeps the sort
+	as.regions.Store(&fresh)
 	return r
 }
 
@@ -132,29 +154,42 @@ func (as *AddressSpace) MapAt(base uint64, size int, prot Prot, name string) (*R
 	if base < NullGuardSize {
 		return nil, fmt.Errorf("kernel: MapAt %#x overlaps NULL guard", base)
 	}
+	as.wmu.Lock()
+	defer as.wmu.Unlock()
 	end := base + uint64(size)
-	for _, r := range as.regions {
+	old := as.snapshot()
+	for _, r := range old {
 		if base < r.End() && r.Base < end {
 			return nil, fmt.Errorf("kernel: MapAt [%#x,%#x) overlaps %s", base, end, r.Name)
 		}
 	}
 	r := &Region{Base: base, Data: make([]byte, size), Prot: prot, Name: name}
-	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].Base > base })
-	as.regions = append(as.regions, nil)
-	copy(as.regions[i+1:], as.regions[i:])
-	as.regions[i] = r
+	i := sort.Search(len(old), func(i int) bool { return old[i].Base > base })
+	fresh := make([]*Region, 0, len(old)+1)
+	fresh = append(fresh, old[:i]...)
+	fresh = append(fresh, r)
+	fresh = append(fresh, old[i:]...)
 	if end+4096 > as.next {
 		as.next = end + 4096
 	}
+	as.regions.Store(&fresh)
 	return r, nil
 }
 
 // Unmap removes a region. Subsequent accesses to its range fault, which is
-// how use-after-free bugs manifest in the simulator.
+// how use-after-free bugs manifest in the simulator. An access racing the
+// unmap may still see the old snapshot and succeed — the same grace-period
+// window a real kernel's RCU-delayed teardown leaves open.
 func (as *AddressSpace) Unmap(r *Region) {
-	for i, got := range as.regions {
+	as.wmu.Lock()
+	defer as.wmu.Unlock()
+	old := as.snapshot()
+	for i, got := range old {
 		if got == r {
-			as.regions = append(as.regions[:i], as.regions[i+1:]...)
+			fresh := make([]*Region, 0, len(old)-1)
+			fresh = append(fresh, old[:i]...)
+			fresh = append(fresh, old[i+1:]...)
+			as.regions.Store(&fresh)
 			return
 		}
 	}
@@ -271,5 +306,5 @@ func (as *AddressSpace) CString(addr uint64, max int) (string, *Fault) {
 }
 
 // Regions returns the current mappings in address order. The returned slice
-// is shared; callers must not mutate it.
-func (as *AddressSpace) Regions() []*Region { return as.regions }
+// is an immutable snapshot; callers must not mutate it.
+func (as *AddressSpace) Regions() []*Region { return as.snapshot() }

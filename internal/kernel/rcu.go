@@ -11,37 +11,73 @@ import "sync"
 // virtual-time threshold. The §2.2 exploit — an effectively-infinite
 // verified eBPF program running under rcu_read_lock — shows up here as an
 // RCU-stall oops, exactly as it shows up as a console stall splat on Linux.
+//
+// Reader bookkeeping is sharded by the context's CPU so that per-CPU shard
+// workers entering and leaving read-side critical sections do not contend
+// on one global lock — the same reason the real kernel keeps rcu_data
+// per-CPU.
 type RCUState struct {
-	k  *Kernel
-	mu sync.Mutex
+	k      *Kernel
+	shards []rcuShard
 
-	readers map[*Context]*rcuReader
+	gpmu sync.Mutex
 	// completedGPs counts finished grace periods, for tests.
 	completedGPs int64
 }
 
+type rcuShard struct {
+	mu      sync.Mutex
+	readers map[*Context]*rcuReader
+}
+
 type rcuReader struct {
-	depth   int
-	since   int64 // virtual time the outermost read lock was taken
-	stalled bool  // stall already reported for this critical section
+	depth int
+	// since is the virtual clock time the outermost read lock was taken,
+	// used by the harness-driven detector and for reporting.
+	since int64
+	// sinceNs is the owning context's consumed CPU time at the outermost
+	// lock; the tick-driven detector judges stalls against it so one
+	// shard's progress cannot stall another shard's reader.
+	sinceNs int64
+	stalled bool // stall already reported for this critical section
 }
 
 func newRCUState(k *Kernel) *RCUState {
-	return &RCUState{k: k, readers: make(map[*Context]*rcuReader)}
+	n := k.Cfg.NumCPU
+	if n < 1 {
+		n = 1
+	}
+	r := &RCUState{k: k, shards: make([]rcuShard, n)}
+	for i := range r.shards {
+		r.shards[i].readers = make(map[*Context]*rcuReader)
+	}
+	return r
+}
+
+// shard returns the reader shard for a context.
+func (r *RCUState) shard(ctx *Context) *rcuShard {
+	n := len(r.shards)
+	i := ctx.CPUID % n
+	if i < 0 {
+		i += n
+	}
+	return &r.shards[i]
 }
 
 // ReadLock enters an RCU read-side critical section in the given context.
 // Sections nest, as in the kernel.
 func (r *RCUState) ReadLock(ctx *Context) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rd := r.readers[ctx]
+	s := r.shard(ctx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rd := s.readers[ctx]
 	if rd == nil {
 		rd = &rcuReader{}
-		r.readers[ctx] = rd
+		s.readers[ctx] = rd
 	}
 	if rd.depth == 0 {
 		rd.since = r.k.Clock.Now()
+		rd.sinceNs = ctx.ConsumedNs()
 		rd.stalled = false
 	}
 	rd.depth++
@@ -49,25 +85,27 @@ func (r *RCUState) ReadLock(ctx *Context) {
 
 // ReadUnlock leaves a read-side critical section. Unbalanced unlocks oops.
 func (r *RCUState) ReadUnlock(ctx *Context) {
-	r.mu.Lock()
-	rd := r.readers[ctx]
+	s := r.shard(ctx)
+	s.mu.Lock()
+	rd := s.readers[ctx]
 	if rd == nil || rd.depth == 0 {
-		r.mu.Unlock()
+		s.mu.Unlock()
 		r.k.Oops(OopsBug, ctx.CPUID, "rcu: unbalanced rcu_read_unlock")
 		return
 	}
 	rd.depth--
 	if rd.depth == 0 {
-		delete(r.readers, ctx)
+		delete(s.readers, ctx)
 	}
-	r.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Depth returns the read-lock nesting depth of the context.
 func (r *RCUState) Depth(ctx *Context) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if rd := r.readers[ctx]; rd != nil {
+	s := r.shard(ctx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rd := s.readers[ctx]; rd != nil {
 		return rd.depth
 	}
 	return 0
@@ -76,28 +114,59 @@ func (r *RCUState) Depth(ctx *Context) int {
 // ActiveReaders returns the number of contexts currently inside read-side
 // critical sections.
 func (r *RCUState) ActiveReaders() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.readers)
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.readers)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// CheckStalls runs the stall detector: any critical section older than the
-// configured threshold produces one rcu-stall oops. The execution engines
-// call it periodically as they advance the clock, mirroring the scheduler
-// tick that drives the real detector.
+// CheckStalls runs the stall detector against the global clock: any
+// critical section older than the configured threshold produces one
+// rcu-stall oops. This is the harness-facing detector; it treats clock
+// time that passed while the lock was held — including idle time a test
+// injects with Clock.Advance — as time the reader stalled.
 func (r *RCUState) CheckStalls() []*Oops {
-	r.mu.Lock()
 	now := r.k.Clock.Now()
+	timeout := r.k.Cfg.RCUStallTimeout
 	var stalled []*Context
-	for ctx, rd := range r.readers {
-		if !rd.stalled && now-rd.since >= r.k.Cfg.RCUStallTimeout {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for ctx, rd := range s.readers {
+			if !rd.stalled && now-rd.since >= timeout {
+				rd.stalled = true
+				stalled = append(stalled, ctx)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return r.reportStalls(stalled, now, timeout)
+}
+
+// checkStalls is the tick-driven detector: it scans only the calling
+// context's shard and judges each reader by its own consumed CPU time, so
+// a busy shard cannot manufacture a stall on a reader that has not run.
+// This is the self-detected-stall path of the real kernel's scheduler tick.
+func (r *RCUState) checkStalls(ctx *Context) []*Oops {
+	timeout := r.k.Cfg.RCUStallTimeout
+	s := r.shard(ctx)
+	var stalled []*Context
+	s.mu.Lock()
+	for rctx, rd := range s.readers {
+		if !rd.stalled && rctx.ConsumedNs()-rd.sinceNs >= timeout {
 			rd.stalled = true
-			stalled = append(stalled, ctx)
+			stalled = append(stalled, rctx)
 		}
 	}
-	timeout := r.k.Cfg.RCUStallTimeout
-	r.mu.Unlock()
+	s.mu.Unlock()
+	return r.reportStalls(stalled, r.k.Clock.Now(), timeout)
+}
 
+func (r *RCUState) reportStalls(stalled []*Context, now, timeout int64) []*Oops {
 	var oopses []*Oops
 	for _, ctx := range stalled {
 		oopses = append(oopses, r.k.Oops(OopsRCUStall, ctx.CPUID,
@@ -113,19 +182,33 @@ func (r *RCUState) CheckStalls() []*Oops {
 // caller advances the clock and retries, and a caller that cannot make
 // progress has reproduced an RCU hang.
 func (r *RCUState) Synchronize() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.readers) != 0 {
-		return false
+	// Take every shard lock, in order, so the no-readers observation is a
+	// consistent global snapshot.
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
 	}
-	r.completedGPs++
-	return true
+	ok := true
+	for i := range r.shards {
+		if len(r.shards[i].readers) != 0 {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		r.gpmu.Lock()
+		r.completedGPs++
+		r.gpmu.Unlock()
+	}
+	for i := len(r.shards) - 1; i >= 0; i-- {
+		r.shards[i].mu.Unlock()
+	}
+	return ok
 }
 
 // CompletedGracePeriods returns the number of grace periods that have
 // completed since boot.
 func (r *RCUState) CompletedGracePeriods() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.gpmu.Lock()
+	defer r.gpmu.Unlock()
 	return r.completedGPs
 }

@@ -26,7 +26,7 @@ import (
 // MapSpec is the object manifest entry for one declared map.
 type MapSpec struct {
 	Name    string
-	Kind    string // hash, array, percpu, ringbuf
+	Kind    string // hash, array, percpu, percpu_hash, ringbuf
 	KeySize int
 	ValSize int
 	Entries int64

@@ -89,7 +89,7 @@ func (f *File) Func(name string) *FuncDecl {
 //	map counts: hash<u32, u64>(1024);
 type MapDecl struct {
 	Name    string
-	Kind    string // hash, array, percpu, ringbuf
+	Kind    string // hash, array, percpu, percpu_hash, ringbuf
 	KeyType Type
 	ValType Type
 	Entries int64

@@ -61,7 +61,7 @@ var keywords = map[string]bool{
 	"continue": true, "true": true, "false": true, "map": true,
 	"sync": true, "trap": true,
 	"i64": true, "u64": true, "u32": true, "bool": true, "u8": true,
-	"hash": true, "array": true, "percpu": true, "ringbuf": true,
+	"hash": true, "array": true, "percpu": true, "percpu_hash": true, "ringbuf": true,
 }
 
 // punctuation, longest first so the lexer can match greedily.

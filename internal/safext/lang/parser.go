@@ -86,7 +86,7 @@ func (p *parser) mapDecl() (*MapDecl, error) {
 	kindTok := p.next()
 	m := &MapDecl{Name: name.Text, Kind: kindTok.Text, Line: start.Line}
 	switch kindTok.Text {
-	case "hash", "array", "percpu":
+	case "hash", "array", "percpu", "percpu_hash":
 		if _, err := p.expect(TokPunct, "<"); err != nil {
 			return nil, err
 		}

@@ -11,6 +11,8 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"kex/internal/ebpf/helpers"
 	"kex/internal/ebpf/interp"
@@ -68,16 +70,17 @@ type Runtime struct {
 	keyring    []ed25519.PublicKey
 	unwindPool *mm.PerCPUPool
 	heapPool   *mm.PerCPUPool
-	locks      map[uint64]*kernel.SpinLock
 
-	// Stats aggregates runtime interventions across all extensions. The
-	// shared core's execution counters live at Core.Stats.
-	Stats Stats
+	lmu   sync.Mutex
+	locks map[uint64]*kernel.SpinLock
+
+	stats runtimeStats
 
 	sup *exec.Supervisor
 }
 
-// Stats counts the runtime's safety interventions.
+// Stats counts the runtime's safety interventions. Snapshot it with
+// Runtime.Stats; the shared core's execution counters live at Core.Stats.
 type Stats struct {
 	Loads          int
 	SignatureFails int
@@ -94,6 +97,31 @@ type Stats struct {
 	// bound under the configured budget — the toolchain's termination
 	// proof, accepted on the strength of the signature.
 	FuelElisions int
+}
+
+// runtimeStats is the lock-free backing store for Stats: shard workers
+// increment plain atomics on the run path, so concurrent invocations from
+// several simulated CPUs never queue on a stats lock.
+type runtimeStats struct {
+	loads, signatureFails, invocations, traps, watchdogKills, fuelKills,
+	panicKills, quarantines, cleanedSocks, cleanedLocks, fuelElisions atomic.Int64
+}
+
+// Stats snapshots the runtime's intervention counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Loads:          int(rt.stats.loads.Load()),
+		SignatureFails: int(rt.stats.signatureFails.Load()),
+		Invocations:    int(rt.stats.invocations.Load()),
+		Traps:          int(rt.stats.traps.Load()),
+		WatchdogKills:  int(rt.stats.watchdogKills.Load()),
+		FuelKills:      int(rt.stats.fuelKills.Load()),
+		PanicKills:     int(rt.stats.panicKills.Load()),
+		Quarantines:    int(rt.stats.quarantines.Load()),
+		CleanedSocks:   int(rt.stats.cleanedSocks.Load()),
+		CleanedLocks:   int(rt.stats.cleanedLocks.Load()),
+		FuelElisions:   int(rt.stats.fuelElisions.Load()),
+	}
 }
 
 // New boots a safext runtime: standard helpers plus the kernel crate, and
@@ -137,7 +165,10 @@ func (rt *Runtime) Supervise(cfg exec.SupervisorConfig) *exec.Supervisor {
 func (rt *Runtime) Supervisor() *exec.Supervisor { return rt.sup }
 
 // lockAt returns the persistent spin lock guarding the given address.
+// Cleanup runs on shard workers, so the table is mutex-guarded.
 func (rt *Runtime) lockAt(addr uint64) *kernel.SpinLock {
+	rt.lmu.Lock()
+	defer rt.lmu.Unlock()
 	if l, ok := rt.locks[addr]; ok {
 		return l
 	}
@@ -178,7 +209,7 @@ type Extension struct {
 // check, map creation, rodata mapping, relocation, optional JIT. Note what
 // is absent: no verifier.
 func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
-	rt.Stats.Loads++
+	rt.stats.loads.Add(1)
 	rec := exec.NewPhaseRecorder()
 	valid := false
 	for _, key := range rt.keyring {
@@ -188,7 +219,7 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 		}
 	}
 	if !valid {
-		rt.Stats.SignatureFails++
+		rt.stats.signatureFails.Add(1)
 		return nil, ErrBadSignature
 	}
 	rec.Mark("validate")
@@ -229,6 +260,8 @@ func (rt *Runtime) install(obj *compile.Object) (*Extension, error) {
 		case "percpu":
 			mspec.Type = maps.PerCPUArray
 			mspec.KeySize = 4
+		case "percpu_hash":
+			mspec.Type = maps.PerCPUHash
 		case "ringbuf":
 			mspec.Type = maps.RingBuf
 			mspec.MaxEntries = int(spec.Entries)
@@ -332,13 +365,45 @@ type RunOptions struct {
 	CtxAddr uint64
 }
 
+// Prepared is one assembled invocation: the execution-core request plus
+// the verdict slots its completion hook fills. Batch submitters Prepare
+// each invocation, run the Requests through RunBatch or a Sharded plane,
+// then call Finish with each result to obtain the Verdict. A Prepared
+// serves exactly one dispatch.
+type Prepared struct {
+	ext        *Extension
+	req        exec.Request
+	verdict    *Verdict
+	runtimeErr error
+}
+
+// Request returns the execution-core request for submission in an
+// exec.Batch. Its hooks write back into this Prepared.
+func (p *Prepared) Request() exec.Request { return p.req }
+
 // Run invokes the extension under full runtime protection, dispatching
 // through the shared execution core. It never returns an error for program
 // misbehaviour — misbehaviour is terminated and reported in the Verdict;
 // an error means the runtime itself failed.
 func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
+	p := ext.Prepare(opts)
+	var rep *exec.Report
+	var runErr error
+	if ext.rt.sup != nil {
+		rep, runErr = ext.rt.sup.Run(ext.engine, p.req, ext.revalidate)
+	} else {
+		rep, runErr = ext.rt.Core.Run(ext.engine, p.req)
+	}
+	return p.Finish(rep, runErr)
+}
+
+// Prepare assembles one invocation without dispatching it. The returned
+// request's CPU is the one resource the caller may still override (the
+// batched path pins it to the shard's CPU); everything else — fuel
+// coalescing, the cleanup hook, the verdict plumbing — is fixed here.
+func (ext *Extension) Prepare(opts RunOptions) *Prepared {
 	rt := ext.rt
-	rt.Stats.Invocations++
+	rt.stats.invocations.Add(1)
 	rs := &runState{rt: rt, ext: ext, cpu: opts.CPU}
 
 	// Fuel coalescing: when the signed object proves a static instruction
@@ -348,23 +413,26 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 	fuel := rt.Cfg.Fuel
 	if b := ext.Checks.StaticInsnBound; b > 0 && fuel > 0 && uint64(b) <= fuel {
 		fuel = 0
-		rt.Stats.FuelElisions++
+		rt.stats.fuelElisions.Add(1)
 		rt.Core.Stats.RecordFuelElision(ext.Name)
 	}
 
-	var v *Verdict
-	var runtimeErr error
-	req := exec.Request{
+	p := &Prepared{ext: ext}
+	p.req = exec.Request{
 		Program:    ext.Name,
 		CPU:        opts.CPU,
 		CtxAddr:    opts.CtxAddr,
 		Fuel:       fuel,
 		WatchdogNs: rt.Cfg.WatchdogNs,
 		Setup: func(env *helpers.Env) {
+			// The effective CPU is the context's, not the prepared one:
+			// the batched path re-pins requests to the shard's CPU, and the
+			// cleanup path must free into that CPU's pools.
+			rs.cpu = env.Ctx.CPUID
 			env.Scratch = rs
 		},
 		Finish: func(env *helpers.Env, rep *exec.Report, engineErr error) {
-			v = &Verdict{
+			v := &Verdict{
 				R0:           int64(rep.R0),
 				Instructions: rep.Instructions,
 				RuntimeNs:    rep.RuntimeNs,
@@ -381,13 +449,13 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 				switch {
 				case errors.As(engineErr, &trap):
 					v.Reason, v.TrapCode = "trap", trap.Code
-					rt.Stats.Traps++
+					rt.stats.traps.Add(1)
 				case errors.Is(engineErr, interp.ErrWatchdogExpired):
 					v.Reason = "watchdog"
-					rt.Stats.WatchdogKills++
+					rt.stats.watchdogKills.Add(1)
 				case errors.Is(engineErr, interp.ErrFuelExhausted):
 					v.Reason = "fuel"
-					rt.Stats.FuelKills++
+					rt.stats.fuelKills.Add(1)
 				case errors.Is(engineErr, helpers.ErrKernelCrash):
 					// A crash here means trusted crate code faulted — the
 					// language layer cannot produce one. Report it loudly.
@@ -398,11 +466,11 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 					// be drained — a held lock or socket ref surviving the
 					// unwind would corrupt the next invocation too.
 					v.Reason = "panic"
-					rt.Stats.PanicKills++
+					rt.stats.panicKills.Add(1)
 				default:
 					// The runtime itself failed; skip cleanup and surface
 					// the raw error to the caller.
-					runtimeErr = engineErr
+					p.runtimeErr = engineErr
 					return
 				}
 			}
@@ -416,24 +484,25 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 			// cannot mask the run's verdict.
 			socks, locks, mem := rt.cleanup(env, rs)
 			v.CleanedSocks, v.CleanedLocks, v.CleanedMem = socks, locks, mem
-			rt.Stats.CleanedSocks += socks
-			rt.Stats.CleanedLocks += locks
+			rt.stats.cleanedSocks.Add(int64(socks))
+			rt.stats.cleanedLocks.Add(int64(locks))
+			p.verdict = v
 		},
 	}
-	var rep *exec.Report
-	var runErr error
-	if rt.sup != nil {
-		rep, runErr = rt.sup.Run(ext.engine, req, ext.revalidate)
-	} else {
-		rep, runErr = rt.Core.Run(ext.engine, req)
+	return p
+}
+
+// Finish converts one dispatch's result into the extension's verdict —
+// the tail of Run, shared with the batched path.
+func (p *Prepared) Finish(rep *exec.Report, runErr error) (*Verdict, error) {
+	rt := p.ext.rt
+	if p.runtimeErr != nil {
+		return nil, p.runtimeErr
 	}
-	if runtimeErr != nil {
-		return nil, runtimeErr
-	}
-	if v == nil {
+	if p.verdict == nil {
 		// The dispatch never reached the engine: the supervisor denied it
 		// (quarantined or detached) or a recovery reload failed.
-		rt.Stats.Quarantines++
+		rt.stats.quarantines.Add(1)
 		if runErr != nil {
 			return nil, runErr
 		}
@@ -444,11 +513,60 @@ func (ext *Extension) Run(opts RunOptions) (*Verdict, error) {
 			WallNs:     rep.WallNs,
 		}, nil
 	}
+	v := p.verdict
 	v.WallNs = rep.WallNs
 	if len(rep.ExitOopses) > 0 {
 		return nil, fmt.Errorf("safext: exit audit failed after cleanup: %v", rep.ExitOopses[0])
 	}
 	return v, nil
+}
+
+// BatchVerdict pairs one batched invocation's verdict with its error.
+type BatchVerdict struct {
+	Verdict *Verdict
+	Err     error
+}
+
+// RunBatch invokes the extension once per option set, back-to-back and
+// pinned to one simulated CPU, through the core's batched path (and the
+// supervisor's gate when supervised). It is the unit of work a Sharded
+// worker executes for the safext stack.
+func (ext *Extension) RunBatch(cpu int, opts []RunOptions) []BatchVerdict {
+	preps := make([]*Prepared, len(opts))
+	reqs := make([]exec.Request, len(opts))
+	for i := range opts {
+		o := opts[i]
+		o.CPU = cpu
+		preps[i] = ext.Prepare(o)
+		reqs[i] = preps[i].req
+	}
+	var results []exec.BatchResult
+	if ext.rt.sup != nil {
+		results = ext.rt.sup.RunBatch(ext.engine, cpu, reqs, ext.revalidate)
+	} else {
+		results = ext.rt.Core.RunBatch(ext.engine, cpu, reqs)
+	}
+	out := make([]BatchVerdict, len(results))
+	for i, r := range results {
+		v, err := preps[i].Finish(r.Report, r.Err)
+		out[i] = BatchVerdict{Verdict: v, Err: err}
+	}
+	return out
+}
+
+// Engine exposes the extension's execution engine for direct submission
+// to a Sharded plane; pair it with Prepare and Finish.
+func (ext *Extension) Engine() exec.Engine { return ext.engine }
+
+// Revalidate exposes the supervised recovery reload hook for batched
+// submission (exec.Batch.Reload).
+func (ext *Extension) Revalidate() exec.Reload { return ext.revalidate }
+
+// NewSharded starts a per-CPU sharded data plane over the runtime's core,
+// routed through its supervisor when one is installed. The caller owns
+// the plane and must Close it.
+func (rt *Runtime) NewSharded(cfg exec.ShardedConfig) *exec.Sharded {
+	return exec.NewSharded(rt.Core, rt.sup, cfg)
 }
 
 // revalidate is the supervised recovery reload for the safext stack: the
@@ -460,7 +578,7 @@ func (ext *Extension) revalidate() error {
 			return nil
 		}
 	}
-	ext.rt.Stats.SignatureFails++
+	ext.rt.stats.signatureFails.Add(1)
 	return ErrBadSignature
 }
 

@@ -164,8 +164,8 @@ func TestSignatureEnforced(t *testing.T) {
 	if _, err := f.rt.Load(good); err != ErrBadSignature {
 		t.Fatalf("tampered load err = %v", err)
 	}
-	if f.rt.Stats.SignatureFails != 2 {
-		t.Fatalf("signature fails = %d", f.rt.Stats.SignatureFails)
+	if f.rt.Stats().SignatureFails != 2 {
+		t.Fatalf("signature fails = %d", f.rt.Stats().SignatureFails)
 	}
 	// Untampered loads fine.
 	good2, _ := f.signer.BuildAndSign("good2", src)
@@ -277,8 +277,8 @@ fn main() -> i64 {
 	if f.k.Stats.RCUStalls != 0 || !f.k.Healthy() {
 		t.Fatalf("kernel state: stalls=%d healthy=%v", f.k.Stats.RCUStalls, f.k.Healthy())
 	}
-	if f.rt.Stats.WatchdogKills != 1 {
-		t.Fatalf("watchdog kills = %d", f.rt.Stats.WatchdogKills)
+	if f.rt.Stats().WatchdogKills != 1 {
+		t.Fatalf("watchdog kills = %d", f.rt.Stats().WatchdogKills)
 	}
 }
 

@@ -48,8 +48,8 @@ fn main() -> i64 {
 	if c := s.Ref().Count(); c != 1 {
 		t.Fatalf("socket refcount = %d, want 1 (released by trusted cleanup)", c)
 	}
-	if f.rt.Stats.PanicKills != 1 {
-		t.Fatalf("panic kills = %d, want 1", f.rt.Stats.PanicKills)
+	if f.rt.Stats().PanicKills != 1 {
+		t.Fatalf("panic kills = %d, want 1", f.rt.Stats().PanicKills)
 	}
 	if inj.EventCount() != 1 {
 		t.Fatalf("injections = %d, want 1", inj.EventCount())
@@ -91,18 +91,18 @@ fn main() -> i64 {
 	if st := f.rt.Supervisor().State("hog"); st != exec.StateQuarantined {
 		t.Fatalf("state = %s, want quarantined", st)
 	}
-	kills := f.rt.Stats.FuelKills
+	kills := f.rt.Stats().FuelKills
 	for i := 0; i < 4; i++ {
 		v := f.run(t, ext)
 		if !v.Terminated || v.Reason != "quarantined" {
 			t.Fatalf("denied run verdict = %+v, want quarantined", v)
 		}
 	}
-	if f.rt.Stats.FuelKills != kills {
+	if f.rt.Stats().FuelKills != kills {
 		t.Fatal("quarantined extension still reached the engine")
 	}
-	if f.rt.Stats.Quarantines != 4 {
-		t.Fatalf("quarantine count = %d, want 4", f.rt.Stats.Quarantines)
+	if f.rt.Stats().Quarantines != 4 {
+		t.Fatalf("quarantine count = %d, want 4", f.rt.Stats().Quarantines)
 	}
 }
 
@@ -149,8 +149,8 @@ fn main() -> i64 {
 	if st := sup.State("hog"); st != exec.StateQuarantined {
 		t.Fatalf("state after failed revalidation = %s, want quarantined", st)
 	}
-	if f.rt.Stats.SignatureFails != 1 {
-		t.Fatalf("signature fails = %d, want 1", f.rt.Stats.SignatureFails)
+	if f.rt.Stats().SignatureFails != 1 {
+		t.Fatalf("signature fails = %d, want 1", f.rt.Stats().SignatureFails)
 	}
 
 	// Re-enrol the key: the next probe revalidates, runs, and (still

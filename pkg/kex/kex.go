@@ -107,6 +107,7 @@ const (
 	MapArray       = maps.Array
 	MapHash        = maps.Hash
 	MapPerCPUArray = maps.PerCPUArray
+	MapPerCPUHash  = maps.PerCPUHash
 	MapLRUHash     = maps.LRUHash
 	MapRingBuf     = maps.RingBuf
 	MapQueue       = maps.Queue
@@ -184,6 +185,35 @@ type ExecProgramStats = exec.ProgramStats
 // (verify/relocate/jit-compile for eBPF; parse/typecheck/compile/sign/
 // validate/fixup for safext).
 type PhaseTimings = exec.PhaseTimings
+
+// ---- the sharded data plane --------------------------------------------------------
+
+// Sharded is the per-CPU sharded data plane over a stack's execution
+// core: one submission ring and worker per simulated CPU. Build one with
+// EBPFStack.NewSharded / SafeRuntime.NewSharded, submit Batch values to a
+// shard, and read aggregate progress via Completed/BusyNs/MaxBusyNs.
+type Sharded = exec.Sharded
+
+// ShardedConfig sizes the sharded data plane (shard count, ring size).
+type ShardedConfig = exec.ShardedConfig
+
+// Batch is one unit of sharded submission: requests run back-to-back on
+// one shard's CPU, with an optional completion callback.
+type Batch = exec.Batch
+
+// BatchResult pairs one batched invocation's report with its error.
+type BatchResult = exec.BatchResult
+
+// Sharded submission errors: a full ring (non-blocking Submit) and a
+// closed plane.
+var (
+	ErrRingFull      = exec.ErrRingFull
+	ErrShardedClosed = exec.ErrShardedClosed
+)
+
+// BatchVerdict pairs one batched safext invocation's verdict with its
+// error (see Extension.RunBatch).
+type BatchVerdict = runtime.BatchVerdict
 
 // ---- supervision and fault injection ----------------------------------------------
 
