@@ -217,18 +217,30 @@ func (f *faultMap) LookupBatch(cpu int, keys [][]byte) ([]uint64, []bool) {
 }
 
 // UpdateBatch consults the fault hook once per element — a campaign sees
-// batched updates exactly as it would see the equivalent single ops.
+// batched updates exactly as it would see the equivalent single ops — then
+// delegates the admitted prefix to the inner map's batched path, so the
+// single-lock-acquisition semantics of a native BatchMap (e.g.
+// perCPUArray's whole-batch lock) survive the wrapper.
 func (f *faultMap) UpdateBatch(cpu int, keys, values [][]byte, flags uint64) (int, error) {
 	name := f.inner.Spec().Name
+	n, hookErr := len(keys), error(nil)
 	for i := range keys {
 		if err := f.hook.MapUpdate(name); err != nil {
-			return i, err
-		}
-		if err := f.inner.Update(cpu, keys[i], values[i], flags); err != nil {
-			return i, err
+			n, hookErr = i, err
+			break
 		}
 	}
-	return len(keys), nil
+	var applied int
+	var err error
+	if bm, ok := f.inner.(BatchMap); ok {
+		applied, err = bm.UpdateBatch(cpu, keys[:n], values[:n], flags)
+	} else {
+		applied, err = updateBatchSlow(f.inner, cpu, keys[:n], values[:n], flags)
+	}
+	if err != nil {
+		return applied, err
+	}
+	return applied, hookErr
 }
 
 // PerCPUValues forwards to the inner per-CPU map; ok is false when the

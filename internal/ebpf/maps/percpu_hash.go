@@ -13,7 +13,10 @@ import (
 // memory; userspace aggregates with PerCPUValues. The keyset itself is
 // guarded by an RWMutex — inserts and deletes are rare control-plane
 // events, while the data-plane Lookup/overwrite path only ever takes the
-// read side.
+// read side. Value cells are additionally guarded by one mutex per CPU (as
+// perCPUArray does): shard cpu's writes and PerCPUValues' aggregation-on-
+// read of that cell serialize on mus[cpu], so a concurrent snapshot never
+// tears a multi-byte cell mid-write.
 type perCPUHash struct {
 	k    *kernel.Kernel
 	ncpu int
@@ -21,6 +24,7 @@ type perCPUHash struct {
 
 	mu      sync.RWMutex
 	entries map[string]*kernel.Region // one region of ncpu*ValueSize per key
+	mus     []sync.Mutex              // one per CPU cell; shard workers never share one
 }
 
 func newPerCPUHash(k *kernel.Kernel, spec Spec) *perCPUHash {
@@ -28,7 +32,11 @@ func newPerCPUHash(k *kernel.Kernel, spec Spec) *perCPUHash {
 	if ncpu < 1 {
 		ncpu = 1
 	}
-	return &perCPUHash{k: k, ncpu: ncpu, spec: spec, entries: make(map[string]*kernel.Region)}
+	return &perCPUHash{
+		k: k, ncpu: ncpu, spec: spec,
+		entries: make(map[string]*kernel.Region),
+		mus:     make([]sync.Mutex, ncpu),
+	}
 }
 
 func (m *perCPUHash) Spec() Spec { return m.spec }
@@ -60,14 +68,17 @@ func (m *perCPUHash) Update(cpu int, key, value []byte, flags uint64) error {
 
 	// Overwrite path: per-CPU cells are disjoint, so a read lock on the
 	// keyset suffices — concurrent shards writing their own cells of the
-	// same key do not conflict.
+	// same key do not conflict. The cell itself is written under the CPU's
+	// cell lock so a concurrent PerCPUValues cannot observe a torn write.
 	m.mu.RLock()
 	if r, ok := m.entries[ks]; ok {
 		if flags == UpdateNoExist {
 			m.mu.RUnlock()
 			return ErrExists
 		}
+		m.mus[cpu].Lock()
 		copy(r.Data[cpu*m.spec.ValueSize:(cpu+1)*m.spec.ValueSize], value)
+		m.mus[cpu].Unlock()
 		m.mu.RUnlock()
 		return nil
 	}
@@ -153,7 +164,9 @@ func (m *perCPUHash) PerCPUValues(key []byte) ([]uint64, bool) {
 	}
 	out := make([]uint64, m.ncpu)
 	for cpu := 0; cpu < m.ncpu; cpu++ {
+		m.mus[cpu].Lock()
 		out[cpu] = decodeCell(r.Data[cpu*m.spec.ValueSize:], m.spec.ValueSize)
+		m.mus[cpu].Unlock()
 	}
 	return out, true
 }

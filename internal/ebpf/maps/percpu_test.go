@@ -107,6 +107,72 @@ func TestPerCPUArrayAggregation(t *testing.T) {
 	}
 }
 
+// TestPerCPUHashConcurrentAggregation is the documented userspace pattern
+// under load: shard workers overwrite their own cells of one key while a
+// reader aggregates with PerCPUValues. Cell writes and reads must be
+// synchronized per CPU (as perCPUArray does), so the reader never observes
+// a torn multi-byte cell. Run under -race.
+func TestPerCPUHashConcurrentAggregation(t *testing.T) {
+	k, reg := newTestRegistry(t)
+	m, _, err := reg.Create(k, Spec{Name: "pc", Type: PerCPUHash, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := key32(1)
+	if err := m.Update(0, key, make([]byte, 8), UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	pm := m.(PerCPUMap)
+	zeros := make([]byte, 8)
+	ones := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vals, ok := pm.PerCPUValues(key)
+			if !ok {
+				t.Error("key vanished during aggregation")
+				return
+			}
+			for cpu, v := range vals {
+				// Writers only ever store all-zeros or all-ones: anything
+				// else is a torn read across a concurrent cell write.
+				if v != 0 && v != ^uint64(0) {
+					t.Errorf("cpu %d: torn cell read %#x", cpu, v)
+					return
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for cpu := range k.CPUs() {
+		writers.Add(1)
+		go func(cpu int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				val := zeros
+				if i%2 == 1 {
+					val = ones
+				}
+				if err := m.Update(cpu, key, val, UpdateAny); err != nil {
+					t.Errorf("cpu %d update: %v", cpu, err)
+					return
+				}
+			}
+		}(cpu)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
 // countingHook injects nothing but counts consultations, to prove batched
 // ops pass through the fault seam element-wise.
 type countingHook struct {
@@ -200,6 +266,85 @@ func TestFaultWrapPreservesPerCPUInterfaces(t *testing.T) {
 	double := &faultMap{inner: &faultMap{inner: m, hook: hook}, hook: hook}
 	if got := Unwrap(double); got != m {
 		t.Fatal("Unwrap did not strip nested wrappers")
+	}
+}
+
+// recordingBatchMap counts whether updates arrive through the native batch
+// path or were demoted to element-wise ops.
+type recordingBatchMap struct {
+	spec       Spec
+	batchCalls int
+	elemCalls  int
+	lastBatch  int
+}
+
+func (r *recordingBatchMap) Spec() Spec                        { return r.spec }
+func (r *recordingBatchMap) Lookup(int, []byte) (uint64, bool) { return 0, false }
+func (r *recordingBatchMap) Update(int, []byte, []byte, uint64) error {
+	r.elemCalls++
+	return nil
+}
+func (r *recordingBatchMap) Delete([]byte) error { return nil }
+func (r *recordingBatchMap) Entries() int        { return 0 }
+func (r *recordingBatchMap) LookupBatch(cpu int, keys [][]byte) ([]uint64, []bool) {
+	return lookupBatchSlow(r, cpu, keys)
+}
+func (r *recordingBatchMap) UpdateBatch(cpu int, keys, values [][]byte, flags uint64) (int, error) {
+	r.batchCalls++
+	r.lastBatch = len(keys)
+	return len(keys), nil
+}
+
+// failAfterHook admits n updates and injects ErrNoSpace on every one after.
+type failAfterHook struct {
+	ok    int
+	calls int
+}
+
+func (h *failAfterHook) MapAlloc(string) error { return nil }
+func (h *failAfterHook) MapUpdate(string) error {
+	h.calls++
+	if h.calls > h.ok {
+		return ErrNoSpace
+	}
+	return nil
+}
+
+// TestFaultWrapBatchUpdateDelegates pins that the fault wrapper consults
+// the hook per element but still delegates the admitted prefix to the
+// inner map's native UpdateBatch — a fault campaign must not demote
+// batched updates to element-wise semantics (losing, e.g., perCPUArray's
+// whole-batch lock atomicity).
+func TestFaultWrapBatchUpdateDelegates(t *testing.T) {
+	inner := &recordingBatchMap{spec: Spec{Name: "rec", KeySize: 4, ValueSize: 8, MaxEntries: 8}}
+	hook := &countingHook{}
+	bm := wrap(inner, hook).(BatchMap)
+	keys := [][]byte{key32(0), key32(1), key32(2)}
+	vals := [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 8)}
+	if n, err := bm.UpdateBatch(0, keys, vals, UpdateAny); err != nil || n != 3 {
+		t.Fatalf("UpdateBatch = %d, %v", n, err)
+	}
+	if hook.updates != 3 {
+		t.Fatalf("hook consulted %d times, want 3", hook.updates)
+	}
+	if inner.batchCalls != 1 || inner.elemCalls != 0 || inner.lastBatch != 3 {
+		t.Fatalf("batched update demoted: batch=%d(len %d) elem=%d",
+			inner.batchCalls, inner.lastBatch, inner.elemCalls)
+	}
+
+	// A hook failure mid-batch delegates only the admitted prefix and
+	// reports the injected error with an accurate applied count.
+	inner2 := &recordingBatchMap{spec: inner.spec}
+	bm2 := wrap(inner2, &failAfterHook{ok: 2}).(BatchMap)
+	keys = append(keys, key32(3))
+	vals = append(vals, make([]byte, 8))
+	n, err := bm2.UpdateBatch(0, keys, vals, UpdateAny)
+	if !errors.Is(err, ErrNoSpace) || n != 2 {
+		t.Fatalf("partial batch = %d, %v; want 2, ErrNoSpace", n, err)
+	}
+	if inner2.batchCalls != 1 || inner2.lastBatch != 2 || inner2.elemCalls != 0 {
+		t.Fatalf("prefix delegation: batch=%d(len %d) elem=%d",
+			inner2.batchCalls, inner2.lastBatch, inner2.elemCalls)
 	}
 }
 

@@ -70,8 +70,13 @@ type Sharded struct {
 	flushMu sync.Mutex
 	flushCv *sync.Cond
 
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	wg sync.WaitGroup
+	// closeMu makes Close safe against in-flight submissions: senders hold
+	// the read side across their send, so the rings are only closed once no
+	// sender can be parked on them (closing a channel with a live sender
+	// panics). Submissions after Close fail with ErrShardedClosed.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // NewSharded starts the shard workers over a core. A non-nil supervisor
@@ -124,11 +129,17 @@ func (s *Sharded) worker(cpu int) {
 		if b.Done != nil {
 			b.Done(results)
 		}
-		if s.pending.Add(-1) == 0 {
-			s.flushMu.Lock()
-			s.flushCv.Broadcast()
-			s.flushMu.Unlock()
-		}
+		s.decPending()
+	}
+}
+
+// decPending retires one pending batch and wakes Flush waiters when the
+// count reaches zero.
+func (s *Sharded) decPending() {
+	if s.pending.Add(-1) == 0 {
+		s.flushMu.Lock()
+		s.flushCv.Broadcast()
+		s.flushMu.Unlock()
 	}
 }
 
@@ -140,31 +151,41 @@ func (s *Sharded) Shards() int { return len(s.rings) }
 // either retry, spill to another shard, or shed load, exactly the choices
 // a NIC driver has at a full descriptor ring.
 func (s *Sharded) Submit(cpu int, b Batch) error {
-	if s.closed.Load() {
-		return ErrShardedClosed
-	}
 	if cpu < 0 || cpu >= len(s.rings) {
 		return fmt.Errorf("exec: submit to invalid shard %d of %d", cpu, len(s.rings))
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrShardedClosed
 	}
 	s.pending.Add(1)
 	select {
 	case s.rings[cpu] <- b:
 		return nil
 	default:
-		s.pending.Add(-1)
+		// The transient pending increment may have been observed by a
+		// concurrent Flush; retire it through the same wakeup path the
+		// worker uses so that Flush cannot block forever.
+		s.decPending()
 		return ErrRingFull
 	}
 }
 
 // SubmitWait enqueues a batch, blocking while the shard's ring is full.
 func (s *Sharded) SubmitWait(cpu int, b Batch) error {
-	if s.closed.Load() {
-		return ErrShardedClosed
-	}
 	if cpu < 0 || cpu >= len(s.rings) {
 		return fmt.Errorf("exec: submit to invalid shard %d of %d", cpu, len(s.rings))
 	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrShardedClosed
+	}
 	s.pending.Add(1)
+	// Blocking send under the read lock: Close's writer acquisition waits
+	// for this sender, and the workers keep draining until the rings close,
+	// so the send always completes.
 	s.rings[cpu] <- b
 	return nil
 }
@@ -182,12 +203,16 @@ func (s *Sharded) Flush() {
 // Batches already submitted still complete; later submissions fail with
 // ErrShardedClosed.
 func (s *Sharded) Close() {
-	if !s.closed.CompareAndSwap(false, true) {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
 		return
 	}
+	s.closed = true
 	for _, ring := range s.rings {
 		close(ring)
 	}
+	s.closeMu.Unlock()
 	s.wg.Wait()
 }
 

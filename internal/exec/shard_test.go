@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"kex/internal/ebpf/helpers"
 	"kex/internal/ebpf/interp"
@@ -137,6 +138,90 @@ func TestShardedBackpressureAndClose(t *testing.T) {
 		t.Fatalf("submit-wait after close = %v", err)
 	}
 	sh.Close() // idempotent
+}
+
+// TestShardedCloseWithBlockedSubmitWait parks a SubmitWait on a full ring
+// and then Closes: the close must wait for the parked sender rather than
+// closing a channel with a live sender (which panics), and the submission
+// must either land or fail with ErrShardedClosed.
+func TestShardedCloseWithBlockedSubmitWait(t *testing.T) {
+	c := newTestCore()
+	block := make(chan struct{})
+	eng := fakeEngine{name: "fake", run: func(env *helpers.Env, opts interp.Options) (uint64, error) {
+		<-block
+		return 0, nil
+	}}
+	sh := NewSharded(c, nil, ShardedConfig{Shards: 1, RingSize: 1})
+	// First batch occupies the worker; the second (SubmitWait blocks until
+	// the worker dequeues the first) fills the ring's single slot.
+	if err := sh.Submit(0, Batch{Engine: eng, Reqs: []Request{{Program: "p"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.SubmitWait(0, Batch{Engine: eng, Reqs: []Request{{Program: "p"}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Third submission parks on the full ring.
+	submitDone := make(chan error, 1)
+	go func() {
+		submitDone <- sh.SubmitWait(0, Batch{Engine: eng, Reqs: []Request{{Program: "p"}}})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the sender park on the ring
+	closeDone := make(chan struct{})
+	go func() {
+		sh.Close()
+		close(closeDone)
+	}()
+	time.Sleep(10 * time.Millisecond) // let Close contend with the sender
+	close(block)                      // release the worker; everything drains
+	if err := <-submitDone; err != nil && !errors.Is(err, ErrShardedClosed) {
+		t.Fatalf("parked SubmitWait = %v", err)
+	}
+	<-closeDone
+	if err := sh.Submit(0, Batch{Engine: eng}); !errors.Is(err, ErrShardedClosed) {
+		t.Fatalf("submit after close = %v", err)
+	}
+	sh.Flush() // all pending batches were retired
+}
+
+// TestShardedFullRingFlushWake races non-blocking submits against Flush on
+// a tiny ring: a Submit that bounces with ErrRingFull transiently raises
+// pending, and its decrement must wake Flush waiters exactly as a worker
+// completion does — without the wake a concurrent Flush hangs forever.
+func TestShardedFullRingFlushWake(t *testing.T) {
+	c := newTestCore()
+	eng := fakeEngine{name: "fake", run: func(env *helpers.Env, opts interp.Options) (uint64, error) {
+		env.Ctx.Tick(1)
+		return 0, nil
+	}}
+	sh := NewSharded(c, nil, ShardedConfig{Shards: 1, RingSize: 1})
+	defer sh.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				err := sh.Submit(0, Batch{Engine: eng, Reqs: []Request{{Program: "p"}}})
+				if err != nil && !errors.Is(err, ErrRingFull) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	flushed := make(chan struct{})
+	go func() {
+		defer close(flushed)
+		for i := 0; i < 100; i++ {
+			sh.Flush()
+		}
+	}()
+	wg.Wait()
+	<-flushed
+	sh.Flush()
+	if sh.Completed() == 0 {
+		t.Fatal("no submission landed")
+	}
 }
 
 func TestShardedInvalidShard(t *testing.T) {

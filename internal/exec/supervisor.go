@@ -206,6 +206,11 @@ func (st *progHealth) next() uint64 {
 // (re-verify / re-validate), then one real run whose outcome decides
 // between recovery and a longer quarantine.
 func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error) {
+	// probe records whether THIS dispatch claimed the recovery probe. Under
+	// sharded execution a run admitted while healthy on another shard can
+	// complete after a trip; only the claim holder may decide the
+	// quarantine's outcome in observe.
+	probe := false
 	s.mu.Lock()
 	st := s.health(req.Program)
 	switch st.state {
@@ -221,6 +226,7 @@ func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error
 		}
 		// Backoff expired: this dispatch is the recovery probe.
 		st.probing = true
+		probe = true
 		s.mu.Unlock()
 		if reload != nil {
 			if err := reload(); err != nil {
@@ -239,7 +245,7 @@ func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error
 	rep, err := s.core.Run(eng, req)
 	fault := err != nil || len(rep.ExitOopses) > 0
 	s.mu.Lock()
-	s.observe(st, req.Program, fault)
+	s.observe(st, req.Program, fault, probe)
 	rep.Supervision = string(st.state)
 	s.mu.Unlock()
 	return rep, err
@@ -277,11 +283,14 @@ func (s *Supervisor) deny(eng Engine, req Request) (*Report, error) {
 }
 
 // observe folds one run outcome into the breaker state. Caller holds mu.
-func (s *Supervisor) observe(st *progHealth, program string, fault bool) {
+// probe is true only for the dispatch that claimed the recovery probe in
+// Run — a late completion of a run admitted before the trip must not be
+// mistaken for the probe's verdict.
+func (s *Supervisor) observe(st *progHealth, program string, fault, probe bool) {
 	if fault {
 		s.core.Stats.recordFault(program)
 	}
-	if st.state == StateQuarantined {
+	if probe {
 		// This run was the recovery probe; its outcome releases the
 		// single-flight claim.
 		st.probing = false
@@ -291,6 +300,13 @@ func (s *Supervisor) observe(st *progHealth, program string, fault bool) {
 		}
 		s.transition(st, program, StateRecovered)
 		s.resetWindow(st)
+		return
+	}
+	if st.state == StateQuarantined || st.state == StateDetached {
+		// A run admitted on another shard while the program was still
+		// healthy completed after the trip. Its fault is accounted above,
+		// but it must not decide recovery, extend backoff, or resurrect a
+		// detached program — the breaker's verdict belongs to the probe.
 		return
 	}
 

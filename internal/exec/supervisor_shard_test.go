@@ -78,6 +78,106 @@ func TestSupervisorConcurrentTrip(t *testing.T) {
 	}
 }
 
+// TestSupervisorLateCompletionDuringQuarantine pins the probe-attribution
+// contract: a run admitted while the program was still healthy on another
+// shard that completes after a trip is NOT the recovery probe. Its success
+// must not short-circuit to recovered (bypassing backoff and the
+// single-flight claim), and its fault must not extend the backoff as a
+// failed probe would.
+func TestSupervisorLateCompletionDuringQuarantine(t *testing.T) {
+	c := newTestCore()
+	gate := make(chan struct{})
+	started := make(chan struct{}, 2)
+	late := fakeEngine{name: "late", run: func(env *helpers.Env, opts interp.Options) (uint64, error) {
+		started <- struct{}{}
+		<-gate
+		env.Ctx.Tick(1)
+		if env.Ctx.CPUID == 1 {
+			return 0, errBoom // the late fault
+		}
+		return 1, nil // the late success
+	}}
+	failing := fakeEngine{name: "fail", run: func(env *helpers.Env, opts interp.Options) (uint64, error) {
+		env.Ctx.Tick(1)
+		return 0, errBoom
+	}}
+	ok := fakeEngine{name: "ok", run: func(env *helpers.Env, opts interp.Options) (uint64, error) {
+		env.Ctx.Tick(1)
+		return 1, nil
+	}}
+	sup := NewSupervisor(c, SupervisorConfig{
+		Window:        8,
+		TripThreshold: 2,
+		BaseBackoffNs: 1 << 30,
+		MaxBackoffNs:  1 << 31,
+		Policy:        DegradeFallback,
+	})
+
+	// Two runs admitted while healthy, parked inside Core.Run on their own
+	// shards.
+	var wg sync.WaitGroup
+	lateErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, lateErrs[i] = sup.Run(late, Request{Program: "p", CPU: i + 1}, nil)
+		}(i)
+	}
+	<-started
+	<-started
+
+	// Trip the breaker on another shard while both late runs are in flight.
+	for i := 0; i < 2; i++ {
+		if _, err := sup.Run(failing, Request{Program: "p", CPU: 0}, nil); err == nil {
+			t.Fatal("faulty run did not error")
+		}
+	}
+	if st := sup.State("p"); st != StateQuarantined {
+		t.Fatalf("state after trip = %v, want quarantined", st)
+	}
+	backoff := sup.BackoffNs("p")
+
+	// Both late runs complete: the fault (CPU 1) must not be treated as a
+	// failed probe (doubling the backoff, counting a second trip), and the
+	// success (CPU 2) must not be treated as a successful probe (instantly
+	// recovering, bypassing the backoff).
+	close(gate)
+	wg.Wait()
+
+	if lateErrs[0] == nil || lateErrs[1] != nil {
+		t.Fatalf("late run errors = %v, %v; want boom, nil", lateErrs[0], lateErrs[1])
+	}
+	if st := sup.State("p"); st != StateQuarantined {
+		t.Fatalf("state after late completions = %v, want quarantined", st)
+	}
+	if got := sup.BackoffNs("p"); got != backoff {
+		t.Fatalf("backoff changed by late completion: %d -> %d", backoff, got)
+	}
+	snap := c.Stats.Snapshot()
+	ps := snap.Programs["p"]
+	if n := ps.Transitions["quarantined->quarantined"]; n != 0 {
+		t.Fatalf("late fault was taken as a failed probe (%v)", ps.Transitions)
+	}
+	if n := ps.Transitions["quarantined->recovered"]; n != 0 {
+		t.Fatalf("late success was taken as a successful probe (%v)", ps.Transitions)
+	}
+
+	// The breaker itself still works: once the backoff really expires the
+	// next dispatch is the probe and its success recovers the program.
+	c.K.Clock.Advance(1 << 33)
+	if _, err := sup.Run(ok, Request{Program: "p", CPU: 0}, nil); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	if st := sup.State("p"); st != StateRecovered {
+		t.Fatalf("state after probe = %v, want recovered", st)
+	}
+	snap = c.Stats.Snapshot()
+	if n := snap.Programs["p"].Transitions["quarantined->recovered"]; n != 1 {
+		t.Fatalf("quarantined->recovered = %d, want 1", n)
+	}
+}
+
 // TestSupervisorProbeSingleFlight expires a quarantine's backoff while
 // many shards are dispatching: exactly one dispatch may become the
 // recovery probe; the rest must stay denied until the probe's outcome is
