@@ -49,13 +49,16 @@ soundness:
 # BENCH_throughput.json (sharded data plane: simulated ops/sec vs shard
 # count and batch size) under testing.B. The Throughput family needs a
 # real iteration count for its scaling figures, hence the higher budget.
+# BENCH_fleet.json (the X5 rollout campaign: fleet-wide swap/rollback
+# latency and the zero-dropped ledger) runs one full campaign per size.
 bench:
 	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSupervisor|BenchmarkSLXOpt|BenchmarkStatecheck' -benchtime 20x .
 	$(GO) test -bench 'BenchmarkThroughput' -benchtime 2000x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 1x .
 
 check: lint build test race
 
 clean:
-	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json
+	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json BENCH_fleet.json
 	rm -rf internal/ebpf/statecheck_witnesses
 	$(GO) clean -testcache

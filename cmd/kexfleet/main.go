@@ -1,0 +1,42 @@
+// kexfleet runs the fleet-rollout campaign (experiment X5): a signed
+// content-addressed registry pushing four policy versions — clean
+// upgrade, bad build, revoked digest — across N simulated loader nodes
+// over a flaky transport, with live hot-swap and supervisor-driven
+// auto-rollback on every node.
+//
+// Usage:
+//
+//	kexfleet                 full 1000-node campaign
+//	kexfleet -nodes 64       smaller fleet (faster smoke)
+//	kexfleet -json           also print the machine-readable figures
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"kex/internal/experiments"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1000, "fleet size (simulated loader nodes)")
+	jsonOut := flag.Bool("json", false, "print campaign figures as JSON")
+	flag.Parse()
+
+	if *nodes <= 0 {
+		fmt.Fprintln(os.Stderr, "kexfleet: -nodes must be positive")
+		os.Exit(2)
+	}
+	r, st := experiments.X5Rollout(*nodes)
+	fmt.Print(r)
+	if *jsonOut {
+		if data, err := json.MarshalIndent(st, "", "  "); err == nil {
+			fmt.Println(string(data))
+		}
+	}
+	if !r.Holds {
+		os.Exit(1)
+	}
+}

@@ -20,14 +20,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id to run (F2..F4, T1, T2, E1..E3, A1..A4, X1..X3, SC1)")
+	exp := flag.String("exp", "", "experiment id to run (F2..F4, T1, T2, E1..E3, A1..A4, X1..X5, SC1)")
 	fig := flag.String("fig", "", "figure number (2, 3, 4)")
 	table := flag.String("table", "", "table number (1, 2)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
 	if *list {
-		for _, id := range []string{"F2", "F3", "F4", "T1", "T2", "E1", "E2", "E3", "A1", "A2", "A3", "A4", "X1", "X2", "X3", "SC1"} {
+		for _, id := range []string{"F2", "F3", "F4", "T1", "T2", "E1", "E2", "E3", "A1", "A2", "A3", "A4", "X1", "X2", "X3", "X4", "X5", "SC1"} {
 			fmt.Println(id)
 		}
 		return

@@ -67,6 +67,7 @@ func TestMain(m *testing.M) {
 	writeSLXOptBench()
 	writeStatecheckBench()
 	writeThroughputBench()
+	writeFleetBench()
 	os.Exit(code)
 }
 

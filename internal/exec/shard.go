@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,6 +15,10 @@ var (
 	ErrRingFull = errors.New("exec: shard submission ring full")
 	// ErrShardedClosed reports a submission after Close.
 	ErrShardedClosed = errors.New("exec: sharded executor closed")
+	// ErrDeadline reports a SubmitWaitCtx or FlushCtx whose context expired
+	// before the operation completed — the caller's signal that a shard is
+	// wedged (a full ring that never drains) rather than merely busy.
+	ErrDeadline = errors.New("exec: sharded operation deadline expired")
 )
 
 // ShardedConfig sizes the sharded data plane.
@@ -68,7 +73,9 @@ type Sharded struct {
 
 	pending atomic.Int64
 	flushMu sync.Mutex
-	flushCv *sync.Cond
+	// flushCh is closed (and replaced) each time pending drains to zero —
+	// a broadcast Flush waiters can select against a deadline.
+	flushCh chan struct{}
 
 	wg sync.WaitGroup
 	// closeMu makes Close safe against in-flight submissions: senders hold
@@ -97,7 +104,7 @@ func NewSharded(core *Core, sup *Supervisor, cfg ShardedConfig) *Sharded {
 		rings: make([]chan Batch, cfg.Shards),
 		busy:  make([]atomic.Int64, cfg.Shards),
 	}
-	s.flushCv = sync.NewCond(&s.flushMu)
+	s.flushCh = make(chan struct{})
 	for cpu := range s.rings {
 		s.rings[cpu] = make(chan Batch, cfg.RingSize)
 		s.wg.Add(1)
@@ -138,7 +145,8 @@ func (s *Sharded) worker(cpu int) {
 func (s *Sharded) decPending() {
 	if s.pending.Add(-1) == 0 {
 		s.flushMu.Lock()
-		s.flushCv.Broadcast()
+		close(s.flushCh)
+		s.flushCh = make(chan struct{})
 		s.flushMu.Unlock()
 	}
 }
@@ -174,6 +182,14 @@ func (s *Sharded) Submit(cpu int, b Batch) error {
 
 // SubmitWait enqueues a batch, blocking while the shard's ring is full.
 func (s *Sharded) SubmitWait(cpu int, b Batch) error {
+	return s.SubmitWaitCtx(context.Background(), cpu, b)
+}
+
+// SubmitWaitCtx enqueues a batch, blocking while the shard's ring is full
+// but giving up when ctx expires: a wedged shard (a worker parked in a
+// Done hook, say) can then no longer park its producers forever. Expiry
+// returns an error wrapping ErrDeadline and leaves the batch unsubmitted.
+func (s *Sharded) SubmitWaitCtx(ctx context.Context, cpu int, b Batch) error {
 	if cpu < 0 || cpu >= len(s.rings) {
 		return fmt.Errorf("exec: submit to invalid shard %d of %d", cpu, len(s.rings))
 	}
@@ -185,17 +201,43 @@ func (s *Sharded) SubmitWait(cpu int, b Batch) error {
 	s.pending.Add(1)
 	// Blocking send under the read lock: Close's writer acquisition waits
 	// for this sender, and the workers keep draining until the rings close,
-	// so the send always completes.
-	s.rings[cpu] <- b
-	return nil
+	// so the send completes unless the deadline strikes first.
+	select {
+	case s.rings[cpu] <- b:
+		return nil
+	case <-ctx.Done():
+		// The transient pending increment may have been observed by a
+		// concurrent Flush; retire it through the wakeup path.
+		s.decPending()
+		return fmt.Errorf("%w: shard %d submit: %v", ErrDeadline, cpu, ctx.Err())
+	}
 }
 
 // Flush blocks until every submitted batch has completed.
 func (s *Sharded) Flush() {
-	s.flushMu.Lock()
-	defer s.flushMu.Unlock()
-	for s.pending.Load() != 0 {
-		s.flushCv.Wait()
+	_ = s.FlushCtx(context.Background())
+}
+
+// FlushCtx blocks until every submitted batch has completed or ctx
+// expires; expiry returns an error wrapping ErrDeadline with batches still
+// in flight.
+func (s *Sharded) FlushCtx(ctx context.Context) error {
+	for {
+		s.flushMu.Lock()
+		if s.pending.Load() == 0 {
+			s.flushMu.Unlock()
+			return nil
+		}
+		ch := s.flushCh
+		s.flushMu.Unlock()
+		select {
+		case <-ch:
+			// Pending drained to zero at broadcast time; re-check, since a
+			// new submission may already have landed.
+		case <-ctx.Done():
+			return fmt.Errorf("%w: flush with %d batches in flight: %v",
+				ErrDeadline, s.pending.Load(), ctx.Err())
+		}
 	}
 }
 

@@ -41,6 +41,10 @@ type progCell struct {
 	denied    atomic.Uint64
 	fallbacks atomic.Uint64
 
+	probeFailures  atomic.Uint64
+	reloadFailures atomic.Uint64
+	lastReloadErr  atomic.Pointer[string]
+
 	dynamicChecks atomic.Uint64
 	elidedChecks  atomic.Uint64
 	fuelElisions  atomic.Uint64
@@ -86,6 +90,16 @@ type ProgramStats struct {
 	Denied      uint64            // dispatches refused while quarantined/detached
 	Fallbacks   uint64            // denied dispatches served the fallback R0
 	Transitions map[string]uint64 // state transitions, "healthy->degraded" form
+
+	// Recovery-probe visibility: why a quarantined program keeps failing to
+	// come back instead of just how long its backoff has grown.
+	// ProbeFailures counts recovery probes that ended in re-quarantine
+	// (the probe run faulted, or its reload was refused); ReloadFailures
+	// counts the reload-refused subset; LastReloadError is the most recent
+	// reload error's text, empty when reloads have all succeeded.
+	ProbeFailures   uint64
+	ReloadFailures  uint64
+	LastReloadError string
 
 	// Check accounting from the safext toolchain's elision pass: the
 	// number of runtime check sites the loaded object still carries vs.
@@ -170,6 +184,20 @@ func (s *Stats) recordDenied(program string, fallback bool) {
 	}
 }
 
+// recordProbeFailure accounts one failed recovery probe. A non-nil
+// reloadErr marks the probe as refused at reload (re-verify/re-validate)
+// rather than failed at run time, and its text is retained so a fleet
+// operator can see *why* the program never recovers.
+func (s *Stats) recordProbeFailure(program string, reloadErr error) {
+	ps := s.prog(program)
+	ps.probeFailures.Add(1)
+	if reloadErr != nil {
+		ps.reloadFailures.Add(1)
+		msg := reloadErr.Error()
+		ps.lastReloadErr.Store(&msg)
+	}
+}
+
 // recordTransition accounts one supervisor state transition.
 func (s *Stats) recordTransition(program string, from, to State) {
 	counterIn(&s.prog(program).transitions, string(from)+"->"+string(to), 1)
@@ -237,6 +265,10 @@ func (s *Stats) Snapshot() Snapshot {
 	s.phaseMu.Unlock()
 	s.programs.Range(func(k, v any) bool {
 		c := v.(*progCell)
+		var lastReload string
+		if p := c.lastReloadErr.Load(); p != nil {
+			lastReload = *p
+		}
 		snap.Programs[k.(string)] = ProgramStats{
 			Invocations:   c.invocations.Load(),
 			Errors:        c.errors.Load(),
@@ -247,10 +279,13 @@ func (s *Stats) Snapshot() Snapshot {
 			RuntimeNs:     c.runtimeNs.Load(),
 			WallNs:        c.wallNs.Load(),
 			CPUTimeNs:     c.cpuTimeNs.Load(),
-			Faults:        c.faults.Load(),
-			Denied:        c.denied.Load(),
-			Fallbacks:     c.fallbacks.Load(),
-			Transitions:   counterMap(&c.transitions),
+			Faults:          c.faults.Load(),
+			Denied:          c.denied.Load(),
+			Fallbacks:       c.fallbacks.Load(),
+			Transitions:     counterMap(&c.transitions),
+			ProbeFailures:   c.probeFailures.Load(),
+			ReloadFailures:  c.reloadFailures.Load(),
+			LastReloadError: lastReload,
 			DynamicChecks: c.dynamicChecks.Load(),
 			ElidedChecks:  c.elidedChecks.Load(),
 			FuelElisions:  c.fuelElisions.Load(),
@@ -287,6 +322,11 @@ func (snap Snapshot) Totals() ProgramStats {
 		t.Faults += ps.Faults
 		t.Denied += ps.Denied
 		t.Fallbacks += ps.Fallbacks
+		t.ProbeFailures += ps.ProbeFailures
+		t.ReloadFailures += ps.ReloadFailures
+		if ps.LastReloadError != "" {
+			t.LastReloadError = ps.LastReloadError
+		}
 		t.DynamicChecks += ps.DynamicChecks
 		t.ElidedChecks += ps.ElidedChecks
 		t.FuelElisions += ps.FuelElisions

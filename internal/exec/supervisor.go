@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrQuarantined is returned for dispatches refused at the supervisor gate
@@ -102,6 +103,46 @@ type Supervisor struct {
 
 	mu    sync.Mutex
 	progs map[string]*progHealth
+	// notify queues trip notifications recorded under mu; Run flushes them
+	// to the OnTrip hook after releasing the lock.
+	notify []tripNote
+
+	// onTrip, when armed, is invoked (outside mu, on the dispatching
+	// goroutine) whenever a program transitions into StateQuarantined or
+	// StateDetached — the seam a hot-swap layer uses to trigger rollback
+	// the moment a freshly attached version trips. The hook must not block
+	// for long and must not dispatch through this supervisor.
+	onTrip atomic.Pointer[func(program string, to State)]
+}
+
+// tripNote is one pending OnTrip notification.
+type tripNote struct {
+	program string
+	to      State
+}
+
+// OnTrip arms (or, with nil, disarms) the supervisor's trip hook.
+func (s *Supervisor) OnTrip(fn func(program string, to State)) {
+	if fn == nil {
+		s.onTrip.Store(nil)
+		return
+	}
+	s.onTrip.Store(&fn)
+}
+
+// flushTrips delivers queued trip notifications outside the lock.
+func (s *Supervisor) flushTrips() {
+	s.mu.Lock()
+	notes := s.notify
+	s.notify = nil
+	s.mu.Unlock()
+	fn := s.onTrip.Load()
+	if fn == nil {
+		return
+	}
+	for _, n := range notes {
+		(*fn)(n.program, n.to)
+	}
 }
 
 type progHealth struct {
@@ -206,6 +247,9 @@ func (st *progHealth) next() uint64 {
 // (re-verify / re-validate), then one real run whose outcome decides
 // between recovery and a longer quarantine.
 func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error) {
+	// Trip notifications queue under mu on every path below; deliver them
+	// once all locks are released, whatever way the dispatch returns.
+	defer s.flushTrips()
 	// probe records whether THIS dispatch claimed the recovery probe. Under
 	// sharded execution a run admitted while healthy on another shard can
 	// complete after a trip; only the claim holder may decide the
@@ -230,6 +274,7 @@ func (s *Supervisor) Run(eng Engine, req Request, reload Reload) (*Report, error
 		s.mu.Unlock()
 		if reload != nil {
 			if err := reload(); err != nil {
+				s.core.Stats.recordProbeFailure(req.Program, err)
 				s.mu.Lock()
 				st.probing = false
 				s.requarantine(st, req.Program)
@@ -295,6 +340,7 @@ func (s *Supervisor) observe(st *progHealth, program string, fault, probe bool) 
 		// single-flight claim.
 		st.probing = false
 		if fault {
+			s.core.Stats.recordProbeFailure(program, nil)
 			s.requarantine(st, program)
 			return
 		}
@@ -388,9 +434,14 @@ func (s *Supervisor) resetWindow(st *progHealth) {
 	st.widx, st.filled, st.faults = 0, 0, 0
 }
 
-// transition moves the program to a new state and accounts it.
+// transition moves the program to a new state and accounts it. Caller
+// holds mu; entries into quarantine or detachment queue a trip
+// notification for delivery once the lock is released.
 func (s *Supervisor) transition(st *progHealth, program string, to State) {
 	from := st.state
 	st.state = to
 	s.core.Stats.recordTransition(program, from, to)
+	if to == StateQuarantined || to == StateDetached {
+		s.notify = append(s.notify, tripNote{program: program, to: to})
+	}
 }

@@ -59,6 +59,7 @@ func All() []*Result {
 		X2ExecCore(),
 		X3FaultCampaign(),
 		X4Throughput(),
+		X5FleetRollout(),
 		SC1Soundness(),
 	}
 }
@@ -74,6 +75,7 @@ func ByID(id string) (*Result, bool) {
 		"X1": X1Protection, "X2": X2ExecCore,
 		"X3":  X3FaultCampaign,
 		"X4":  X4Throughput,
+		"X5":  X5FleetRollout,
 		"SC1": SC1Soundness,
 	}
 	f, ok := funcs[strings.ToUpper(id)]

@@ -13,6 +13,7 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -43,7 +44,19 @@ const (
 	// SiteWatchdog shrinks the invocation's watchdog budget by
 	// Rule.Scale.
 	SiteWatchdog Site = "watchdog-jitter"
+	// SiteTransportError fails a distribution-channel request (a registry
+	// fetch, say) with ErrTransport — the flaky-network seam the fleet's
+	// retry/backoff machinery is tested against. Match is the operation
+	// name the transport consults with.
+	SiteTransportError Site = "transport-error"
+	// SiteTransportHang makes a distribution-channel request hang until
+	// the caller's deadline fires — the wedge that distinguishes real
+	// per-request timeouts from mere error retries.
+	SiteTransportHang Site = "transport-hang"
 )
+
+// ErrTransport is the injected distribution-channel failure.
+var ErrTransport = errors.New("faultinject: injected transport error")
 
 // Rule arms one site. A rule fires when its site is consulted, the name
 // matches, the PRNG draw lands under Prob, and fewer than Max injections
@@ -218,6 +231,21 @@ func (inj *Injector) BeforeRun(req *exec.Request) {
 			req.WatchdogNs = scaleI64(req.WatchdogNs, r.Scale)
 		}
 	}
+}
+
+// TransportOp consults the transport seams for one named operation. The
+// caller (a fault-wrapping transport) acts on the verdict: on hang it
+// blocks until its context's deadline, on err it fails the request with
+// ErrTransport. Both draws happen on every consultation so the stream
+// position stays a pure function of the consultation sequence.
+func (inj *Injector) TransportOp(name string) (hang bool, err error) {
+	if _, ok := inj.decide(SiteTransportHang, name); ok {
+		hang = true
+	}
+	if _, ok := inj.decide(SiteTransportError, name); ok {
+		err = fmt.Errorf("%w: %s", ErrTransport, name)
+	}
+	return hang, err
 }
 
 func scaleU64(v uint64, scale float64) uint64 {

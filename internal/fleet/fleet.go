@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+)
+
+// Config shapes a fleet campaign.
+type Config struct {
+	// Nodes is the fleet size.
+	Nodes int
+	// Bundle is the manifest the fleet tracks.
+	Bundle string
+	// Node is the per-node configuration; each node's jitter seed is
+	// derived from Seed and its ID.
+	Node NodeConfig
+	// Seed drives every node's deterministic jitter stream.
+	Seed uint64
+	// Workers bounds how many nodes sync or drive concurrently (simulated
+	// machines outnumber real cores by orders of magnitude). Zero means 64.
+	Workers int
+}
+
+// Fleet is a set of loader nodes sharing one distribution channel.
+type Fleet struct {
+	cfg   Config
+	nodes []*Node
+}
+
+// New boots the fleet. Every node gets its own simulated kernel and
+// runtime; they share only the transport.
+func New(tr Transport, cfg Config) *Fleet {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	f := &Fleet{cfg: cfg, nodes: make([]*Node, cfg.Nodes)}
+	for i := range f.nodes {
+		ncfg := cfg.Node
+		// splitmix-style per-node stream so retry jitter decorrelates.
+		ncfg.Seed = (cfg.Seed ^ (uint64(i+1) * 0x9E3779B97F4A7C15)) | 1
+		f.nodes[i] = NewNode(i, tr, ncfg)
+	}
+	return f
+}
+
+// Nodes returns the fleet's members.
+func (f *Fleet) Nodes() []*Node { return f.nodes }
+
+// forEach runs fn over every node from a bounded worker pool and returns
+// the non-nil errors in node order.
+func (f *Fleet) forEach(fn func(*Node) error) []error {
+	errs := make([]error, len(f.nodes))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := f.cfg.Workers
+	if workers > len(f.nodes) {
+		workers = len(f.nodes)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = fn(f.nodes[i])
+			}
+		}()
+	}
+	for i := range f.nodes {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	var out []error
+	for _, err := range errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+// SyncAll converges every node onto the bundle's latest manifest. It
+// returns how many nodes synced cleanly and the per-node failures (a node
+// that failed keeps serving its previous version).
+func (f *Fleet) SyncAll(ctx context.Context) (ok int, errs []error) {
+	errs = f.forEach(func(n *Node) error { return n.Sync(ctx, f.cfg.Bundle) })
+	return len(f.nodes) - len(errs), errs
+}
+
+// DriveAll submits batches of steady traffic to every node.
+func (f *Fleet) DriveAll(ctx context.Context, batches, batchSize int) []error {
+	return f.forEach(func(n *Node) error {
+		for b := 0; b < batches; b++ {
+			if err := n.Submit(ctx, batchSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// FlushAll waits for every node's in-flight traffic to complete.
+func (f *Fleet) FlushAll() {
+	f.forEach(func(n *Node) error { n.Flush(); return nil })
+}
+
+// Totals aggregates the fleet's counters and its convergence picture.
+type Totals struct {
+	NodeStats
+	// ServingDigest counts nodes by the digest they are serving — the
+	// fleet's convergence histogram.
+	ServingDigest map[string]int
+}
+
+// Totals sums every node's stats.
+func (f *Fleet) Totals() Totals {
+	t := Totals{ServingDigest: make(map[string]int)}
+	for _, n := range f.nodes {
+		s := n.Stats()
+		t.Syncs += s.Syncs
+		t.StaleSyncs += s.StaleSyncs
+		t.Requests += s.Requests
+		t.Retries += s.Retries
+		t.Timeouts += s.Timeouts
+		t.TransportErrors += s.TransportErrors
+		t.RefusedLoads += s.RefusedLoads
+		t.Swaps += s.Swaps
+		t.Rollbacks += s.Rollbacks
+		t.Submitted += s.Submitted
+		t.Answered += s.Answered
+		t.Faulted += s.Faulted
+		t.ServingDigest[n.CurrentDigest()]++
+	}
+	return t
+}
+
+// Close shuts every node down.
+func (f *Fleet) Close() {
+	f.forEach(func(n *Node) error { n.Close(); return nil })
+}

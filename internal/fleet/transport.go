@@ -1,0 +1,115 @@
+// Package fleet simulates a rollout across many loader nodes: each node is
+// an independent simulated kernel running the safext runtime, pulling
+// signed artifacts from a content-addressed registry over a
+// fault-injectable transport, hot-swapping versions on its sharded data
+// plane, and rolling back automatically when its supervisor trips a fresh
+// version during the post-swap soak window.
+//
+// The package is the paper's operational argument at scale: once safety is
+// a signature check instead of an in-kernel proof, fleet-wide policy
+// upgrade becomes a distribution problem — and distribution problems are
+// survivable. A flaky registry degrades nodes to stale-but-valid versions;
+// a bad build trips node supervisors and converges back to the prior
+// digest; a revoked or tampered artifact refuses to load anywhere.
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"kex/internal/faultinject"
+	"kex/internal/registry"
+)
+
+// Transport is a node's view of the distribution channel. Every call is
+// context-bound: the node enforces per-request timeouts above this
+// interface, so an implementation that hangs is survivable.
+type Transport interface {
+	Manifest(ctx context.Context, bundle string) (*registry.SignedManifest, error)
+	Fetch(ctx context.Context, digest string) (*registry.Blob, error)
+	Keys(ctx context.Context) ([]registry.Key, error)
+	Revocations(ctx context.Context) (registry.Revocations, error)
+}
+
+// Direct serves straight from an in-process registry — the ideal channel.
+type Direct struct {
+	R *registry.Registry
+}
+
+func (d Direct) Manifest(ctx context.Context, bundle string) (*registry.SignedManifest, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.R.Manifest(bundle)
+}
+
+func (d Direct) Fetch(ctx context.Context, digest string) (*registry.Blob, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.R.Fetch(digest)
+}
+
+func (d Direct) Keys(ctx context.Context) ([]registry.Key, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.R.Keys(), nil
+}
+
+func (d Direct) Revocations(ctx context.Context) (registry.Revocations, error) {
+	if err := ctx.Err(); err != nil {
+		return registry.Revocations{}, err
+	}
+	return d.R.Revocations(), nil
+}
+
+// Faulty wraps a transport with seed-deterministic fault injection: each
+// operation consults the injector's transport seams and either fails with
+// faultinject.ErrTransport or hangs until the caller's deadline — the two
+// failure modes a rollout must absorb. Operation names consulted are
+// "manifest", "fetch", "keys", "revocations".
+type Faulty struct {
+	Inner Transport
+	Inj   *faultinject.Injector
+}
+
+// gate runs one operation's injection decision. On hang it parks until the
+// context dies, which is what exercises the node's real per-request
+// timeout rather than its error-retry path.
+func (f Faulty) gate(ctx context.Context, op string) error {
+	hang, err := f.Inj.TransportOp(op)
+	if hang {
+		<-ctx.Done()
+		return fmt.Errorf("fleet: %s hung: %w", op, ctx.Err())
+	}
+	return err
+}
+
+func (f Faulty) Manifest(ctx context.Context, bundle string) (*registry.SignedManifest, error) {
+	if err := f.gate(ctx, "manifest"); err != nil {
+		return nil, err
+	}
+	return f.Inner.Manifest(ctx, bundle)
+}
+
+func (f Faulty) Fetch(ctx context.Context, digest string) (*registry.Blob, error) {
+	if err := f.gate(ctx, "fetch"); err != nil {
+		return nil, err
+	}
+	return f.Inner.Fetch(ctx, digest)
+}
+
+func (f Faulty) Keys(ctx context.Context) ([]registry.Key, error) {
+	if err := f.gate(ctx, "keys"); err != nil {
+		return nil, err
+	}
+	return f.Inner.Keys(ctx)
+}
+
+func (f Faulty) Revocations(ctx context.Context) (registry.Revocations, error) {
+	if err := f.gate(ctx, "revocations"); err != nil {
+		return registry.Revocations{}, err
+	}
+	return f.Inner.Revocations(ctx)
+}

@@ -1,0 +1,293 @@
+package registry
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/safext/toolchain"
+)
+
+// Entry names one member of a bundle: the program's logical name, what
+// kind of artifact backs it, and the content address of those bytes.
+type Entry struct {
+	Name   string
+	Kind   Kind
+	Digest string
+}
+
+// Manifest is a bundle's table of contents at one version: the set of
+// programs a node should be running, by digest. Versions are assigned by
+// the registry at publish time and only ever move forward.
+type Manifest struct {
+	Bundle  string
+	Version uint64
+	Entries []Entry
+}
+
+// SignedManifest is the wire form: the manifest plus the registry's
+// signature over its canonical encoding.
+type SignedManifest struct {
+	Manifest  Manifest
+	Signature []byte
+	KeyID     string
+}
+
+// The canonical manifest encoding: a little-endian TLV in the style of the
+// SLXO container, so the signature has exactly one byte representation to
+// cover.
+//
+//	magic "KXMF" | version u32 | bundle str | manifest version u64 |
+//	entry count u32 | entries (name str | kind str | digest str)
+
+var manifestMagic = [4]byte{'K', 'X', 'M', 'F'}
+
+const manifestFormat = 1
+
+func (m *Manifest) encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(manifestMagic[:])
+	var v4 [4]byte
+	le := binary.LittleEndian
+	le.PutUint32(v4[:], manifestFormat)
+	buf.Write(v4[:])
+	putStr(&buf, m.Bundle)
+	var v8 [8]byte
+	le.PutUint64(v8[:], m.Version)
+	buf.Write(v8[:])
+	le.PutUint32(v4[:], uint32(len(m.Entries)))
+	buf.Write(v4[:])
+	for _, e := range m.Entries {
+		putStr(&buf, e.Name)
+		putStr(&buf, string(e.Kind))
+		putStr(&buf, e.Digest)
+	}
+	return buf.Bytes()
+}
+
+// DecodeManifest parses a canonical manifest encoding.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < 8 || !bytes.Equal(b[:4], manifestMagic[:]) {
+		return nil, fmt.Errorf("registry: bad manifest magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != manifestFormat {
+		return nil, fmt.Errorf("registry: unsupported manifest format %d", v)
+	}
+	r := bytes.NewReader(b[8:])
+	m := &Manifest{}
+	var err error
+	if m.Bundle, err = getStr(r); err != nil {
+		return nil, err
+	}
+	var v8 [8]byte
+	if _, err := io.ReadFull(r, v8[:]); err != nil {
+		return nil, fmt.Errorf("registry: truncated manifest")
+	}
+	m.Version = binary.LittleEndian.Uint64(v8[:])
+	var v4 [4]byte
+	if _, err := io.ReadFull(r, v4[:]); err != nil {
+		return nil, fmt.Errorf("registry: truncated manifest")
+	}
+	n := binary.LittleEndian.Uint32(v4[:])
+	for i := uint32(0); i < n; i++ {
+		var e Entry
+		if e.Name, err = getStr(r); err != nil {
+			return nil, err
+		}
+		var kind string
+		if kind, err = getStr(r); err != nil {
+			return nil, err
+		}
+		e.Kind = Kind(kind)
+		if e.Digest, err = getStr(r); err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m, nil
+}
+
+// Publish signs a new manifest version for a bundle. Every entry must
+// already be stored and unrevoked — a manifest must never point at bytes
+// the registry cannot serve.
+func (r *Registry) Publish(bundle string, entries []Entry) (*SignedManifest, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range entries {
+		b, ok := r.blobs[e.Digest]
+		if !ok {
+			return nil, fmt.Errorf("%w: manifest entry %s at %s", ErrUnknownDigest, e.Name, e.Digest)
+		}
+		if r.revDigests[e.Digest] {
+			return nil, fmt.Errorf("%w: manifest entry %s at %s", ErrRevoked, e.Name, e.Digest)
+		}
+		if b.Kind != e.Kind {
+			return nil, fmt.Errorf("registry: manifest entry %s kind %q, stored blob is %q", e.Name, e.Kind, b.Kind)
+		}
+	}
+	m := Manifest{Bundle: bundle, Version: 1, Entries: append([]Entry(nil), entries...)}
+	if prev := r.manifests[bundle]; prev != nil {
+		m.Version = prev.Manifest.Version + 1
+	}
+	k := r.keys[r.active]
+	sm := &SignedManifest{
+		Manifest:  m,
+		Signature: ed25519.Sign(k.priv, m.encode()),
+		KeyID:     k.id,
+	}
+	r.manifests[bundle] = sm
+	r.history[bundle] = append(r.history[bundle], sm)
+	return sm, nil
+}
+
+// Manifest returns the latest signed manifest for a bundle.
+func (r *Registry) Manifest(bundle string) (*SignedManifest, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sm, ok := r.manifests[bundle]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBundle, bundle)
+	}
+	return sm, nil
+}
+
+// History returns every published version of a bundle, oldest first — the
+// rollback ladder.
+func (r *Registry) History(bundle string) []*SignedManifest {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*SignedManifest(nil), r.history[bundle]...)
+}
+
+// Blob payload codecs. A blob's payload is opaque to the store; these fix
+// the wire forms for the two artifact kinds the fleet ships.
+
+// The signed-object wire form: "SOBJ" | payload str | signature str |
+// public key str (all length-prefixed byte strings). The toolchain's
+// signature travels inside the registry payload, so the content address
+// covers it: re-signing a program with a different toolchain key is a
+// different artifact.
+var sobjMagic = [4]byte{'S', 'O', 'B', 'J'}
+
+// EncodeSignedObject fixes a toolchain.SignedObject into registry payload
+// bytes.
+func EncodeSignedObject(so *toolchain.SignedObject) []byte {
+	var buf bytes.Buffer
+	buf.Write(sobjMagic[:])
+	putBytes(&buf, so.Payload)
+	putBytes(&buf, so.Signature)
+	putBytes(&buf, so.PublicKey)
+	return buf.Bytes()
+}
+
+// DecodeSignedObject parses registry payload bytes back into a
+// toolchain.SignedObject.
+func DecodeSignedObject(b []byte) (*toolchain.SignedObject, error) {
+	if len(b) < 4 || !bytes.Equal(b[:4], sobjMagic[:]) {
+		return nil, fmt.Errorf("registry: bad signed-object magic")
+	}
+	r := bytes.NewReader(b[4:])
+	so := &toolchain.SignedObject{}
+	var err error
+	if so.Payload, err = getBytes(r); err != nil {
+		return nil, err
+	}
+	if so.Signature, err = getBytes(r); err != nil {
+		return nil, err
+	}
+	var pub []byte
+	if pub, err = getBytes(r); err != nil {
+		return nil, err
+	}
+	so.PublicKey = ed25519.PublicKey(pub)
+	return so, nil
+}
+
+// The eBPF program wire form: "EBPF" | name str | license str |
+// prog type u32 | encoded instruction stream.
+var ebpfMagic = [4]byte{'E', 'B', 'P', 'F'}
+
+// EncodeProgram fixes an eBPF program into registry payload bytes.
+func EncodeProgram(p *isa.Program) ([]byte, error) {
+	code, err := isa.Encode(p.Insns)
+	if err != nil {
+		return nil, fmt.Errorf("registry: encode program %s: %w", p.Name, err)
+	}
+	var buf bytes.Buffer
+	buf.Write(ebpfMagic[:])
+	putStr(&buf, p.Name)
+	putStr(&buf, p.License)
+	var v4 [4]byte
+	binary.LittleEndian.PutUint32(v4[:], uint32(p.Type))
+	buf.Write(v4[:])
+	buf.Write(code)
+	return buf.Bytes(), nil
+}
+
+// DecodeProgram parses registry payload bytes back into an eBPF program.
+func DecodeProgram(b []byte) (*isa.Program, error) {
+	if len(b) < 4 || !bytes.Equal(b[:4], ebpfMagic[:]) {
+		return nil, fmt.Errorf("registry: bad program magic")
+	}
+	r := bytes.NewReader(b[4:])
+	name, err := getStr(r)
+	if err != nil {
+		return nil, err
+	}
+	license, err := getStr(r)
+	if err != nil {
+		return nil, err
+	}
+	var v4 [4]byte
+	if _, err := io.ReadFull(r, v4[:]); err != nil {
+		return nil, fmt.Errorf("registry: truncated program")
+	}
+	ptype := binary.LittleEndian.Uint32(v4[:])
+	code := make([]byte, r.Len())
+	if _, err := io.ReadFull(r, code); err != nil {
+		return nil, fmt.Errorf("registry: truncated program")
+	}
+	insns, err := isa.Decode(code)
+	if err != nil {
+		return nil, err
+	}
+	return &isa.Program{Name: name, License: license, Type: isa.ProgType(ptype), Insns: insns}, nil
+}
+
+func putStr(b *bytes.Buffer, s string) {
+	var v4 [4]byte
+	binary.LittleEndian.PutUint32(v4[:], uint32(len(s)))
+	b.Write(v4[:])
+	b.WriteString(s)
+}
+
+func putBytes(b *bytes.Buffer, p []byte) {
+	var v4 [4]byte
+	binary.LittleEndian.PutUint32(v4[:], uint32(len(p)))
+	b.Write(v4[:])
+	b.Write(p)
+}
+
+func getStr(r *bytes.Reader) (string, error) {
+	b, err := getBytes(r)
+	return string(b), err
+}
+
+func getBytes(r *bytes.Reader) ([]byte, error) {
+	var v4 [4]byte
+	if _, err := io.ReadFull(r, v4[:]); err != nil {
+		return nil, fmt.Errorf("registry: truncated field")
+	}
+	n := binary.LittleEndian.Uint32(v4[:])
+	if uint32(r.Len()) < n {
+		return nil, fmt.Errorf("registry: truncated field")
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("registry: truncated field")
+	}
+	return out, nil
+}

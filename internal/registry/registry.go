@@ -1,0 +1,372 @@
+// Package registry is the fleet's content-addressed artifact store: signed
+// bundles of compiled extensions (safext SLXO containers and eBPF program
+// images) keyed by the SHA-256 digest of their bytes, with a signed
+// manifest per bundle naming the member programs. The paper's load-time
+// trust decision — validate a signature instead of re-deriving safety —
+// extends here to distribution: a loader node accepts an artifact only
+// when its bytes hash to the digest it asked for AND the registry's
+// signature over those bytes validates against a trusted, unrevoked key.
+// Both checks fail closed; a flaky or hostile distribution channel can
+// deny an upgrade but never inject one.
+//
+// Keys rotate: Rotate mints a new active signing key while older
+// generations stay valid for verification until explicitly revoked.
+// Revocation covers both keys (every artifact signed by the key dies with
+// it) and individual digests (one bad build is withdrawn without touching
+// the key). The revocation list is part of the synchronization protocol —
+// clients refresh it alongside manifests and must check it at load time.
+//
+// All key material derives deterministically from the registry seed, so a
+// fixed seed reproduces the exact fleet campaign byte-for-byte.
+package registry
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors of the registry trust protocol. Every verification failure maps
+// to one of these so callers can fail closed on the whole class.
+var (
+	ErrUnknownDigest = errors.New("registry: unknown digest")
+	ErrUnknownBundle = errors.New("registry: unknown bundle")
+	ErrRevoked       = errors.New("registry: artifact revoked")
+	ErrTampered      = errors.New("registry: content does not match digest")
+	ErrBadSignature  = errors.New("registry: signature validation failed")
+	ErrUnknownKey    = errors.New("registry: unknown or revoked signing key")
+)
+
+// Kind tags what a blob's payload contains.
+type Kind string
+
+const (
+	// KindSLXO is an encoded toolchain.SignedObject (a safext extension).
+	KindSLXO Kind = "slxo"
+	// KindEBPF is an encoded eBPF program image for the verified stack.
+	KindEBPF Kind = "ebpf"
+)
+
+// DigestOf is the content address of a payload: SHA-256, hex-encoded.
+func DigestOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Blob is one stored artifact: opaque payload bytes plus the registry's
+// signature over them and the ID of the key that signed.
+type Blob struct {
+	Kind      Kind
+	Payload   []byte
+	Signature []byte
+	KeyID     string
+}
+
+// Key is one registry verification key as served to clients.
+type Key struct {
+	ID     string
+	Public ed25519.PublicKey
+}
+
+// Revocations is the registry's kill list, served to clients alongside
+// manifests. Lists are sorted for deterministic wire form.
+type Revocations struct {
+	Keys    []string
+	Digests []string
+}
+
+// signingKey pairs a verification key with its private half.
+type signingKey struct {
+	id   string
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// KeyIDOf derives a key's identifier: the first 16 hex digits of the
+// SHA-256 of the public key bytes.
+func KeyIDOf(pub ed25519.PublicKey) string {
+	sum := sha256.Sum256(pub)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Registry is the store. Safe for concurrent use: a fleet of loader nodes
+// fetches while an operator publishes and rotates.
+type Registry struct {
+	mu   sync.RWMutex
+	seed uint64
+	gen  uint64 // key generations minted so far
+
+	active string
+	keys   map[string]signingKey
+	order  []string // key IDs in mint order, for deterministic listing
+
+	blobs      map[string]*Blob
+	manifests  map[string]*SignedManifest
+	history    map[string][]*SignedManifest
+	revKeys    map[string]bool
+	revDigests map[string]bool
+}
+
+// New boots a registry with its first signing key derived from seed.
+func New(seed uint64) *Registry {
+	r := &Registry{
+		seed:       seed,
+		keys:       make(map[string]signingKey),
+		blobs:      make(map[string]*Blob),
+		manifests:  make(map[string]*SignedManifest),
+		history:    make(map[string][]*SignedManifest),
+		revKeys:    make(map[string]bool),
+		revDigests: make(map[string]bool),
+	}
+	r.mu.Lock()
+	r.rotateLocked()
+	r.mu.Unlock()
+	return r
+}
+
+// rotateLocked mints the next key generation and makes it active. Key
+// material is derived from (seed, generation) so the whole key schedule is
+// a pure function of the registry seed.
+func (r *Registry) rotateLocked() Key {
+	var material [16]byte
+	binary.LittleEndian.PutUint64(material[:8], r.seed)
+	binary.LittleEndian.PutUint64(material[8:], r.gen)
+	r.gen++
+	kseed := sha256.Sum256(material[:])
+	priv := ed25519.NewKeyFromSeed(kseed[:])
+	pub := priv.Public().(ed25519.PublicKey)
+	k := signingKey{id: KeyIDOf(pub), pub: pub, priv: priv}
+	r.keys[k.id] = k
+	r.order = append(r.order, k.id)
+	r.active = k.id
+	return Key{ID: k.id, Public: pub}
+}
+
+// Rotate mints a new active signing key. Artifacts signed by older
+// generations stay valid until their key is revoked; re-Putting the same
+// payload re-signs it under the new active key without changing its
+// digest.
+func (r *Registry) Rotate() Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rotateLocked()
+}
+
+// ActiveKeyID returns the ID of the key new artifacts are signed with.
+func (r *Registry) ActiveKeyID() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.active
+}
+
+// Keys lists every unrevoked verification key in mint order — what a
+// client enrols as its trust anchors.
+func (r *Registry) Keys() []Key {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Key, 0, len(r.order))
+	for _, id := range r.order {
+		if r.revKeys[id] {
+			continue
+		}
+		k := r.keys[id]
+		out = append(out, Key{ID: k.id, Public: k.pub})
+	}
+	return out
+}
+
+// RevokeKey kills a key generation: every artifact signed by it fails
+// verification from now on. Revoking the active key also rotates.
+func (r *Registry) RevokeKey(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.keys[id]; !ok {
+		return
+	}
+	r.revKeys[id] = true
+	if r.active == id {
+		r.rotateLocked()
+	}
+}
+
+// RevokeDigest withdraws one artifact: fetches and loads of it must fail
+// closed even though its signature still validates.
+func (r *Registry) RevokeDigest(digest string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.revDigests[digest] = true
+}
+
+// Revocations snapshots the kill list, sorted.
+func (r *Registry) Revocations() Revocations {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rev := Revocations{
+		Keys:    make([]string, 0, len(r.revKeys)),
+		Digests: make([]string, 0, len(r.revDigests)),
+	}
+	for id := range r.revKeys {
+		rev.Keys = append(rev.Keys, id)
+	}
+	for d := range r.revDigests {
+		rev.Digests = append(rev.Digests, d)
+	}
+	sort.Strings(rev.Keys)
+	sort.Strings(rev.Digests)
+	return rev
+}
+
+// Put stores a payload under its content address, signed by the active
+// key. Putting bytes that already exist re-signs them (the rotation
+// idiom); the digest never changes because it is the content.
+func (r *Registry) Put(kind Kind, payload []byte) string {
+	digest := DigestOf(payload)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.keys[r.active]
+	r.blobs[digest] = &Blob{
+		Kind:      kind,
+		Payload:   append([]byte(nil), payload...),
+		Signature: ed25519.Sign(k.priv, payload),
+		KeyID:     k.id,
+	}
+	return digest
+}
+
+// Fetch returns a copy of the blob at digest. The registry itself fails
+// closed on revoked digests and revoked signing keys — but clients must
+// not rely on that: a hostile mirror would not, which is why Verifier
+// re-checks everything client-side.
+func (r *Registry) Fetch(digest string) (*Blob, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.blobs[digest]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDigest, digest)
+	}
+	if r.revDigests[digest] || r.revKeys[b.KeyID] {
+		return nil, fmt.Errorf("%w: %s", ErrRevoked, digest)
+	}
+	cp := *b
+	cp.Payload = append([]byte(nil), b.Payload...)
+	cp.Signature = append([]byte(nil), b.Signature...)
+	return &cp, nil
+}
+
+// Corrupt flips one byte of a stored payload in place, simulating storage
+// or channel corruption. The digest key is left alone, so fetches of the
+// digest now return bytes that no longer hash to it — exactly what the
+// client-side verification must catch. Test and experiment seam only.
+func (r *Registry) Corrupt(digest string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.blobs[digest]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDigest, digest)
+	}
+	if len(b.Payload) == 0 {
+		return fmt.Errorf("registry: empty payload at %s", digest)
+	}
+	b.Payload[len(b.Payload)/2] ^= 0xFF
+	return nil
+}
+
+// Verifier is the client-side trust kernel: the enrolled registry keys and
+// the latest revocation list. Every artifact a loader node is about to
+// act on passes through here first; any failure is a refusal to load.
+type Verifier struct {
+	mu         sync.RWMutex
+	keys       map[string]ed25519.PublicKey
+	revKeys    map[string]bool
+	revDigests map[string]bool
+}
+
+// NewVerifier builds an empty verifier; enrol keys with SetKeys. With no
+// keys enrolled every verification fails — closed by construction.
+func NewVerifier() *Verifier {
+	return &Verifier{
+		keys:       make(map[string]ed25519.PublicKey),
+		revKeys:    make(map[string]bool),
+		revDigests: make(map[string]bool),
+	}
+}
+
+// SetKeys replaces the enrolled key set (the trust-anchor refresh after a
+// rotation).
+func (v *Verifier) SetKeys(keys []Key) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.keys = make(map[string]ed25519.PublicKey, len(keys))
+	for _, k := range keys {
+		v.keys[k.ID] = k.Public
+	}
+}
+
+// SetRevocations replaces the revocation list.
+func (v *Verifier) SetRevocations(rev Revocations) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.revKeys = make(map[string]bool, len(rev.Keys))
+	for _, id := range rev.Keys {
+		v.revKeys[id] = true
+	}
+	v.revDigests = make(map[string]bool, len(rev.Digests))
+	for _, d := range rev.Digests {
+		v.revDigests[d] = true
+	}
+}
+
+// VerifyBlob is the load-time gate for one artifact: the digest must not
+// be revoked, the bytes must hash to the digest, the signing key must be
+// enrolled and unrevoked, and the signature must validate. Order matters
+// only for error reporting; every path refuses.
+func (v *Verifier) VerifyBlob(digest string, b *Blob) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.revDigests[digest] {
+		return fmt.Errorf("%w: digest %s", ErrRevoked, digest)
+	}
+	if got := DigestOf(b.Payload); got != digest {
+		return fmt.Errorf("%w: want %s, content hashes to %s", ErrTampered, digest, got)
+	}
+	return v.checkSig(b.KeyID, b.Payload, b.Signature)
+}
+
+// VerifyManifest validates a signed manifest: signing key enrolled and
+// unrevoked, signature over the canonical encoding valid, and no member
+// entry pointing at a revoked digest.
+func (v *Verifier) VerifyManifest(sm *SignedManifest) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if err := v.checkSig(sm.KeyID, sm.Manifest.encode(), sm.Signature); err != nil {
+		return err
+	}
+	for _, e := range sm.Manifest.Entries {
+		if v.revDigests[e.Digest] {
+			return fmt.Errorf("%w: manifest %s entry %s at digest %s",
+				ErrRevoked, sm.Manifest.Bundle, e.Name, e.Digest)
+		}
+	}
+	return nil
+}
+
+// checkSig validates a signature against an enrolled, unrevoked key.
+// Caller holds v.mu.
+func (v *Verifier) checkSig(keyID string, payload, sig []byte) error {
+	if v.revKeys[keyID] {
+		return fmt.Errorf("%w: key %s revoked", ErrUnknownKey, keyID)
+	}
+	pub, ok := v.keys[keyID]
+	if !ok {
+		return fmt.Errorf("%w: key %s not enrolled", ErrUnknownKey, keyID)
+	}
+	if !ed25519.Verify(pub, payload, sig) {
+		return fmt.Errorf("%w: key %s", ErrBadSignature, keyID)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/safext/toolchain"
+)
+
+const testSLX = `fn main() -> i64 { return 7; }`
+
+func signedObject(t *testing.T, name string) *toolchain.SignedObject {
+	t.Helper()
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := signer.BuildAndSign(name, testSLX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return so
+}
+
+// enrolled builds a verifier trusting the registry's current keys and
+// revocations — the client-side refresh.
+func enrolled(r *Registry) *Verifier {
+	v := NewVerifier()
+	v.SetKeys(r.Keys())
+	v.SetRevocations(r.Revocations())
+	return v
+}
+
+func TestRegistryRoundTripSLXO(t *testing.T) {
+	r := New(1)
+	so := signedObject(t, "policy")
+	payload := EncodeSignedObject(so)
+	digest := r.Put(KindSLXO, payload)
+	if digest != DigestOf(payload) {
+		t.Fatalf("digest %s is not the content address", digest)
+	}
+
+	b, err := r.Fetch(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enrolled(r).VerifyBlob(digest, b); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	got, err := DecodeSignedObject(b.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != string(so.Payload) || !got.Verify(so.PublicKey) {
+		t.Fatal("signed object did not survive the round trip")
+	}
+}
+
+func TestRegistryRoundTripEBPF(t *testing.T) {
+	r := New(1)
+	prog := &isa.Program{
+		Name: "xdp_pass",
+		Type: isa.XDP,
+		Insns: []isa.Instruction{
+			isa.Mov64Imm(0, 2),
+			isa.Exit(),
+		},
+	}
+	payload, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := r.Put(KindEBPF, payload)
+	b, err := r.Fetch(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enrolled(r).VerifyBlob(digest, b); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	got, err := DecodeProgram(b.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != prog.Name || got.Type != prog.Type || len(got.Insns) != len(prog.Insns) {
+		t.Fatalf("program did not survive the round trip: %+v", got)
+	}
+}
+
+func TestRegistryRevokedDigestFailsClosed(t *testing.T) {
+	r := New(1)
+	digest := r.Put(KindSLXO, EncodeSignedObject(signedObject(t, "bad")))
+	// A client that fetched before the revocation still refuses at load
+	// time once its revocation list is current.
+	b, err := r.Fetch(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RevokeDigest(digest)
+
+	if _, err := r.Fetch(digest); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("fetch of revoked digest = %v, want ErrRevoked", err)
+	}
+	if err := enrolled(r).VerifyBlob(digest, b); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("verify of revoked digest = %v, want ErrRevoked", err)
+	}
+}
+
+func TestRegistryTamperFailsClosed(t *testing.T) {
+	r := New(1)
+	digest := r.Put(KindSLXO, EncodeSignedObject(signedObject(t, "p")))
+	if err := r.Corrupt(digest); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Fetch(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enrolled(r).VerifyBlob(digest, b); !errors.Is(err, ErrTampered) {
+		t.Fatalf("verify of corrupted content = %v, want ErrTampered", err)
+	}
+}
+
+func TestRegistryKeyRotationAndRevocation(t *testing.T) {
+	r := New(1)
+	payload1 := EncodeSignedObject(signedObject(t, "v1"))
+	d1 := r.Put(KindSLXO, payload1)
+	key1 := r.ActiveKeyID()
+
+	k2 := r.Rotate()
+	if k2.ID == key1 {
+		t.Fatal("rotation did not change the active key")
+	}
+	d2 := r.Put(KindSLXO, EncodeSignedObject(signedObject(t, "v2")))
+
+	// Both generations verify while both keys are live.
+	v := enrolled(r)
+	for _, d := range []string{d1, d2} {
+		b, err := r.Fetch(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.VerifyBlob(d, b); err != nil {
+			t.Fatalf("verify %s across rotation: %v", d, err)
+		}
+	}
+
+	// Killing the old key kills everything it signed.
+	b1, err := r.Fetch(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RevokeKey(key1)
+	if _, err := r.Fetch(d1); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("fetch under revoked key = %v, want ErrRevoked", err)
+	}
+	v = enrolled(r)
+	if err := v.VerifyBlob(d1, b1); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("verify under revoked key = %v, want ErrUnknownKey", err)
+	}
+
+	// Re-publishing the same bytes re-signs under the active key: same
+	// digest, healthy again.
+	if got := r.Put(KindSLXO, payload1); got != d1 {
+		t.Fatalf("re-put changed the content address: %s != %s", got, d1)
+	}
+	b1, err = r.Fetch(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.KeyID != r.ActiveKeyID() {
+		t.Fatalf("re-put signed by %s, want active key %s", b1.KeyID, r.ActiveKeyID())
+	}
+	if err := enrolled(r).VerifyBlob(d1, b1); err != nil {
+		t.Fatalf("verify after re-sign: %v", err)
+	}
+}
+
+func TestRegistryManifestLifecycle(t *testing.T) {
+	r := New(1)
+	d1 := r.Put(KindSLXO, EncodeSignedObject(signedObject(t, "fw")))
+	d2 := r.Put(KindSLXO, EncodeSignedObject(signedObject(t, "fw2")))
+
+	sm1, err := r.Publish("firewall", []Entry{{Name: "fw", Kind: KindSLXO, Digest: d1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm2, err := r.Publish("firewall", []Entry{{Name: "fw", Kind: KindSLXO, Digest: d2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm1.Manifest.Version != 1 || sm2.Manifest.Version != 2 {
+		t.Fatalf("versions = %d, %d; want 1, 2", sm1.Manifest.Version, sm2.Manifest.Version)
+	}
+	latest, err := r.Manifest("firewall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Manifest.Version != 2 {
+		t.Fatalf("latest version = %d, want 2", latest.Manifest.Version)
+	}
+	if h := r.History("firewall"); len(h) != 2 {
+		t.Fatalf("history length = %d, want 2", len(h))
+	}
+
+	v := enrolled(r)
+	if err := v.VerifyManifest(sm2); err != nil {
+		t.Fatalf("verify manifest: %v", err)
+	}
+
+	// Round-trip the canonical encoding.
+	m, err := DecodeManifest(sm2.Manifest.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bundle != "firewall" || m.Version != 2 || m.Entries[0].Digest != d2 {
+		t.Fatalf("manifest did not survive the round trip: %+v", m)
+	}
+
+	// A doctored manifest fails its signature.
+	forged := *sm2
+	forged.Manifest.Entries = []Entry{{Name: "fw", Kind: KindSLXO, Digest: d1}}
+	if err := v.VerifyManifest(&forged); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("verify forged manifest = %v, want ErrBadSignature", err)
+	}
+
+	// Revoking a member digest poisons manifests naming it.
+	r.RevokeDigest(d2)
+	v = enrolled(r)
+	if err := v.VerifyManifest(sm2); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("verify manifest with revoked entry = %v, want ErrRevoked", err)
+	}
+	// And publishing a new manifest over it is refused.
+	if _, err := r.Publish("firewall", []Entry{{Name: "fw", Kind: KindSLXO, Digest: d2}}); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("publish with revoked entry = %v, want ErrRevoked", err)
+	}
+	// Publishing an unknown digest is refused too.
+	if _, err := r.Publish("firewall", []Entry{{Name: "fw", Kind: KindSLXO, Digest: "feed"}}); !errors.Is(err, ErrUnknownDigest) {
+		t.Fatalf("publish with unknown entry = %v, want ErrUnknownDigest", err)
+	}
+}
+
+func TestVerifierEmptyFailsClosed(t *testing.T) {
+	r := New(1)
+	digest := r.Put(KindSLXO, EncodeSignedObject(signedObject(t, "p")))
+	b, err := r.Fetch(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A verifier with no enrolled keys refuses everything.
+	if err := NewVerifier().VerifyBlob(digest, b); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("empty verifier accepted a blob: %v", err)
+	}
+}
