@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz soundness bench lint check clean
+.PHONY: all build vet test race fuzz soundness bench bench-gap lint check clean
 
 all: check
 
@@ -56,7 +56,17 @@ bench:
 	$(GO) test -bench 'BenchmarkThroughput' -benchtime 2000x .
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 1x .
 
+# The instrumentation-vs-verification gap, in one number: runs the
+# exec-core family (which includes the MIR-optimized safext JIT legs)
+# plus the SLXOpt family so writeSLXOptBench can emit the gap/* rows,
+# then prints them. Acceptance: gap/safext/jit-opt ratio_vs_ebpf <= 3.
+bench-gap:
+	$(GO) test -bench 'BenchmarkExecCore|BenchmarkSLXOpt' -benchtime 200x .
+	@grep -A 3 '"config": "gap/' BENCH_slxopt.json
+
 check: lint build test race
+
+
 
 clean:
 	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json BENCH_fleet.json

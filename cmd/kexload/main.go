@@ -7,6 +7,8 @@
 //
 //	kexload ext.slx              build, sign, load, run once
 //	kexload -n 5 ext.slx         run five invocations
+//	kexload -opt 2 ext.slx       build at optimization level 2 (MIR backend)
+//	kexload -opt 2 -dump-mir -build-only ext.slx   inspect the mid-level IR
 //	kexload -build-only ext.slx  compile and print object info, don't run
 //	kexload -deny pkt_write_u8 ext.slx   signing policy denies a capability
 //	kexload -n 1000 -shards 4 -batch 32 ext.slx   sharded batched submission
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"kex/internal/exec"
+	"kex/internal/safext/compile"
 	"kex/internal/safext/runtime"
 	"kex/internal/safext/toolchain"
 	"kex/pkg/kex"
@@ -38,6 +41,8 @@ func main() {
 	watchdog := flag.Int64("watchdog-ms", 0, "watchdog in virtual ms (0 = config default)")
 	shards := flag.Int("shards", 1, "simulated CPUs to spread invocations across (1 = serial)")
 	batch := flag.Int("batch", 16, "invocations per submitted batch in sharded mode")
+	opt := flag.Int("opt", 0, "optimization level: 0 naive, 1 analyzer elision, 2 MIR backend")
+	dumpMIR := flag.Bool("dump-mir", false, "print the mid-level IR before and after optimization (with -opt 2)")
 	var deny denyFlags
 	flag.Var(&deny, "deny", "capability the signing policy refuses (repeatable)")
 	flag.Parse()
@@ -52,13 +57,42 @@ func main() {
 	}
 	name := strings.TrimSuffix(flag.Arg(0), ".slx")
 
-	obj, err := toolchain.Build(name, string(src))
+	if *dumpMIR {
+		dump, err := toolchain.DumpMIR(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(dump)
+	}
+
+	var obj *compile.Object
+	switch *opt {
+	case 0:
+		obj, err = toolchain.Build(name, string(src))
+	case 1:
+		obj, err = toolchain.BuildOptimized(name, string(src))
+	case 2:
+		obj, err = toolchain.BuildOptimizedMIR(name, string(src))
+	default:
+		fmt.Fprintf(os.Stderr, "kexload: unknown -opt level %d (want 0, 1, or 2)\n", *opt)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("compiled %q: %d instructions, %d bytes rodata, maps %d, capabilities %v\n",
 		obj.Name, len(obj.Insns), len(obj.Rodata), len(obj.Maps), obj.Capabilities)
+	if *opt > 0 {
+		fmt.Printf("checks: %d dynamic, %d elided (static insn bound %d)\n",
+			obj.Checks.Emitted(), obj.Checks.Elided(), obj.Checks.StaticInsnBound)
+	}
+	if *opt == 2 {
+		o := obj.Opt
+		fmt.Printf("mir: folded %d, hoisted %d, loads eliminated %d, dead removed %d, regs %d, spills %d\n",
+			o.Folded, o.Hoisted, o.LoadsEliminated, o.DeadRemoved, o.RegAssigned, o.Spills)
+	}
 	if *buildOnly {
 		return
 	}

@@ -162,6 +162,55 @@ fn main() -> i64 {
 }
 `
 
+// MapAccumulate is deliberately optimizer-hostile: the first loop carries
+// its state through a map — every map_get depends on the previous
+// iteration's map_set, so redundant-load elimination must decline the load
+// (the store invalidates it) and LICM must decline the whole call (helper
+// calls never hoist). The only legal elimination in the program is the
+// doubled map_get in the summing loop, where no write intervenes. A MIR
+// build must eliminate exactly that one load and nothing else.
+const MapAccumulate = `
+map acc: hash<u64, u64>(8);
+
+fn main() -> i64 {
+	for i in 0..32 {
+		let cur = kernel::map_get(acc, i & 7);
+		kernel::map_set(acc, i & 7, cur + i);
+	}
+	let mut total: i64 = 0;
+	for k in 0..8 {
+		total += kernel::map_get(acc, k);
+		total += kernel::map_get(acc, k);
+	}
+	return total;
+}
+`
+
+// NestedInvariant computes its inner-loop bounds arithmetic from values
+// that never change inside either loop: the rows*8 scaling and its %64
+// wrap are invariant all the way to the function entry, while the masked
+// grid index genuinely varies. A MIR build must hoist exactly those two
+// instructions, and hoist each across both loop levels (four hoists) —
+// hoisting the index math too would be unsound, folding the modulo keeps
+// its check discharged (constant divisor), and the masked indices are the
+// analyzer's to elide.
+const NestedInvariant = `
+fn main() -> i64 {
+	let mut grid: [u8; 64];
+	let rows = kernel::rand() % 8;
+	let mut sum: i64 = 0;
+	for i in 0..8 {
+		let base = (rows * 8) % 64;
+		for j in 0..8 {
+			let idx = (i * 8 + j) & 63;
+			grid[idx] = idx * 3;
+			sum += grid[idx] + base;
+		}
+	}
+	return sum;
+}
+`
+
 // All maps every shared example source by name, for sweep-style tests and
 // benchmarks.
 var All = map[string]string{
@@ -171,4 +220,6 @@ var All = map[string]string{
 	"kvcache":        KVCache,
 	"profiler":       Profiler,
 	"histogram":      Histogram,
+	"map_accumulate": MapAccumulate,
+	"nested_invar":   NestedInvariant,
 }

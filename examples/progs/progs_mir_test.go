@@ -1,0 +1,56 @@
+package progs
+
+import (
+	"testing"
+
+	"kex/internal/safext/toolchain"
+)
+
+// TestOptimizerHostilePrograms pins the MIR optimizer's behavior on the two
+// corpus programs written to tempt it into unsound transformations. The
+// counts are exact on purpose: a higher number means the optimizer crossed
+// a dependency it must respect (a map store, a loop-varying index), a lower
+// number means it stopped seeing an opportunity it used to prove.
+func TestOptimizerHostilePrograms(t *testing.T) {
+	cases := []struct {
+		name, src       string
+		hoisted         int // instructions moved, counted once per loop level crossed
+		loadsEliminated int
+		elided          int // analyzer-proven check sites (bounds + div)
+	}{
+		// The accumulation loop carries state through the map, so the only
+		// eliminable load is the doubled map_get in the summing loop. No
+		// instruction is loop-invariant: everything depends on the induction
+		// variable or a map read.
+		{"map_accumulate", MapAccumulate, 0, 1, 0},
+		// rows*8 and its %64 wrap are invariant to both loops; each hoists
+		// across the inner and then the outer loop boundary (2 instructions
+		// x 2 levels = 4). The grid accesses are masked (2 bounds elided)
+		// and both modulos have constant divisors (2 div checks elided),
+		// but the store-then-load on grid[idx] must NOT forward: the store
+		// truncates to a byte, the load zero-extends it.
+		{"nested_invar", NestedInvariant, 4, 0, 4},
+	}
+	for _, tc := range cases {
+		obj, err := toolchain.BuildOptimizedMIR(tc.name, tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if obj.Opt.Level != 2 {
+			t.Errorf("%s: opt level = %d, want 2", tc.name, obj.Opt.Level)
+		}
+		if obj.Opt.Hoisted != tc.hoisted {
+			t.Errorf("%s: hoisted = %d, want %d", tc.name, obj.Opt.Hoisted, tc.hoisted)
+		}
+		if obj.Opt.LoadsEliminated != tc.loadsEliminated {
+			t.Errorf("%s: loads eliminated = %d, want %d",
+				tc.name, obj.Opt.LoadsEliminated, tc.loadsEliminated)
+		}
+		if got := obj.Checks.Elided(); got != tc.elided {
+			t.Errorf("%s: elided checks = %d, want %d", tc.name, got, tc.elided)
+		}
+		if obj.Opt.Spills < 0 {
+			t.Errorf("%s: negative spill count %d", tc.name, obj.Opt.Spills)
+		}
+	}
+}

@@ -169,7 +169,7 @@ func benchExecEBPF(b *testing.B, useJIT bool, config string) {
 	recordExecBench(row)
 }
 
-func benchExecSafext(b *testing.B, useJIT bool, config string) {
+func benchExecSafext(b *testing.B, useJIT bool, config string, opt int) {
 	cfg := runtime.DefaultConfig()
 	cfg.UseJIT = useJIT
 	rt := runtime.New(kernel.NewDefault(), cfg)
@@ -178,7 +178,15 @@ func benchExecSafext(b *testing.B, useJIT bool, config string) {
 		b.Fatal(err)
 	}
 	rt.AddKey(signer.PublicKey())
-	so, err := signer.BuildAndSign("core_bench", execBenchSLX)
+	var so *toolchain.SignedObject
+	switch opt {
+	case 2:
+		so, err = signer.BuildAndSignOptimizedMIR("core_bench", execBenchSLX)
+	case 1:
+		so, err = signer.BuildAndSignOptimized("core_bench", execBenchSLX)
+	default:
+		so, err = signer.BuildAndSign("core_bench", execBenchSLX)
+	}
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -218,5 +226,13 @@ func benchExecSafext(b *testing.B, useJIT bool, config string) {
 
 func BenchmarkExecCore_EBPFInterp(b *testing.B)   { benchExecEBPF(b, false, "ebpf/interp") }
 func BenchmarkExecCore_EBPFJIT(b *testing.B)      { benchExecEBPF(b, true, "ebpf/jit") }
-func BenchmarkExecCore_SafextInterp(b *testing.B) { benchExecSafext(b, false, "safext/interp") }
-func BenchmarkExecCore_SafextJIT(b *testing.B)    { benchExecSafext(b, true, "safext/jit") }
+func BenchmarkExecCore_SafextInterp(b *testing.B) { benchExecSafext(b, false, "safext/interp", 0) }
+func BenchmarkExecCore_SafextJIT(b *testing.B)    { benchExecSafext(b, true, "safext/jit", 0) }
+
+// The -opt legs run the MIR-optimized build of the same workload; the
+// safext/jit-opt vs ebpf/jit wall ratio is the instrumentation-gap number
+// the paper's argument hangs on (tracked in BENCH_slxopt.json).
+func BenchmarkExecCore_SafextInterpOpt(b *testing.B) {
+	benchExecSafext(b, false, "safext/interp-opt", 2)
+}
+func BenchmarkExecCore_SafextJITOpt(b *testing.B) { benchExecSafext(b, true, "safext/jit-opt", 2) }

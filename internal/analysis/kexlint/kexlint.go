@@ -58,7 +58,7 @@ type Config struct {
 func DefaultConfig(root string) Config {
 	return Config{
 		Root:              root,
-		DeterministicDirs: []string{"internal/faultinject", "internal/kernel/callgraph", "internal/analysis/statecheck", "internal/registry", "internal/fleet"},
+		DeterministicDirs: []string{"internal/faultinject", "internal/kernel/callgraph", "internal/analysis/statecheck", "internal/registry", "internal/fleet", "internal/safext/compile/mir"},
 		HelperDirs:        []string{"internal/ebpf/helpers"},
 	}
 }

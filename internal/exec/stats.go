@@ -150,6 +150,14 @@ func (s *Stats) RecordFuelElision(program string) {
 	s.prog(program).fuelElisions.Add(1)
 }
 
+// FuelElisionRecorder returns a recorder bound to one program's cell, for
+// hot paths that would otherwise pay the name lookup on every invocation —
+// the coalesced-fuel dispatch path resolves it once at load time.
+func (s *Stats) FuelElisionRecorder(program string) func() {
+	cell := s.prog(program)
+	return func() { cell.fuelElisions.Add(1) }
+}
+
 // prog returns (creating on first use) the per-program accumulator.
 func (s *Stats) prog(name string) *progCell {
 	if c, ok := s.programs.Load(name); ok {
@@ -270,15 +278,15 @@ func (s *Stats) Snapshot() Snapshot {
 			lastReload = *p
 		}
 		snap.Programs[k.(string)] = ProgramStats{
-			Invocations:   c.invocations.Load(),
-			Errors:        c.errors.Load(),
-			Instructions:  c.instructions.Load(),
-			FuelUsed:      c.fuelUsed.Load(),
-			MapOps:        c.mapOps.Load(),
-			HelperCalls:   counterMap(&c.helperCalls),
-			RuntimeNs:     c.runtimeNs.Load(),
-			WallNs:        c.wallNs.Load(),
-			CPUTimeNs:     c.cpuTimeNs.Load(),
+			Invocations:     c.invocations.Load(),
+			Errors:          c.errors.Load(),
+			Instructions:    c.instructions.Load(),
+			FuelUsed:        c.fuelUsed.Load(),
+			MapOps:          c.mapOps.Load(),
+			HelperCalls:     counterMap(&c.helperCalls),
+			RuntimeNs:       c.runtimeNs.Load(),
+			WallNs:          c.wallNs.Load(),
+			CPUTimeNs:       c.cpuTimeNs.Load(),
 			Faults:          c.faults.Load(),
 			Denied:          c.denied.Load(),
 			Fallbacks:       c.fallbacks.Load(),
@@ -286,9 +294,9 @@ func (s *Stats) Snapshot() Snapshot {
 			ProbeFailures:   c.probeFailures.Load(),
 			ReloadFailures:  c.reloadFailures.Load(),
 			LastReloadError: lastReload,
-			DynamicChecks: c.dynamicChecks.Load(),
-			ElidedChecks:  c.elidedChecks.Load(),
-			FuelElisions:  c.fuelElisions.Load(),
+			DynamicChecks:   c.dynamicChecks.Load(),
+			ElidedChecks:    c.elidedChecks.Load(),
+			FuelElisions:    c.fuelElisions.Load(),
 		}
 		return true
 	})

@@ -20,6 +20,7 @@ import (
 
 	"kex/internal/ebpf/isa"
 	"kex/internal/safext/analyze"
+	"kex/internal/safext/compile/mir"
 	"kex/internal/safext/lang"
 )
 
@@ -51,13 +52,58 @@ type Object struct {
 	// into the object container and covered by the toolchain signature, so
 	// the kernel side learns *what was proven*, not just the final code.
 	Checks CheckStats
+	// Opt records the optimization level the object was built at and what
+	// the MIR pipeline did (all zero for level <2 builds). Serialized into
+	// the container's OPTM section, under the signature.
+	Opt OptStats
 }
+
+// Optimization levels. OptElide is what a Facts-carrying build always did;
+// the zero value keeps existing callers on their previous behavior
+// (Facts == nil → naive, Facts != nil → elide).
+const (
+	// OptNaive emits every check through the stack-machine backend.
+	OptNaive = 0
+	// OptElide is the stack-machine backend plus analyzer-proven elisions.
+	OptElide = 1
+	// OptMIR lowers through the mid-level IR: constant folding/propagation,
+	// loop-invariant code motion, redundant-load elimination, and linear-scan
+	// register allocation over R6–R9.
+	OptMIR = 2
+)
 
 // Options configures code generation.
 type Options struct {
 	// Facts carries proofs from the analyze pass. Nil compiles naively:
 	// every check is emitted (and counted).
 	Facts *analyze.Result
+	// Level selects the backend. 0 and 1 are both the stack-machine
+	// backend (the effective level is decided by Facts being present);
+	// OptMIR routes through package mir.
+	Level int
+}
+
+// OptStats summarizes one object's optimization pipeline for the audit
+// trail. Counter semantics match mir.Stats.
+type OptStats struct {
+	Level           int
+	Folded          int
+	Hoisted         int
+	LoadsEliminated int
+	DeadRemoved     int
+	BlocksRemoved   int
+	Spills          int
+	RegAssigned     int
+}
+
+func (o *OptStats) add(s mir.Stats) {
+	o.Folded += s.Folded
+	o.Hoisted += s.Hoisted
+	o.LoadsEliminated += s.LoadsEliminated
+	o.DeadRemoved += s.DeadRemoved
+	o.BlocksRemoved += s.BlocksRemoved
+	o.Spills += s.Spills
+	o.RegAssigned += s.RegAssigned
 }
 
 // CheckStats is the per-object check ledger. Emitted counts the dynamic
@@ -127,6 +173,15 @@ func CompileWithOptions(name string, checked *lang.Checked, opts Options) (*Obje
 	if opts.Facts != nil {
 		c.obj.Checks.StaticInsnBound = opts.Facts.FuelBound
 	}
+	useMIR := opts.Level >= OptMIR
+	switch {
+	case useMIR:
+		c.obj.Opt.Level = OptMIR
+	case opts.Facts != nil:
+		c.obj.Opt.Level = OptElide
+	default:
+		c.obj.Opt.Level = OptNaive
+	}
 	lockedMaps := map[string]bool{}
 	collectSyncMaps(checked.File, lockedMaps)
 	for _, m := range checked.File.Maps {
@@ -143,14 +198,18 @@ func CompileWithOptions(name string, checked *lang.Checked, opts Options) (*Obje
 	c.obj.Capabilities = append([]string(nil), checked.CrateCalls...)
 
 	// main is compiled first so the entry point is element 0.
-	if err := c.compileFunc(checked.File.Func("main")); err != nil {
+	emitFunc := c.compileFunc
+	if useMIR {
+		emitFunc = c.compileFuncMIR
+	}
+	if err := emitFunc(checked.File.Func("main")); err != nil {
 		return nil, err
 	}
 	for _, fn := range checked.File.Funcs {
 		if fn.Name == "main" {
 			continue
 		}
-		if err := c.compileFunc(fn); err != nil {
+		if err := emitFunc(fn); err != nil {
 			return nil, err
 		}
 	}

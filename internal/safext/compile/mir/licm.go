@@ -1,0 +1,127 @@
+package mir
+
+import "kex/internal/safext/lang"
+
+// Loop-invariant code motion. Loops are structural records from lowering
+// (no CFG discovery needed); each has a dedicated preheader that is the
+// only entry from outside. Processing runs innermost-first (reverse
+// lowering order), so an invariant hoisted into an inner preheader — which
+// lives inside the outer loop — can hoist again on the outer pass.
+//
+// An instruction hoists when:
+//   - it cannot trap (no Emit-state check site) and has no side effects,
+//     so executing it speculatively when the loop runs zero times is
+//     unobservable (the engine's ALU itself never traps);
+//   - its operands have no definitions inside the loop;
+//   - its destination is defined exactly once in the whole function, so
+//     moving the definition cannot disturb another def of the same vreg.
+//
+// Array loads additionally require that the loop contains no store to (or
+// writable crate use of) the same array. Crate and user calls never hoist.
+func licm(f *Func) int {
+	hoisted := 0
+	defCount := make([]int, f.NumVRegs+1)
+	for _, b := range f.Blocks {
+		for i := range b.Insns {
+			if d := b.Insns[i].Dst; d != 0 {
+				defCount[d]++
+			}
+		}
+	}
+	for li := len(f.Loops) - 1; li >= 0; li-- {
+		l := f.Loops[li]
+		pre := f.BlockByID(l.Preheader)
+		if pre == nil {
+			continue
+		}
+		for {
+			moved := f.hoistOnce(l, pre, defCount)
+			hoisted += moved
+			if moved == 0 {
+				break
+			}
+		}
+	}
+	return hoisted
+}
+
+func (f *Func) hoistOnce(l *Loop, pre *Block, defCount []int) int {
+	defsIn := make(map[VReg]bool)
+	arrWritten := make(map[int]bool)
+	for _, id := range l.Blocks {
+		b := f.BlockByID(id)
+		if b == nil {
+			continue
+		}
+		for i := range b.Insns {
+			in := &b.Insns[i]
+			if in.Dst != 0 {
+				defsIn[in.Dst] = true
+			}
+			switch in.Op {
+			case OpArrStore, OpArrZero:
+				arrWritten[in.Arr] = true
+			case OpCallCrate:
+				for _, a := range in.Args {
+					if a.Kind == lang.CrateBuf {
+						arrWritten[a.Arr] = true
+					}
+				}
+			}
+		}
+	}
+
+	moved := 0
+	for _, id := range l.Blocks {
+		b := f.BlockByID(id)
+		if b == nil || b == pre {
+			continue
+		}
+		kept := b.Insns[:0]
+		for i := range b.Insns {
+			in := b.Insns[i]
+			if f.hoistable(&in, defsIn, arrWritten, defCount) {
+				pre.Insns = append(pre.Insns, in)
+				delete(defsIn, in.Dst)
+				moved++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Insns = kept
+	}
+	return moved
+}
+
+func (f *Func) hoistable(in *Insn, defsIn map[VReg]bool, arrWritten map[int]bool, defCount []int) bool {
+	if in.Dst == 0 || defCount[in.Dst] != 1 {
+		return false
+	}
+	if in.Site != SiteNone && f.Sites[in.Site].State == SiteEmit {
+		return false // could trap; must stay behind the loop condition
+	}
+	switch in.Op {
+	case OpConst:
+		return true
+	case OpCopy, OpNeg, OpBin, OpCmp:
+		ok := true
+		forEachUse(in, func(v VReg) {
+			if defsIn[v] {
+				ok = false
+			}
+		})
+		return ok
+	case OpArrLoad:
+		if arrWritten[in.Arr] {
+			return false
+		}
+		ok := true
+		forEachUse(in, func(v VReg) {
+			if defsIn[v] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	return false
+}

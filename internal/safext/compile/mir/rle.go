@@ -1,0 +1,132 @@
+package mir
+
+import "kex/internal/safext/lang"
+
+// Redundant-load elimination: block-local common-subexpression elimination
+// over array loads and map_get calls, with conservative invalidation.
+//
+// An available entry dies when:
+//   - the array is stored to or zeroed (any index), or passed as a
+//     writable buffer to a crate call;
+//   - the map is written (map_set/map_del/map_inc), crossed by a lock
+//     boundary (lock_acquire/lock_release — another CPU may mutate the
+//     entry under the lock), or any user function is called (callees can
+//     write any map; they cannot touch the caller's frame arrays);
+//   - the index/key vreg or the cached result vreg is redefined.
+//
+// map_get on percpu/percpu_hash maps is never cached: batched and sharded
+// runtimes may revisit per-CPU slots between calls, so those reads stay
+// materialized (the invalidation soundness edge from the per-CPU PR).
+//
+// Checked loads (Emit-state bounds site) are never eliminated — the check
+// itself must execute.
+func rle(f *Func) int {
+	eliminated := 0
+	for _, b := range f.Blocks {
+		eliminated += f.rleBlock(b)
+	}
+	return eliminated
+}
+
+type loadKey struct {
+	isMap  bool
+	arr    int
+	sym    string
+	idxV   VReg
+	idxImm int64
+	imm    bool
+}
+
+func (f *Func) rleBlock(b *Block) int {
+	avail := make(map[loadKey]VReg)
+	kill := func(pred func(loadKey, VReg) bool) {
+		for k, v := range avail {
+			if pred(k, v) {
+				delete(avail, k)
+			}
+		}
+	}
+	redefine := func(d VReg) {
+		if d == 0 {
+			return
+		}
+		kill(func(k loadKey, v VReg) bool { return v == d || (!k.imm && k.idxV == d) })
+	}
+
+	eliminated := 0
+	for i := range b.Insns {
+		in := &b.Insns[i]
+		switch in.Op {
+		case OpArrLoad:
+			k := loadKey{arr: in.Arr, idxV: in.A, idxImm: in.IdxImm, imm: in.IdxIsImm}
+			if prev, ok := avail[k]; ok && (in.Site == SiteNone || f.Sites[in.Site].State != SiteEmit) {
+				f.flipSite(in.Site)
+				*in = Insn{Op: OpCopy, Dst: in.Dst, A: prev, Arr: -1, Site: SiteNone, Line: in.Line}
+				eliminated++
+				redefine(in.Dst)
+				continue
+			}
+			redefine(in.Dst)
+			avail[k] = in.Dst
+
+		case OpArrStore, OpArrZero:
+			arr := in.Arr
+			kill(func(k loadKey, _ VReg) bool { return !k.isMap && k.arr == arr })
+
+		case OpCallCrate:
+			f.rleCrateCall(b, i, avail, kill, redefine, &eliminated)
+
+		case OpCallUser:
+			kill(func(k loadKey, _ VReg) bool { return k.isMap })
+			redefine(in.Dst)
+
+		default:
+			redefine(in.Dst)
+		}
+	}
+	return eliminated
+}
+
+// crateWritesMap lists crate entry points that may change (or allow
+// concurrent change of) a keyed map's contents.
+func crateWritesMap(name string) bool {
+	switch name {
+	case "map_set", "map_del", "map_inc", "lock_acquire", "lock_release", "emit":
+		return true
+	}
+	return false
+}
+
+func (f *Func) rleCrateCall(b *Block, i int, avail map[loadKey]VReg,
+	kill func(func(loadKey, VReg) bool), redefine func(VReg), eliminated *int) {
+	in := &b.Insns[i]
+
+	// Writable-buffer arguments invalidate the array's cached loads.
+	for _, a := range in.Args {
+		if a.Kind == lang.CrateBuf {
+			arr := a.Arr
+			kill(func(k loadKey, _ VReg) bool { return !k.isMap && k.arr == arr })
+		}
+	}
+	if crateWritesMap(in.Name) && len(in.Args) > 0 && in.Args[0].Kind == lang.CrateMap {
+		sym := in.Args[0].Sym
+		kill(func(k loadKey, _ VReg) bool { return k.isMap && k.sym == sym })
+	}
+
+	if in.Name == "map_get" && len(in.Args) == 2 {
+		sym := in.Args[0].Sym
+		if kind := f.MapKinds[sym]; kind == "hash" || kind == "array" {
+			k := loadKey{isMap: true, sym: sym, idxV: in.Args[1].V, idxImm: in.Args[1].Imm, imm: in.Args[1].IsImm}
+			if prev, ok := avail[k]; ok {
+				*in = Insn{Op: OpCopy, Dst: in.Dst, A: prev, Arr: -1, Site: SiteNone, Line: in.Line}
+				*eliminated++
+				redefine(in.Dst)
+				return
+			}
+			redefine(in.Dst)
+			avail[k] = in.Dst
+			return
+		}
+	}
+	redefine(in.Dst)
+}

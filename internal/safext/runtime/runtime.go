@@ -203,6 +203,15 @@ type Extension struct {
 	// toolchain's parse/typecheck/compile/sign (when the signed object
 	// carried them) plus the loader's validate and fixup.
 	LoadPhases exec.PhaseTimings
+
+	// coalesceFuel caches the fuel-coalescing decision at load time: the
+	// static bound, the configured budget, and the comparison between them
+	// are all invariants of the loaded extension, so deciding per Prepare
+	// call only added hot-path work to the build the decision is supposed
+	// to make faster. recordFuelElision is the stats recorder pre-bound to
+	// this program's cell for the same reason.
+	coalesceFuel      bool
+	recordFuelElision func()
 }
 
 // Load validates and installs a signed object: signature check, structural
@@ -242,6 +251,10 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 // install performs the load-time fixup on a deserialized object.
 func (rt *Runtime) install(obj *compile.Object) (*Extension, error) {
 	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, Checks: obj.Checks, maps: make(map[string]maps.Map)}
+	if b := ext.Checks.StaticInsnBound; b > 0 && rt.Cfg.Fuel > 0 && uint64(b) <= rt.Cfg.Fuel {
+		ext.coalesceFuel = true
+		ext.recordFuelElision = rt.Core.Stats.FuelElisionRecorder(ext.Name)
+	}
 
 	for _, spec := range obj.Maps {
 		mspec := maps.Spec{
@@ -408,13 +421,14 @@ func (ext *Extension) Prepare(opts RunOptions) *Prepared {
 
 	// Fuel coalescing: when the signed object proves a static instruction
 	// bound that fits the budget, the per-instruction fuel meter collapses
-	// into this one load-time comparison. The watchdog stays armed — the
-	// proof bounds instructions, defence in depth covers everything else.
+	// into one comparison made at load time (ext.coalesceFuel). The
+	// watchdog stays armed — the proof bounds instructions, defence in
+	// depth covers everything else.
 	fuel := rt.Cfg.Fuel
-	if b := ext.Checks.StaticInsnBound; b > 0 && fuel > 0 && uint64(b) <= fuel {
+	if ext.coalesceFuel {
 		fuel = 0
 		rt.stats.fuelElisions.Add(1)
-		rt.Core.Stats.RecordFuelElision(ext.Name)
+		ext.recordFuelElision()
 	}
 
 	p := &Prepared{ext: ext}

@@ -337,10 +337,12 @@ func slxDifferentialTrial(tb testing.TB, signer *toolchain.Signer, seed int64) {
 	rt := New(k, DefaultConfig())
 	rt.AddKey(signer.PublicKey())
 
-	// Every input runs twice: the naive build with every runtime check in
-	// place, and the analyzer-optimized build with proven checks elided.
-	// The two must be bit-identical in result AND trap verdict — elision is
-	// only sound if it is observationally invisible.
+	// Every input runs three times: the naive build with every runtime
+	// check in place, the analyzer-optimized (elided) build, and the full
+	// MIR-optimized build (fold/propagate, LICM, load elimination, register
+	// allocation). All three must be bit-identical in result AND trap
+	// verdict — an optimization is only sound if it is observationally
+	// invisible.
 	so, err := signer.BuildAndSign("fuzz-naive", src)
 	if err != nil {
 		tb.Fatalf("seed %d: build: %v\n%s", seed, err, src)
@@ -348,6 +350,10 @@ func slxDifferentialTrial(tb testing.TB, signer *toolchain.Signer, seed int64) {
 	soOpt, err := signer.BuildAndSignOptimized("fuzz-opt", src)
 	if err != nil {
 		tb.Fatalf("seed %d: build optimized: %v\n%s", seed, err, src)
+	}
+	soMIR, err := signer.BuildAndSignOptimizedMIR("fuzz-mir", src)
+	if err != nil {
+		tb.Fatalf("seed %d: build mir: %v\n%s", seed, err, src)
 	}
 	run := func(so *toolchain.SignedObject) *Verdict {
 		ext, err := rt.Load(so)
@@ -362,10 +368,16 @@ func slxDifferentialTrial(tb testing.TB, signer *toolchain.Signer, seed int64) {
 	}
 	v := run(so)
 	vOpt := run(soOpt)
+	vMIR := run(soMIR)
 	if v.Completed != vOpt.Completed || v.Terminated != vOpt.Terminated ||
 		v.R0 != vOpt.R0 || v.Reason != vOpt.Reason || v.TrapCode != vOpt.TrapCode {
 		tb.Fatalf("seed %d: naive and optimized builds diverged:\nnaive     %+v\noptimized %+v\n%s",
 			seed, v, vOpt, src)
+	}
+	if v.Completed != vMIR.Completed || v.Terminated != vMIR.Terminated ||
+		v.R0 != vMIR.R0 || v.Reason != vMIR.Reason || v.TrapCode != vMIR.TrapCode {
+		tb.Fatalf("seed %d: naive and MIR builds diverged:\nnaive %+v\nmir   %+v\n%s",
+			seed, v, vMIR, src)
 	}
 	if !v.Completed {
 		// Early returns and seeded zero-divisor traps make the final fold

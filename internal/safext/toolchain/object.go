@@ -37,6 +37,12 @@ var (
 	// the signed payload, so the signature vouches for what was proven,
 	// not just for the final instruction stream.
 	secChek = [4]byte{'C', 'H', 'E', 'K'}
+	// secOptm carries the optimization metadata: the level the object was
+	// built at and the MIR pipeline's rewrite counters. Also inside the
+	// signed payload — an operator auditing a fleet can see exactly how
+	// aggressively each object was transformed, with the signature vouching
+	// that the counters came from the toolchain that did the transforming.
+	secOptm = [4]byte{'O', 'P', 'T', 'M'}
 )
 
 // Serialize encodes a compiled object into the SLXO container.
@@ -126,6 +132,16 @@ func Serialize(obj *compile.Object) ([]byte, error) {
 		chekBuf.Write(v4[:])
 	}
 	section(secChek, chekBuf.Bytes())
+
+	var optmBuf bytes.Buffer
+	for _, n := range []int{
+		obj.Opt.Level, obj.Opt.Folded, obj.Opt.Hoisted, obj.Opt.LoadsEliminated,
+		obj.Opt.DeadRemoved, obj.Opt.BlocksRemoved, obj.Opt.Spills, obj.Opt.RegAssigned,
+	} {
+		le.PutUint32(v4[:], uint32(n))
+		optmBuf.Write(v4[:])
+	}
+	section(secOptm, optmBuf.Bytes())
 
 	return buf.Bytes(), nil
 }
@@ -252,6 +268,22 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 				}
 				el.Line = int(binary.LittleEndian.Uint32(v4[:]))
 				obj.Checks.Elisions = append(obj.Checks.Elisions, el)
+			}
+		case secOptm:
+			r := bytes.NewReader(body)
+			var v4 [4]byte
+			fields := [8]*int{
+				&obj.Opt.Level, &obj.Opt.Folded, &obj.Opt.Hoisted, &obj.Opt.LoadsEliminated,
+				&obj.Opt.DeadRemoved, &obj.Opt.BlocksRemoved, &obj.Opt.Spills, &obj.Opt.RegAssigned,
+			}
+			for _, dst := range fields {
+				if _, err := io.ReadFull(r, v4[:]); err != nil {
+					return nil, fmt.Errorf("toolchain: truncated OPTM section")
+				}
+				*dst = int(binary.LittleEndian.Uint32(v4[:]))
+			}
+			if r.Len() != 0 {
+				return nil, fmt.Errorf("toolchain: oversized OPTM section")
 			}
 		default:
 			return nil, fmt.Errorf("toolchain: unknown section %q", tag)

@@ -10,10 +10,12 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"fmt"
+	"strings"
 
 	"kex/internal/exec"
 	"kex/internal/safext/analyze"
 	"kex/internal/safext/compile"
+	"kex/internal/safext/compile/mir"
 	"kex/internal/safext/lang"
 )
 
@@ -123,6 +125,68 @@ func BuildOptimizedProfiled(name, src string) (*compile.Object, *analyze.Result,
 	return obj, facts, rec.Phases(), nil
 }
 
+// BuildOptimizedMIR compiles SLX source through the full optimizing
+// pipeline: the analyze pass's proofs plus the mid-level IR backend
+// (constant folding/propagation, loop-invariant code motion,
+// redundant-load elimination, linear-scan register allocation).
+func BuildOptimizedMIR(name, src string) (*compile.Object, error) {
+	obj, _, _, err := BuildOptimizedMIRProfiled(name, src)
+	return obj, err
+}
+
+// BuildOptimizedMIRProfiled is BuildOptimizedMIR with per-phase wall
+// timings and the raw analysis result.
+func BuildOptimizedMIRProfiled(name, src string) (*compile.Object, *analyze.Result, exec.PhaseTimings, error) {
+	rec := exec.NewPhaseRecorder()
+	f, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec.Mark("parse")
+	checked, err := lang.Check(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec.Mark("typecheck")
+	facts := analyze.Analyze(checked)
+	rec.Mark("analyze")
+	obj, err := compile.CompileWithOptions(name, checked, compile.Options{Facts: facts, Level: compile.OptMIR})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec.Mark("compile")
+	return obj, facts, rec.Phases(), nil
+}
+
+// DumpMIR renders every function's mid-level IR before and after
+// optimization, for inspection (`kexload -opt 2 -dump-mir`). The dump is
+// deterministic: two builds of the same source render identically.
+func DumpMIR(src string) (string, error) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	checked, err := lang.Check(f)
+	if err != nil {
+		return "", err
+	}
+	facts := analyze.Analyze(checked)
+	var sb strings.Builder
+	for _, fn := range checked.File.Funcs {
+		mf, err := mir.LowerFunc(fn, checked, facts)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "---- %s (lowered) ----\n%s", fn.Name, mf.String())
+		st := mir.Optimize(mf)
+		fmt.Fprintf(&sb, "---- %s (optimized) ----\n%s", fn.Name, mf.String())
+		al := mir.Allocate(mf)
+		fmt.Fprintf(&sb, "---- %s: folded %d, hoisted %d, loads eliminated %d, dead removed %d, spills %d\n",
+			fn.Name, st.Folded, st.Hoisted, st.LoadsEliminated, st.DeadRemoved, al.NumSpills)
+	}
+	return sb.String(), nil
+}
+
 // BuildAndSign runs the full pipeline and signs the result.
 func (s *Signer) BuildAndSign(name, src string) (*SignedObject, error) {
 	obj, phases, err := BuildProfiled(name, src)
@@ -144,6 +208,23 @@ func (s *Signer) BuildAndSign(name, src string) (*SignedObject, error) {
 // trusted for codegen itself.
 func (s *Signer) BuildAndSignOptimized(name, src string) (*SignedObject, error) {
 	obj, _, phases, err := BuildOptimizedProfiled(name, src)
+	if err != nil {
+		return nil, err
+	}
+	so, err := s.Sign(obj)
+	if err != nil {
+		return nil, err
+	}
+	so.Phases = append(phases, so.Phases...)
+	return so, nil
+}
+
+// BuildAndSignOptimizedMIR runs the MIR pipeline and signs the result.
+// The same trust argument as BuildAndSignOptimized extends to the
+// optimizer: the kernel loader accepts folded checks and rewritten code
+// because the toolchain that rewrote it is what the signature vouches for.
+func (s *Signer) BuildAndSignOptimizedMIR(name, src string) (*SignedObject, error) {
+	obj, _, phases, err := BuildOptimizedMIRProfiled(name, src)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package toolchain
 
 import (
+	"bytes"
+	"encoding/binary"
 	"reflect"
 	"strings"
 	"testing"
@@ -122,6 +124,89 @@ fn main() -> i64 {
 	}
 	if naive.Checks.Emitted() <= obj.Checks.Emitted() {
 		t.Fatalf("naive emitted %d checks, optimized emitted %d", naive.Checks.Emitted(), obj.Checks.Emitted())
+	}
+}
+
+// TestMIRBuildDeterministic: two level-2 builds of the same source must
+// produce byte-identical signed payloads — signature-based distribution
+// depends on it (the registry deduplicates by payload hash, and the mir
+// package sits in kexlint's DeterministicDirs for the same reason). The
+// OPTM section must also survive the round trip intact.
+func TestMIRBuildDeterministic(t *testing.T) {
+	const src = `
+map m: hash<u64, u64>(16);
+
+fn main() -> i64 {
+	let mut buf: [u8; 32];
+	let mut sum: i64 = 0;
+	for i in 0..16 {
+		let k = (i * 5) & 31;
+		buf[k] = k;
+		sum += buf[k] + kernel::map_get(m, k);
+	}
+	return sum;
+}
+`
+	a, err := BuildOptimizedMIR("det", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildOptimizedMIR("det", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Serialize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Serialize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa, pb) {
+		t.Fatal("two MIR builds of the same source serialize differently")
+	}
+	back, err := Deserialize(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Opt, a.Opt) {
+		t.Fatalf("OPTM did not round-trip:\n got %+v\nwant %+v", back.Opt, a.Opt)
+	}
+	if back.Opt.Level != 2 || back.Opt.Folded == 0 {
+		t.Fatalf("implausible optimization metadata: %+v", back.Opt)
+	}
+}
+
+// TestDeserializeRejectsCorruptOptm: the OPTM section is fixed-size; both
+// a short and a padded body must be rejected, not zero-filled or ignored.
+func TestDeserializeRejectsCorruptOptm(t *testing.T) {
+	obj, err := BuildOptimizedMIR("optm", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := Serialize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.LastIndex(payload, []byte("OPTM"))
+	if idx < 0 {
+		t.Fatal("no OPTM section in a level-2 payload")
+	}
+	// OPTM is the last section: rewrite its length and resize the body.
+	resize := func(n int) []byte {
+		p := append([]byte(nil), payload[:idx+8+n]...)
+		if grow := n - 32; grow > 0 {
+			p = append(payload[:len(payload):len(payload)], make([]byte, grow)...)
+		}
+		binary.LittleEndian.PutUint32(p[idx+4:], uint32(n))
+		return p
+	}
+	if _, err := Deserialize(resize(28)); err == nil || !strings.Contains(err.Error(), "truncated OPTM") {
+		t.Errorf("short OPTM body: err = %v", err)
+	}
+	if _, err := Deserialize(resize(36)); err == nil || !strings.Contains(err.Error(), "oversized OPTM") {
+		t.Errorf("padded OPTM body: err = %v", err)
 	}
 }
 
