@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz soundness bench bench-gap lint check clean
+.PHONY: all build vet test race fuzz soundness tv bench bench-gap lint check clean
 
 all: check
 
@@ -13,10 +13,17 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariant analyzers (internal/analysis/kexlint): RCU
-# read-lock balance, helper-spec effect declarations, and math/rand
-# determinism in replayable packages. Required in CI alongside go vet.
+# read-lock balance, helper-spec effect declarations, math/rand
+# determinism in replayable packages, and atomic/plain mixed field
+# access. Required in CI alongside go vet. staticcheck runs when
+# installed (CI installs it; locally it is optional, not vendored).
 lint: vet
 	$(GO) run ./cmd/kexlint -root .
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -41,6 +48,19 @@ soundness:
 	$(GO) test ./internal/analysis/statecheck/ ./internal/bugcorpus/
 	$(GO) test -run 'TestSoundnessFuzz' ./internal/ebpf/
 	$(GO) test -fuzz FuzzVerifierSoundness -fuzztime 15s -run '^$$' ./internal/ebpf/
+
+# Translation validation (DESIGN.md §3.8): the validator over the corpus
+# and examples at -opt 2 (zero demotions required), the mutant kill suite
+# (eleven seeded miscompilations behind -tags tvmutants, every one must be
+# rejected), the end-to-end fail-closed demotion path, and one pass of
+# BenchmarkTVal to regenerate BENCH_tval.json (per-program validation wall
+# time, certificate bytes, demotion rate; acceptance: corpus median
+# <250ms). Refinement counterexamples land in
+# internal/analysis/transval/tval_counterexamples/ for CI to upload.
+tv:
+	$(GO) test ./internal/analysis/transval/
+	$(GO) test -tags tvmutants ./internal/analysis/transval/ ./internal/safext/runtime/ ./internal/safext/compile/mir/
+	$(GO) test -run '^$$' -bench 'BenchmarkTVal' -benchtime 1x .
 
 # Regenerates BENCH_exec.json (the ExecCore family), BENCH_supervisor.json
 # (healthy-path overhead and time-to-recover of the supervised recovery
@@ -69,6 +89,7 @@ check: lint build test race
 
 
 clean:
-	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json BENCH_fleet.json
+	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json BENCH_fleet.json BENCH_tval.json
 	rm -rf internal/ebpf/statecheck_witnesses
+	rm -rf internal/analysis/transval/tval_counterexamples
 	$(GO) clean -testcache

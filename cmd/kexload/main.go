@@ -8,6 +8,7 @@
 //	kexload ext.slx              build, sign, load, run once
 //	kexload -n 5 ext.slx         run five invocations
 //	kexload -opt 2 ext.slx       build at optimization level 2 (MIR backend)
+//	kexload -opt 2 -tv strict ext.slx   fail the build if validation demoted it
 //	kexload -opt 2 -dump-mir -build-only ext.slx   inspect the mid-level IR
 //	kexload -build-only ext.slx  compile and print object info, don't run
 //	kexload -deny pkt_write_u8 ext.slx   signing policy denies a capability
@@ -43,6 +44,7 @@ func main() {
 	batch := flag.Int("batch", 16, "invocations per submitted batch in sharded mode")
 	opt := flag.Int("opt", 0, "optimization level: 0 naive, 1 analyzer elision, 2 MIR backend")
 	dumpMIR := flag.Bool("dump-mir", false, "print the mid-level IR before and after optimization (with -opt 2)")
+	tv := flag.String("tv", "on", "translation validation mode with -opt 2: on (demote on failure), strict (exit nonzero on demotion)")
 	var deny denyFlags
 	flag.Var(&deny, "deny", "capability the signing policy refuses (repeatable)")
 	flag.Parse()
@@ -92,6 +94,22 @@ func main() {
 		o := obj.Opt
 		fmt.Printf("mir: folded %d, hoisted %d, loads eliminated %d, dead removed %d, regs %d, spills %d\n",
 			o.Folded, o.Hoisted, o.LoadsEliminated, o.DeadRemoved, o.RegAssigned, o.Spills)
+		if *tv != "on" && *tv != "strict" {
+			fmt.Fprintf(os.Stderr, "kexload: unknown -tv mode %q (want on or strict)\n", *tv)
+			os.Exit(2)
+		}
+		switch cert := obj.TVal; {
+		case cert == nil:
+			fmt.Println("transval: no certificate")
+		case cert.Demoted:
+			fmt.Printf("transval: FAILED, demoted to -opt 1: %s\n", cert.Reason)
+			if *tv == "strict" {
+				os.Exit(1)
+			}
+		default:
+			fmt.Printf("transval: refinement proven over %d vectors (%d bounded), %d funcs, %.2fms\n",
+				cert.Vectors, cert.Bounded, len(cert.Funcs), float64(cert.WallNanos)/1e6)
+		}
 	}
 	if *buildOnly {
 		return
@@ -153,6 +171,11 @@ func main() {
 				fmt.Printf("  trace: %s\n", t)
 			}
 		}
+	}
+	snap := rt.Core.Stats.Snapshot()
+	if ps, ok := snap.Programs[ext.Name]; ok && ps.TVDemotions > 0 {
+		fmt.Printf("stats: %d translation-validation demotions (last: %s)\n",
+			ps.TVDemotions, ps.LastTVDemotionReason)
 	}
 	if k.Healthy() {
 		fmt.Println("kernel healthy.")

@@ -68,6 +68,7 @@ func TestMain(m *testing.M) {
 	writeStatecheckBench()
 	writeThroughputBench()
 	writeFleetBench()
+	writeTValBench()
 	os.Exit(code)
 }
 

@@ -1,0 +1,128 @@
+package kexlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// atomicMix flags struct fields that a package updates through sync/atomic
+// pointer calls (atomic.AddUint64(&s.hits, 1)) while other statements in
+// the same package read or write the same field with plain loads/stores.
+// A mixed-access field has no happens-before edge on the plain side: the
+// race detector only catches the interleavings a test happens to produce,
+// and on weakly-ordered hardware the plain read can observe a stale value
+// forever. The sanctioned idioms are all-atomic access or the typed
+// atomic.Uint64 family, whose method calls make mixing impossible.
+//
+// Keying is by field name within one package: kexlint is type-check-free
+// (stdlib go/ast only), and a package that atomically updates a field
+// named hits while plainly writing a *different* hits is at best asking
+// for the confusion this checker exists to prevent. Test files are exempt
+// on the plain-access side — a _test.go reading counters after the
+// goroutines it started have been joined is the normal idiom.
+func atomicMix(fset *token.FileSet, d *dir) []Finding {
+	// Pass 1: fields whose address is taken by a sync/atomic call, plus
+	// the exact argument nodes so pass 2 does not flag the atomic sites
+	// themselves.
+	atomicFields := map[string]token.Position{}
+	exempt := map[*ast.SelectorExpr]bool{}
+	for path, f := range d.files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		an := importName(f, "sync/atomic")
+		if an == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != an {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				fsel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if _, seen := atomicFields[fsel.Sel.Name]; !seen {
+					atomicFields[fsel.Sel.Name] = fset.Position(fsel.Pos())
+				}
+				exempt[fsel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain selector accesses to those fields. Method invocations
+	// (x.hits() where hits is a method) are skipped by excluding selectors
+	// in call-function position.
+	var out []Finding
+	for path, f := range d.files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		callFuns := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					callFuns[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] || callFuns[sel] {
+				return true
+			}
+			// Package-qualified names (pkg.Symbol) are not field accesses.
+			if id, ok := sel.X.(*ast.Ident); ok && id.Obj == nil && isImportedName(f, id.Name) {
+				return true
+			}
+			if _, hot := atomicFields[sel.Sel.Name]; !hot {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:     fset.Position(sel.Pos()),
+				Checker: "atomicmix",
+				Message: "field " + sel.Sel.Name + " is updated via sync/atomic elsewhere in this package but accessed with a plain load/store here; use atomic access (or the typed atomic.Uint64 family) on every path",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isImportedName reports whether name is the local name of one of the
+// file's imports.
+func isImportedName(f *ast.File, name string) bool {
+	for _, imp := range f.Imports {
+		if imp.Name != nil {
+			if imp.Name.Name == name {
+				return true
+			}
+			continue
+		}
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p[strings.LastIndex(p, "/")+1:] == name {
+			return true
+		}
+	}
+	return false
+}

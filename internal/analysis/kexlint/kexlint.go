@@ -16,6 +16,10 @@
 //     state (fault-injection campaigns, synthetic call-graph generation)
 //     must not touch math/rand global state; constructors like rand.New and
 //     rand.NewSource are the sanctioned idiom.
+//   - atomicmix: a struct field updated through sync/atomic pointer calls
+//     must never also be accessed with plain loads/stores in the same
+//     package — the plain side has no happens-before edge and reads stale
+//     values on weakly-ordered hardware.
 //
 // The package is stdlib-only (go/ast, go/parser, go/token) so it runs in CI
 // with no module downloads.
@@ -45,7 +49,8 @@ func (f Finding) String() string {
 
 // Config selects the tree to analyze and which directories carry the
 // directory-scoped invariants. Directory entries match a path relative to
-// Root (slash-separated) either exactly or as a trailing suffix.
+// Root (slash-separated) exactly, as a trailing suffix, or as an ancestor:
+// listing internal/safext/compile covers its nested subpackages too.
 type Config struct {
 	Root string
 	// DeterministicDirs must not use math/rand global state.
@@ -57,8 +62,14 @@ type Config struct {
 // DefaultConfig is the repo-wide configuration used by `make lint`.
 func DefaultConfig(root string) Config {
 	return Config{
-		Root:              root,
-		DeterministicDirs: []string{"internal/faultinject", "internal/kernel/callgraph", "internal/analysis/statecheck", "internal/registry", "internal/fleet", "internal/safext/compile/mir"},
+		Root: root,
+		// internal/safext/compile covers the whole compiler including the
+		// mir subpackage (matchDir descends into nested subpackages);
+		// internal/analysis/transval is listed because validation results
+		// feed build decisions and certificates — a nondeterministic
+		// validator would make the same source demote on one build host
+		// and validate on another.
+		DeterministicDirs: []string{"internal/faultinject", "internal/kernel/callgraph", "internal/analysis/statecheck", "internal/analysis/transval", "internal/registry", "internal/fleet", "internal/safext/compile"},
 		HelperDirs:        []string{"internal/ebpf/helpers"},
 	}
 }
@@ -81,6 +92,7 @@ func Run(cfg Config) ([]Finding, error) {
 	var out []Finding
 	for _, d := range dirs {
 		out = append(out, rcuBalance(fset, d)...)
+		out = append(out, atomicMix(fset, d)...)
 		if matchDir(d.rel, cfg.HelperDirs) {
 			out = append(out, helperEffects(fset, d)...)
 		}
@@ -104,6 +116,12 @@ func Run(cfg Config) ([]Finding, error) {
 func matchDir(rel string, dirs []string) bool {
 	for _, d := range dirs {
 		if rel == d || strings.HasSuffix(rel, "/"+d) {
+			return true
+		}
+		// Nested subpackages of a listed directory inherit its invariant:
+		// the listed path as a leading prefix (rooted tree) or enclosed by
+		// slashes (suffix-matched tree).
+		if strings.HasPrefix(rel, d+"/") || strings.Contains(rel, "/"+d+"/") {
 			return true
 		}
 	}

@@ -48,6 +48,22 @@ func TestFixtureViolations(t *testing.T) {
 		t.Errorf("unexpected helpereffects finding: %v", he[0])
 	}
 
+	am := findingsBy(t, "atomicmix", all)
+	if len(am) != 2 {
+		t.Fatalf("atomicmix findings = %v, want the plain hits load and the plain misses store", am)
+	}
+	amMsgs := am[0].Message + " " + am[1].Message
+	for _, want := range []string{"hits", "misses"} {
+		if !strings.Contains(amMsgs, want) {
+			t.Errorf("atomicmix missed field %s: %v", want, am)
+		}
+	}
+	for _, f := range am {
+		if !strings.HasSuffix(f.Pos.Filename, "counter.go") {
+			t.Errorf("atomicmix finding outside the fixture: %v", f)
+		}
+	}
+
 	rd := findingsBy(t, "randdeterminism", all)
 	if len(rd) != 3 {
 		t.Fatalf("randdeterminism findings = %v, want Seed, Intn and the trace-hook Int63n", rd)
@@ -59,8 +75,8 @@ func TestFixtureViolations(t *testing.T) {
 		}
 	}
 
-	if len(all) != 5 {
-		t.Errorf("total findings = %d, want 5: %v", len(all), all)
+	if len(all) != 7 {
+		t.Errorf("total findings = %d, want 7: %v", len(all), all)
 	}
 }
 
@@ -104,6 +120,11 @@ func TestDirMatching(t *testing.T) {
 		{"repo/internal/faultinject", []string{"internal/faultinject"}, true},
 		{"internal/faultinject2", []string{"internal/faultinject"}, false},
 		{"internal", []string{"internal/faultinject"}, false},
+		// Nested subpackages of a listed directory inherit the invariant.
+		{"internal/safext/compile/mir", []string{"internal/safext/compile"}, true},
+		{"repo/internal/safext/compile/mir", []string{"internal/safext/compile"}, true},
+		{"internal/safext/compiler", []string{"internal/safext/compile"}, false},
+		{"internal/safext", []string{"internal/safext/compile"}, false},
 	}
 	for _, c := range cases {
 		if got := matchDir(c.rel, c.dirs); got != c.want {

@@ -1,0 +1,32 @@
+// Package atomics seeds atomicmix violations: hits and misses are updated
+// atomically, then hits is read plainly and misses is written plainly.
+package atomics
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+	cold   uint64
+}
+
+func (s *stats) bump() {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&s.misses, 1)
+}
+
+// read is a violation: plain load of an atomically-updated field.
+func (s *stats) read() uint64 {
+	return s.hits
+}
+
+// reset is a violation: plain store to an atomically-updated field.
+func (s *stats) reset() {
+	s.misses = 0
+}
+
+// fine uses atomic access on every path, and cold is never atomic at all.
+func (s *stats) fine() uint64 {
+	s.cold++
+	return atomic.LoadUint64(&s.hits)
+}

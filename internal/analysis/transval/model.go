@@ -1,0 +1,237 @@
+package transval
+
+import (
+	"fmt"
+
+	"kex/internal/safext/compile/mir"
+	"kex/internal/safext/lang"
+)
+
+// The observable-effect model. Refinement compares verdicts and the
+// ordered effect log; the log records everything the kernel could observe:
+// keyed-map writes, ring-buffer emits, lock transitions, traces, packet
+// writes, and every other crate call — the optimizer never removes,
+// duplicates, or hoists a crate call, so a 1:1 ordered match is the sound
+// requirement. The single exception is map_get, which redundant-load
+// elimination may legally remove for hash/array maps: map_get is *not*
+// logged, and its value matters only through dataflow. Gets on
+// percpu/percpu_hash maps return a fresh value per (map, key) occurrence —
+// a volatile stream — so a build that illegally caches them diverges.
+
+type effect struct {
+	name string
+	args []uint64
+}
+
+func (e effect) equal(o *effect) bool {
+	if e.name != o.name || len(e.args) != len(o.args) {
+		return false
+	}
+	for i := range e.args {
+		if e.args[i] != o.args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e effect) String() string {
+	return fmt.Sprintf("%s%v", e.name, e.args)
+}
+
+type world struct {
+	seed uint64
+	pal  []uint64
+	fuel int
+	args []uint64 // current activation's parameters
+
+	maps    map[string]map[uint64]uint64 // keyed-map store (writes are logged)
+	occ     map[string]map[uint64]uint64 // per-(map,key) percpu get occurrence
+	seq     map[string]uint64            // per-name volatile call sequence
+	effects []effect
+}
+
+func newWorld(seed uint64, pal []uint64, fuel int) *world {
+	return &world{
+		seed: seed,
+		pal:  pal,
+		fuel: fuel,
+		maps: make(map[string]map[uint64]uint64),
+		occ:  make(map[string]map[uint64]uint64),
+		seq:  make(map[string]uint64),
+	}
+}
+
+func (w *world) log(name string, args ...uint64) {
+	w.effects = append(w.effects, effect{name: name, args: args})
+}
+
+func (w *world) mapOf(sym string) map[uint64]uint64 {
+	mp := w.maps[sym]
+	if mp == nil {
+		mp = make(map[uint64]uint64)
+		w.maps[sym] = mp
+	}
+	return mp
+}
+
+// pick is the volatile-value source: palette-biased for realistic
+// branch/bounds coverage, raw for width, deterministic in (seed, inputs).
+func (w *world) pick(inputs ...uint64) uint64 {
+	raw := mix(append([]uint64{w.seed}, inputs...)...)
+	if raw&3 == 0 {
+		return raw
+	}
+	return w.pal[raw%uint64(len(w.pal))]
+}
+
+// shapeRet matches each crate call's natural result width/shape so model
+// values stay in the range the real helper produces — otherwise every
+// derived array index would trap and coverage would collapse.
+func shapeRet(name string, v uint64) uint64 {
+	switch name {
+	case "pkt_read_u8":
+		return v & 0xff
+	case "pkt_read_u16":
+		return v & 0xffff
+	case "pkt_read_u32":
+		return v & 0xffffffff
+	case "pkt_len":
+		return v%1486 + 14
+	case "cpu":
+		return v & 7
+	case "uid":
+		return v & 0xffff
+	case "sk_lookup_tcp", "sk_lookup_udp", "mem_alloc":
+		return v | 1 // nonzero handle
+	case "sk_ok", "str_eq":
+		return v & 1
+	}
+	return v
+}
+
+func percpuKind(kind string) bool {
+	return kind == "percpu" || kind == "percpu_hash"
+}
+
+// crate models one kernel-crate call. Resolved integer arguments, string
+// hashes, map-name hashes and buffer-content hashes identify the call in
+// the effect log; writable buffers are deterministically overwritten, the
+// same conservative assumption the optimizer makes.
+func (m *machine) crate(fr *frame, in *mir.Insn) (uint64, *stop) {
+	m.w.fuel -= 3 // calls are pricier than ALU steps
+	vals := make([]uint64, len(in.Args))
+	var bufs []int
+	for i := range in.Args {
+		a := &in.Args[i]
+		switch {
+		case a.IsImm:
+			vals[i] = uint64(a.Imm)
+		case a.Kind == lang.CrateStr:
+			vals[i] = hashStr(a.Str)
+		case a.Kind == lang.CrateMap:
+			vals[i] = hashStr(a.Sym)
+		case a.Kind == lang.CrateBuf:
+			vals[i] = hashBytes(fr.arrs[a.Arr])
+			bufs = append(bufs, a.Arr)
+		default: // CrateInt, CrateSock
+			v, ok := fr.read(a.V)
+			if !ok {
+				return 0, &stop{kind: stopErr, msg: fmt.Sprintf("crate arg reads unallocated v%d", a.V)}
+			}
+			vals[i] = v
+		}
+	}
+
+	// Keyed-map calls: stateful store, writes logged.
+	if len(in.Args) > 0 && in.Args[0].Kind == lang.CrateMap {
+		sym := in.Args[0].Sym
+		switch in.Name {
+		case "map_get":
+			if len(vals) < 2 {
+				return 0, &stop{kind: stopErr, msg: "map_get with missing key"}
+			}
+			key := vals[1]
+			if percpuKind(fr.f.MapKinds[sym]) {
+				ko := m.w.occ[sym]
+				if ko == nil {
+					ko = make(map[uint64]uint64)
+					m.w.occ[sym] = ko
+				}
+				ko[key]++
+				return m.w.pick(hashStr("percpu-get"), hashStr(sym), key, ko[key]), nil
+			}
+			return m.w.mapOf(sym)[key], nil
+		case "map_set":
+			if len(vals) < 3 {
+				return 0, &stop{kind: stopErr, msg: "map_set with missing args"}
+			}
+			m.w.mapOf(sym)[vals[1]] = vals[2]
+			m.w.log("map_set", vals...)
+			return 0, nil
+		case "map_del":
+			if len(vals) < 2 {
+				return 0, &stop{kind: stopErr, msg: "map_del with missing key"}
+			}
+			delete(m.w.mapOf(sym), vals[1])
+			m.w.log("map_del", vals...)
+			return 0, nil
+		case "map_inc":
+			if len(vals) < 3 {
+				return 0, &stop{kind: stopErr, msg: "map_inc with missing args"}
+			}
+			mp := m.w.mapOf(sym)
+			mp[vals[1]] += vals[2]
+			m.w.log("map_inc", vals...)
+			return mp[vals[1]], nil
+		}
+	}
+
+	// Everything else: logged, uninterpreted-but-deterministic result from
+	// a per-name volatile sequence; writable buffers rewritten.
+	m.w.seq[in.Name]++
+	seqNo := m.w.seq[in.Name]
+	m.w.log(in.Name, vals...)
+	for _, arr := range bufs {
+		buf := fr.arrs[arr]
+		for i := range buf {
+			buf[i] = byte(mix(m.w.seed, hashStr(in.Name), seqNo, uint64(i)))
+		}
+	}
+	raw := m.w.pick(append([]uint64{hashStr(in.Name), seqNo}, vals...)...)
+	return shapeRet(in.Name, raw), nil
+}
+
+// ---- deterministic hashing --------------------------------------------------
+
+// mix is splitmix64 over a FNV-style accumulation of the inputs.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= v
+		h *= 0x100000001b3
+		z := h + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+	}
+	return h
+}
+
+func hashStr(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}

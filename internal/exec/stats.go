@@ -49,6 +49,9 @@ type progCell struct {
 	elidedChecks  atomic.Uint64
 	fuelElisions  atomic.Uint64
 
+	tvDemotions    atomic.Uint64
+	lastTVDemotion atomic.Pointer[string]
+
 	helperCalls sync.Map // helper name -> *atomic.Uint64
 	transitions sync.Map // "from->to" -> *atomic.Uint64
 }
@@ -109,6 +112,13 @@ type ProgramStats struct {
 	DynamicChecks uint64
 	ElidedChecks  uint64
 	FuelElisions  uint64
+
+	// Translation-validation accounting: loads of this program whose OptMIR
+	// build failed refinement and was demoted to the analyzer-only backend,
+	// and the most recent refutation. A fleet running with -tv=strict treats
+	// any nonzero TVDemotions as a deploy blocker.
+	TVDemotions          uint64
+	LastTVDemotionReason string
 }
 
 // CPUStats aggregates every invocation dispatched on one CPU.
@@ -142,6 +152,15 @@ func (s *Stats) RecordChecks(program string, dynamic, elided uint64) {
 	ps := s.prog(program)
 	ps.dynamicChecks.Store(dynamic)
 	ps.elidedChecks.Store(elided)
+}
+
+// RecordTVDemotion accounts one load whose OptMIR build failed translation
+// validation and fell back to OptElide, retaining the refutation text so an
+// operator can see *what* the optimizer got wrong, not just that it did.
+func (s *Stats) RecordTVDemotion(program, reason string) {
+	ps := s.prog(program)
+	ps.tvDemotions.Add(1)
+	ps.lastTVDemotion.Store(&reason)
 }
 
 // RecordFuelElision accounts one invocation that ran without fuel metering
@@ -277,6 +296,10 @@ func (s *Stats) Snapshot() Snapshot {
 		if p := c.lastReloadErr.Load(); p != nil {
 			lastReload = *p
 		}
+		var lastTV string
+		if p := c.lastTVDemotion.Load(); p != nil {
+			lastTV = *p
+		}
 		snap.Programs[k.(string)] = ProgramStats{
 			Invocations:     c.invocations.Load(),
 			Errors:          c.errors.Load(),
@@ -297,6 +320,9 @@ func (s *Stats) Snapshot() Snapshot {
 			DynamicChecks:   c.dynamicChecks.Load(),
 			ElidedChecks:    c.elidedChecks.Load(),
 			FuelElisions:    c.fuelElisions.Load(),
+
+			TVDemotions:          c.tvDemotions.Load(),
+			LastTVDemotionReason: lastTV,
 		}
 		return true
 	})
@@ -338,6 +364,10 @@ func (snap Snapshot) Totals() ProgramStats {
 		t.DynamicChecks += ps.DynamicChecks
 		t.ElidedChecks += ps.ElidedChecks
 		t.FuelElisions += ps.FuelElisions
+		t.TVDemotions += ps.TVDemotions
+		if ps.LastTVDemotionReason != "" {
+			t.LastTVDemotionReason = ps.LastTVDemotionReason
+		}
 		for h, n := range ps.HelperCalls {
 			if t.HelperCalls == nil {
 				t.HelperCalls = make(map[string]uint64)

@@ -56,6 +56,11 @@ type Object struct {
 	// the MIR pipeline did (all zero for level <2 builds). Serialized into
 	// the container's OPTM section, under the signature.
 	Opt OptStats
+	// TVal is the translation-validation certificate (nil for builds the
+	// validator never saw). Serialized into the container's TVAL section,
+	// under the signature; the kernel-side loader refuses OptMIR objects
+	// without a validated certificate.
+	TVal *TValCert
 }
 
 // Optimization levels. OptElide is what a Facts-carrying build always did;
@@ -81,6 +86,10 @@ type Options struct {
 	// backend (the effective level is decided by Facts being present);
 	// OptMIR routes through package mir.
 	Level int
+	// KeepMIR, when non-nil, receives each function's MIR evidence triple
+	// (naive lowering, optimized IR, register assignment) as the MIR
+	// backend compiles it — the translation validator's input.
+	KeepMIR *[]MIRFuncArtifact
 }
 
 // OptStats summarizes one object's optimization pipeline for the audit
@@ -169,6 +178,7 @@ func CompileWithOptions(name string, checked *lang.Checked, opts Options) (*Obje
 		obj:     &Object{Name: name},
 		funcPCs: make(map[string]int32),
 		facts:   opts.Facts,
+		keepMIR: opts.KeepMIR,
 	}
 	if opts.Facts != nil {
 		c.obj.Checks.StaticInsnBound = opts.Facts.FuelBound
@@ -267,6 +277,9 @@ type compiler struct {
 	callFixes []callFix
 	// facts are the analyze pass's proofs; nil in naive builds.
 	facts *analyze.Result
+	// keepMIR receives per-function MIR artifacts for the translation
+	// validator; nil when the caller doesn't validate.
+	keepMIR *[]MIRFuncArtifact
 }
 
 // indexProven reports whether the bounds check at this access site was

@@ -1,0 +1,42 @@
+package mir
+
+// Clone returns a deep copy of the function. The translation validator
+// keeps a clone of the freshly-lowered (naive) IR before Optimize mutates
+// it in place, so the refinement check has both sides of every build.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:     f.Name,
+		NParams:  f.NParams,
+		NumVRegs: f.NumVRegs,
+		Sites:    append([]Site(nil), f.Sites...),
+		Arrays:   append([]int64(nil), f.Arrays...),
+	}
+	if f.MapKinds != nil {
+		nf.MapKinds = make(map[string]string, len(f.MapKinds))
+		for k, v := range f.MapKinds {
+			nf.MapKinds[k] = v
+		}
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Term: b.Term}
+		nb.Insns = make([]Insn, len(b.Insns))
+		copy(nb.Insns, b.Insns)
+		for i := range nb.Insns {
+			if nb.Insns[i].Args != nil {
+				nb.Insns[i].Args = append([]Arg(nil), nb.Insns[i].Args...)
+			}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+		nf.registerBlock(nb)
+	}
+	for _, l := range f.Loops {
+		nf.Loops = append(nf.Loops, &Loop{
+			Preheader: l.Preheader,
+			Header:    l.Header,
+			Latch:     l.Latch,
+			Exit:      l.Exit,
+			Blocks:    append([]BlockID(nil), l.Blocks...),
+		})
+	}
+	return nf
+}

@@ -58,6 +58,8 @@ func (f *Func) sideEffectFree(in *Insn) bool {
 		return true
 	case OpBin, OpArrLoad:
 		return in.Site == SiteNone || f.Sites[in.Site].State != SiteEmit
+	case OpCallCrate:
+		return mutantActive("dce-effectful") && in.Name == "map_set"
 	}
 	return false
 }
@@ -126,8 +128,10 @@ func sweep(f *Func) int {
 			continue
 		}
 		dropped++
-		for i := range b.Insns {
-			f.flipSite(b.Insns[i].Site)
+		if !mutantActive("sweep-ledger-leak") {
+			for i := range b.Insns {
+				f.flipSite(b.Insns[i].Site)
+			}
 		}
 		delete(f.byID, b.ID)
 	}
@@ -156,6 +160,7 @@ func thread(f *Func) {
 			seen++
 		}
 	}
+	swapped := false
 	for _, b := range f.Blocks {
 		switch b.Term.Kind {
 		case TermJmp:
@@ -163,6 +168,10 @@ func thread(f *Func) {
 		case TermCond:
 			b.Term.To = resolve(b.Term.To)
 			b.Term.Else = resolve(b.Term.Else)
+			if mutantActive("thread-wrong-edge") && !swapped && b.Term.To != b.Term.Else {
+				b.Term.To, b.Term.Else = b.Term.Else, b.Term.To
+				swapped = true
+			}
 		}
 	}
 }

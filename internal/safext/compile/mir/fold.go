@@ -85,6 +85,9 @@ func commutative(op string) bool {
 func evalBin(op string, a, b uint64) (uint64, bool) {
 	switch op {
 	case "+":
+		if s := a + b; mutantActive("fold-overflow") && s < a {
+			return ^uint64(0), true
+		}
 		return a + b, true
 	case "-":
 		return a - b, true
@@ -227,7 +230,7 @@ func (fc *foldCtx) rewrite(in *Insn) int {
 			if fc.subst(&in.A) {
 				n++
 			}
-			if c, ok := fc.constOf(in.A); ok && c >= 0 && c < fc.f.Arrays[in.Arr] {
+			if c, ok := fc.constOf(in.A); ok && (mutantActive("drop-bounds-check") || (c >= 0 && c < fc.f.Arrays[in.Arr])) {
 				in.IdxIsImm, in.IdxImm = true, c
 				fc.f.flipSite(in.Site)
 				n++
@@ -375,7 +378,11 @@ func (fc *foldCtx) rewriteBin(in *Insn) int {
 	if bConst && !in.BIsImm {
 		switch in.Bin {
 		case "<<", ">>":
-			in.BIsImm, in.BImm, in.B = true, int64(uint64(cb)&63), 0
+			mask := uint64(63)
+			if mutantActive("fold-shift-mask-wrong") {
+				mask = 31
+			}
+			in.BIsImm, in.BImm, in.B = true, int64(uint64(cb)&mask), 0
 			fc.f.flipSite(in.Site)
 			n++
 		case "/", "%":
@@ -436,6 +443,9 @@ func (fc *foldCtx) rewriteCmp(in *Insn) int {
 	}
 	if bConst && !in.BIsImm && fitsInt32(cb) {
 		in.BIsImm, in.BImm, in.B = true, cb, 0
+		if mutantActive("cmp-sign-swap") {
+			in.Signed = !in.Signed
+		}
 		n++
 	}
 	return n
@@ -483,6 +493,9 @@ func (fc *foldCtx) rewriteTerm(t *Terminator) int {
 		}
 		if bConst && !t.BIsImm && fitsInt32(cb) {
 			t.BIsImm, t.BImm, t.B = true, cb, 0
+			if mutantActive("cmp-sign-swap") {
+				t.Signed = !t.Signed
+			}
 			n++
 		}
 	case TermRet:

@@ -112,7 +112,7 @@ func (f *Func) hoistable(in *Insn, defsIn map[VReg]bool, arrWritten map[int]bool
 		})
 		return ok
 	case OpArrLoad:
-		if arrWritten[in.Arr] {
+		if arrWritten[in.Arr] && !mutantActive("licm-past-store") {
 			return false
 		}
 		ok := true

@@ -71,5 +71,6 @@ func Optimize(f *Func) Stats {
 	}
 	thread(f)
 	st.BlocksRemoved += sweep(f)
+	applyMutantReorder(f)
 	return st
 }

@@ -199,6 +199,19 @@ func Allocate(f *Func) *Alloc {
 		}
 		// Spill the interval that ends furthest away.
 		last := active[len(active)-1]
+		if mutantActive("regalloc-clobber") {
+			// Steal the register without spilling its owner: both intervals
+			// are live and share one callee-saved register.
+			al.Reg[iv.v] = al.Reg[last.v]
+			active = append(active, iv)
+			sort.Slice(active, func(a, b int) bool {
+				if active[a].end != active[b].end {
+					return active[a].end < active[b].end
+				}
+				return active[a].v < active[b].v
+			})
+			continue
+		}
 		if last.end > iv.end {
 			al.Reg[iv.v] = al.Reg[last.v]
 			spill(last.v)

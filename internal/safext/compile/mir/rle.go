@@ -115,7 +115,7 @@ func (f *Func) rleCrateCall(b *Block, i int, avail map[loadKey]VReg,
 
 	if in.Name == "map_get" && len(in.Args) == 2 {
 		sym := in.Args[0].Sym
-		if kind := f.MapKinds[sym]; kind == "hash" || kind == "array" {
+		if kind := f.MapKinds[sym]; kind == "hash" || kind == "array" || mutantActive("rle-percpu") {
 			k := loadKey{isMap: true, sym: sym, idxV: in.Args[1].V, idxImm: in.Args[1].Imm, imm: in.Args[1].IsImm}
 			if prev, ok := avail[k]; ok {
 				*in = Insn{Op: OpCopy, Dst: in.Dst, A: prev, Arr: -1, Site: SiteNone, Line: in.Line}

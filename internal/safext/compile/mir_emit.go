@@ -25,8 +25,15 @@ func (c *compiler) compileFuncMIR(fn *lang.FuncDecl) error {
 		}
 		return err
 	}
+	var naive *mir.Func
+	if c.keepMIR != nil {
+		naive = f.Clone()
+	}
 	st := mir.Optimize(f)
 	al := mir.Allocate(f)
+	if c.keepMIR != nil {
+		*c.keepMIR = append(*c.keepMIR, MIRFuncArtifact{Name: fn.Name, Naive: naive, Opt: f, Alloc: al})
+	}
 	st.Spills = al.NumSpills
 	for _, r := range al.Reg {
 		if r >= 0 {

@@ -30,6 +30,12 @@ import (
 // enrolled key.
 var ErrBadSignature = errors.New("safext: signature validation failed")
 
+// ErrUnvalidatedOptimizer rejects an OptMIR object whose translation-
+// validation certificate is missing, unvalidated, or marks a demotion that
+// the toolchain should have resolved by rebuilding at OptElide. The loader
+// refuses to run optimizer output nothing vouched for.
+var ErrUnvalidatedOptimizer = errors.New("safext: OptMIR object lacks a valid translation-validation certificate")
+
 // Config tunes the runtime protections.
 type Config struct {
 	// Fuel bounds instructions per invocation; 0 disables (not
@@ -199,6 +205,12 @@ type Extension struct {
 	// away, and the static instruction bound (0 = unbounded).
 	Checks compile.CheckStats
 
+	// TVal is the translation-validation certificate from the signed
+	// object's TVAL section: proof metadata for OptMIR builds, a demotion
+	// record (with the refutation) for builds the validator rejected, nil
+	// for pre-validator or analyzer-only objects.
+	TVal *compile.TValCert
+
 	// LoadPhases times the Figure 5 pipeline for this extension: the
 	// toolchain's parse/typecheck/compile/sign (when the signed object
 	// carried them) plus the loader's validate and fixup.
@@ -236,6 +248,11 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 	if err != nil {
 		return nil, err
 	}
+	if obj.Opt.Level >= compile.OptMIR {
+		if tv := obj.TVal; tv == nil || !tv.Validated || tv.Demoted {
+			return nil, ErrUnvalidatedOptimizer
+		}
+	}
 	ext, err := rt.install(obj)
 	if err != nil {
 		return nil, err
@@ -245,12 +262,15 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 	ext.LoadPhases = append(append(exec.PhaseTimings(nil), so.Phases...), rec.Phases()...)
 	rt.Core.Stats.RecordLoad(ext.Name, ext.LoadPhases)
 	rt.Core.Stats.RecordChecks(ext.Name, uint64(ext.Checks.Emitted()), uint64(ext.Checks.Elided()))
+	if tv := ext.TVal; tv != nil && tv.Demoted {
+		rt.Core.Stats.RecordTVDemotion(ext.Name, tv.Reason)
+	}
 	return ext, nil
 }
 
 // install performs the load-time fixup on a deserialized object.
 func (rt *Runtime) install(obj *compile.Object) (*Extension, error) {
-	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, Checks: obj.Checks, maps: make(map[string]maps.Map)}
+	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, Checks: obj.Checks, TVal: obj.TVal, maps: make(map[string]maps.Map)}
 	if b := ext.Checks.StaticInsnBound; b > 0 && rt.Cfg.Fuel > 0 && uint64(b) <= rt.Cfg.Fuel {
 		ext.coalesceFuel = true
 		ext.recordFuelElision = rt.Core.Stats.FuelElisionRecorder(ext.Name)

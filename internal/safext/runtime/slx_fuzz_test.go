@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"kex/internal/kernel"
+	"kex/internal/safext/compile"
 	"kex/internal/safext/toolchain"
 )
 
@@ -354,6 +355,22 @@ func slxDifferentialTrial(tb testing.TB, signer *toolchain.Signer, seed int64) {
 	soMIR, err := signer.BuildAndSignOptimizedMIR("fuzz-mir", src)
 	if err != nil {
 		tb.Fatalf("seed %d: build mir: %v\n%s", seed, err, src)
+	}
+	// Verdict equality alone no longer closes the oracle: the MIR build
+	// must also carry a valid translation-validation certificate, and a
+	// fuzz input the validator demotes is a validator-precision bug worth
+	// failing on (the optimizer corpus demotion rate is pinned at zero).
+	mirObj, err := toolchain.Deserialize(soMIR.Payload)
+	if err != nil {
+		tb.Fatalf("seed %d: deserialize mir: %v", seed, err)
+	}
+	switch {
+	case mirObj.TVal == nil:
+		tb.Fatalf("seed %d: MIR build carries no translation-validation certificate\n%s", seed, src)
+	case mirObj.TVal.Demoted:
+		tb.Fatalf("seed %d: MIR build demoted by translation validation: %s\n%s", seed, mirObj.TVal.Reason, src)
+	case mirObj.Opt.Level == compile.OptMIR && !mirObj.TVal.Validated:
+		tb.Fatalf("seed %d: OptMIR object with unvalidated certificate\n%s", seed, src)
 	}
 	run := func(so *toolchain.SignedObject) *Verdict {
 		ext, err := rt.Load(so)

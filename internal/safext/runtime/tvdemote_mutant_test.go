@@ -1,0 +1,64 @@
+//go:build tvmutants
+
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"kex/internal/safext/compile"
+	"kex/internal/safext/compile/mir"
+	"kex/internal/safext/toolchain"
+)
+
+// TestSeededMutantDemotesEndToEnd drives the whole fail-closed path with a
+// real miscompilation: a seeded optimizer mutant makes the OptMIR build
+// fail refinement, the toolchain demotes to OptElide with the refutation in
+// the certificate, the loader accepts the demoted object, the program runs
+// correctly (the demoted build is unmutated), and the demotion reason is
+// visible in exec.Stats.
+func TestSeededMutantDemotesEndToEnd(t *testing.T) {
+	if !mir.SetMutant("fold-overflow") {
+		t.Fatal("fold-overflow mutant unavailable")
+	}
+	defer mir.SetMutant("")
+
+	const src = `
+fn main() -> i64 {
+	let a = 1 << 63;
+	return a + a;
+}
+`
+	f := newFixture(t, DefaultConfig())
+	so, err := f.signer.BuildAndSignOptimizedMIR("mutant-e2e", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := toolchain.Deserialize(so.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Opt.Level != compile.OptElide {
+		t.Fatalf("mutated build shipped at level %d, want fail-closed demotion to OptElide", obj.Opt.Level)
+	}
+	tv := obj.TVal
+	if tv == nil || !tv.Demoted || tv.Validated {
+		t.Fatalf("certificate = %+v, want demotion record", tv)
+	}
+	if !strings.Contains(tv.Reason, "diverges") {
+		t.Fatalf("demotion reason %q does not carry the refutation", tv.Reason)
+	}
+
+	ext, err := f.rt.Load(so)
+	if err != nil {
+		t.Fatalf("load of demoted object: %v", err)
+	}
+	v := f.run(t, ext)
+	if !v.Completed || v.R0 != 0 {
+		t.Fatalf("demoted build must compute the correct wraparound 0, got %+v", v)
+	}
+	ps := f.rt.Core.Stats.Snapshot().Programs["mutant-e2e"]
+	if ps.TVDemotions != 1 || !strings.Contains(ps.LastTVDemotionReason, "diverges") {
+		t.Fatalf("stats did not surface the demotion: %+v", ps)
+	}
+}

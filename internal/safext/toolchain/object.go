@@ -43,6 +43,21 @@ var (
 	// aggressively each object was transformed, with the signature vouching
 	// that the counters came from the toolchain that did the transforming.
 	secOptm = [4]byte{'O', 'P', 'T', 'M'}
+	// secTval carries the translation-validation certificate for OptMIR
+	// builds: validated/demoted flags, the refutation reason (if any),
+	// vector counts, validation wall time, and per-function coverage and
+	// site tallies. Inside the signed payload like CHEK/OPTM — the
+	// kernel-side loader refuses OptMIR objects whose certificate is
+	// missing, unvalidated, or demoted, so "the optimizer was proven
+	// against this exact build" is part of what the signature vouches for.
+	secTval = [4]byte{'T', 'V', 'A', 'L'}
+)
+
+// Certificate field caps: the loader runs before trust is established, so
+// every variable-length field is bounded at deserialization.
+const (
+	tvalMaxReason = 512
+	tvalMaxFuncs  = 256
 )
 
 // Serialize encodes a compiled object into the SLXO container.
@@ -142,6 +157,50 @@ func Serialize(obj *compile.Object) ([]byte, error) {
 		optmBuf.Write(v4[:])
 	}
 	section(secOptm, optmBuf.Bytes())
+
+	// TVAL is emitted only when a certificate exists, so pre-validator
+	// objects (and OptElide/naive builds) stay byte-identical.
+	if tv := obj.TVal; tv != nil {
+		var tvBuf bytes.Buffer
+		flags := uint32(0)
+		if tv.Validated {
+			flags |= 1
+		}
+		if tv.Demoted {
+			flags |= 2
+		}
+		le.PutUint32(v4[:], flags)
+		tvBuf.Write(v4[:])
+		reason := tv.Reason
+		if len(reason) > tvalMaxReason {
+			reason = reason[:tvalMaxReason]
+		}
+		writeStr(&tvBuf, reason)
+		le.PutUint32(v4[:], uint32(tv.Vectors))
+		tvBuf.Write(v4[:])
+		le.PutUint32(v4[:], uint32(tv.Bounded))
+		tvBuf.Write(v4[:])
+		// WallNanos is intentionally NOT serialized: it is a measurement,
+		// not part of the proof, and two builds of the same source must
+		// stay byte-identical (the registry deduplicates by payload hash).
+		funcs := tv.Funcs
+		if len(funcs) > tvalMaxFuncs {
+			return nil, fmt.Errorf("toolchain: TVAL certificate covers %d functions, cap is %d", len(funcs), tvalMaxFuncs)
+		}
+		le.PutUint32(v4[:], uint32(len(funcs)))
+		tvBuf.Write(v4[:])
+		for _, fc := range funcs {
+			writeStr(&tvBuf, fc.Name)
+			for _, n := range []int{
+				fc.Vectors, fc.Bounded, fc.BlocksCovered, fc.BlocksTotal,
+				fc.SitesEmitted, fc.SitesElided, fc.SitesFolded,
+			} {
+				le.PutUint32(v4[:], uint32(n))
+				tvBuf.Write(v4[:])
+			}
+		}
+		section(secTval, tvBuf.Bytes())
+	}
 
 	return buf.Bytes(), nil
 }
@@ -285,6 +344,60 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 			if r.Len() != 0 {
 				return nil, fmt.Errorf("toolchain: oversized OPTM section")
 			}
+		case secTval:
+			r := bytes.NewReader(body)
+			var v4 [4]byte
+			if _, err := io.ReadFull(r, v4[:]); err != nil {
+				return nil, fmt.Errorf("toolchain: truncated TVAL section")
+			}
+			tv := &compile.TValCert{}
+			flags := binary.LittleEndian.Uint32(v4[:])
+			tv.Validated = flags&1 != 0
+			tv.Demoted = flags&2 != 0
+			reason, err := readStr(r)
+			if err != nil {
+				return nil, fmt.Errorf("toolchain: truncated TVAL section")
+			}
+			if len(reason) > tvalMaxReason {
+				return nil, fmt.Errorf("toolchain: oversized TVAL reason (%d bytes)", len(reason))
+			}
+			tv.Reason = reason
+			if _, err := io.ReadFull(r, v4[:]); err != nil {
+				return nil, fmt.Errorf("toolchain: truncated TVAL section")
+			}
+			tv.Vectors = int(binary.LittleEndian.Uint32(v4[:]))
+			if _, err := io.ReadFull(r, v4[:]); err != nil {
+				return nil, fmt.Errorf("toolchain: truncated TVAL section")
+			}
+			tv.Bounded = int(binary.LittleEndian.Uint32(v4[:]))
+			if _, err := io.ReadFull(r, v4[:]); err != nil {
+				return nil, fmt.Errorf("toolchain: truncated TVAL section")
+			}
+			nfuncs := binary.LittleEndian.Uint32(v4[:])
+			if nfuncs > tvalMaxFuncs {
+				return nil, fmt.Errorf("toolchain: TVAL claims %d functions, cap is %d", nfuncs, tvalMaxFuncs)
+			}
+			for i := uint32(0); i < nfuncs; i++ {
+				var fc compile.TValFuncCert
+				if fc.Name, err = readStr(r); err != nil {
+					return nil, fmt.Errorf("toolchain: truncated TVAL section")
+				}
+				fields := [7]*int{
+					&fc.Vectors, &fc.Bounded, &fc.BlocksCovered, &fc.BlocksTotal,
+					&fc.SitesEmitted, &fc.SitesElided, &fc.SitesFolded,
+				}
+				for _, dst := range fields {
+					if _, err := io.ReadFull(r, v4[:]); err != nil {
+						return nil, fmt.Errorf("toolchain: truncated TVAL section")
+					}
+					*dst = int(binary.LittleEndian.Uint32(v4[:]))
+				}
+				tv.Funcs = append(tv.Funcs, fc)
+			}
+			if r.Len() != 0 {
+				return nil, fmt.Errorf("toolchain: oversized TVAL section")
+			}
+			obj.TVal = tv
 		default:
 			return nil, fmt.Errorf("toolchain: unknown section %q", tag)
 		}

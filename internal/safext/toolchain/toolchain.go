@@ -11,7 +11,9 @@ import (
 	"crypto/rand"
 	"fmt"
 	"strings"
+	"time"
 
+	"kex/internal/analysis/transval"
 	"kex/internal/exec"
 	"kex/internal/safext/analyze"
 	"kex/internal/safext/compile"
@@ -136,6 +138,15 @@ func BuildOptimizedMIR(name, src string) (*compile.Object, error) {
 
 // BuildOptimizedMIRProfiled is BuildOptimizedMIR with per-phase wall
 // timings and the raw analysis result.
+//
+// Every OptMIR build is translation-validated: the naive lowering and the
+// optimized MIR are symbolically executed over the engine's exact
+// wraparound semantics and compared for refinement (same verdict, same
+// ordered effect log, consistent check ledger). A passing run attaches a
+// TVAL certificate that travels under the object signature; a failing or
+// inconclusive run fails closed by demoting the build to OptElide — the
+// analyzer-only backend whose lowering is the refinement baseline — with
+// the refutation recorded in the demotion certificate.
 func BuildOptimizedMIRProfiled(name, src string) (*compile.Object, *analyze.Result, exec.PhaseTimings, error) {
 	rec := exec.NewPhaseRecorder()
 	f, err := lang.Parse(src)
@@ -150,11 +161,32 @@ func BuildOptimizedMIRProfiled(name, src string) (*compile.Object, *analyze.Resu
 	rec.Mark("typecheck")
 	facts := analyze.Analyze(checked)
 	rec.Mark("analyze")
-	obj, err := compile.CompileWithOptions(name, checked, compile.Options{Facts: facts, Level: compile.OptMIR})
+	var arts []compile.MIRFuncArtifact
+	obj, err := compile.CompileWithOptions(name, checked, compile.Options{Facts: facts, Level: compile.OptMIR, KeepMIR: &arts})
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	rec.Mark("compile")
+	tvStart := time.Now()
+	res := transval.Validate(name, arts, obj.Checks, transval.Options{})
+	tvWall := time.Since(tvStart).Nanoseconds()
+	if res.OK {
+		obj.TVal = res.Certificate(tvWall)
+	} else {
+		demoted, derr := compile.CompileWithOptions(name, checked, compile.Options{Facts: facts, Level: compile.OptElide})
+		if derr != nil {
+			return nil, nil, nil, derr
+		}
+		demoted.TVal = &compile.TValCert{
+			Demoted:   true,
+			Reason:    res.Reason,
+			Vectors:   res.Vectors,
+			Bounded:   res.Bounded,
+			WallNanos: tvWall,
+		}
+		obj = demoted
+	}
+	rec.Mark("transval")
 	return obj, facts, rec.Phases(), nil
 }
 

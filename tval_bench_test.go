@@ -1,0 +1,153 @@
+package kexbench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"kex/examples/progs"
+	"kex/internal/analysis/transval"
+	"kex/internal/safext/analyze"
+	"kex/internal/safext/compile"
+	"kex/internal/safext/lang"
+	"kex/internal/safext/toolchain"
+)
+
+// The BenchmarkTVal family measures what translation validation costs at
+// build time: per-corpus-program validation wall time, the serialized
+// certificate's size in the SLXO container, and the demotion rate (pinned
+// at zero — a validator that demotes correct optimizer output is too
+// imprecise to leave in the build loop). TestMain persists the rows to
+// BENCH_tval.json; the acceptance bar is a corpus median under 250ms.
+
+type tvalRow struct {
+	Program       string  `json:"program"`
+	WallNsPerVal  float64 `json:"wall_ns_per_validation"`
+	CertBytes     int     `json:"certificate_bytes"`
+	Vectors       int     `json:"vectors"`
+	Bounded       int     `json:"bounded_vectors"`
+	Funcs         int     `json:"functions"`
+	Demoted       bool    `json:"demoted"`
+	BenchmarkIter int     `json:"benchmark_iters"`
+	// Summary-row fields (zero elsewhere).
+	MedianWallNs float64 `json:"corpus_median_wall_ns,omitempty"`
+	DemotionRate float64 `json:"corpus_demotion_rate,omitempty"`
+}
+
+var (
+	tvalMu   sync.Mutex
+	tvalRows = map[string]tvalRow{}
+)
+
+func benchTVal(b *testing.B, name, src string) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checked, err := lang.Check(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	facts := analyze.Analyze(checked)
+	var arts []compile.MIRFuncArtifact
+	obj, err := compile.CompileWithOptions(name, checked, compile.Options{
+		Facts:   facts,
+		Level:   compile.OptMIR,
+		KeepMIR: &arts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var res *transval.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = transval.Validate(name, arts, obj.Checks, transval.Options{})
+	}
+	b.StopTimer()
+	if !res.OK {
+		b.Fatalf("corpus program %s demoted in benchmark: %s", name, res.Reason)
+	}
+
+	// Certificate size = container growth from attaching the TVAL section.
+	obj.TVal = res.Certificate(0)
+	withCert, err := toolchain.Serialize(obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj.TVal = nil
+	withoutCert, err := toolchain.Serialize(obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	wallPer := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	tvalMu.Lock()
+	tvalRows[name] = tvalRow{
+		Program:       name,
+		WallNsPerVal:  wallPer,
+		CertBytes:     len(withCert) - len(withoutCert),
+		Vectors:       res.Vectors,
+		Bounded:       res.Bounded,
+		Funcs:         len(res.Funcs),
+		Demoted:       false,
+		BenchmarkIter: b.N,
+	}
+	tvalMu.Unlock()
+	b.ReportMetric(wallPer, "ns/validation")
+	b.ReportMetric(float64(len(withCert)-len(withoutCert)), "cert-bytes")
+}
+
+func BenchmarkTVal(b *testing.B) {
+	names := make([]string, 0, len(progs.All))
+	for name := range progs.All {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src := progs.All[name]
+		b.Run(name, func(b *testing.B) { benchTVal(b, name, src) })
+	}
+	b.Run("buggy", func(b *testing.B) { benchTVal(b, "buggy", progs.ProfilerBuggy) })
+}
+
+// writeTValBench persists the BenchmarkTVal rows plus a corpus summary row
+// carrying the median validation wall time and the demotion rate.
+func writeTValBench() {
+	tvalMu.Lock()
+	defer tvalMu.Unlock()
+	if len(tvalRows) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(tvalRows))
+	for k := range tvalRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]tvalRow, 0, len(keys)+1)
+	walls := make([]float64, 0, len(keys))
+	demoted := 0
+	for _, k := range keys {
+		r := tvalRows[k]
+		rows = append(rows, r)
+		walls = append(walls, r.WallNsPerVal)
+		if r.Demoted {
+			demoted++
+		}
+	}
+	sort.Float64s(walls)
+	median := walls[len(walls)/2]
+	if len(walls)%2 == 0 {
+		median = (walls[len(walls)/2-1] + walls[len(walls)/2]) / 2
+	}
+	rows = append(rows, tvalRow{
+		Program:      "corpus-summary",
+		MedianWallNs: median,
+		DemotionRate: float64(demoted) / float64(len(keys)),
+	})
+	if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
+		_ = os.WriteFile("BENCH_tval.json", append(data, '\n'), 0o644)
+	}
+}
