@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz soundness tv bench bench-gap lint check clean
+.PHONY: all build vet test race fuzz soundness tv conc bench bench-gap lint check clean
 
 all: check
 
@@ -62,6 +62,19 @@ tv:
 	$(GO) test -tags tvmutants ./internal/analysis/transval/ ./internal/safext/runtime/ ./internal/safext/compile/mir/
 	$(GO) test -run '^$$' -bench 'BenchmarkTVal' -benchtime 1x .
 
+# Shard-safety analysis (DESIGN.md §3.9): the concheck analyzer's unit and
+# lattice suites, the adversarial shard-interleaving oracle over the
+# certified corpus (zero false negatives required), the mutant kill suite
+# (every seeded racy program must be convicted), the load/dispatch
+# enforcement regressions in both stacks, and one pass of BenchmarkConc to
+# regenerate BENCH_conc.json (per-program analysis wall time, proven-site
+# rate — acceptance >=80% over the corpus — demotion rate, and the
+# certified strict-gate overhead, which must stay in the noise).
+conc:
+	$(GO) test ./internal/analysis/concheck/...
+	$(GO) test -run 'Conc' ./internal/exec/ ./internal/safext/runtime/ ./internal/ebpf/
+	$(GO) test -run '^$$' -bench 'BenchmarkConc' -benchtime 1x .
+
 # Regenerates BENCH_exec.json (the ExecCore family), BENCH_supervisor.json
 # (healthy-path overhead and time-to-recover of the supervised recovery
 # layer), BENCH_slxopt.json (naive-vs-elided safext builds),
@@ -89,7 +102,7 @@ check: lint build test race
 
 
 clean:
-	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json BENCH_fleet.json BENCH_tval.json
+	rm -f BENCH_exec.json BENCH_supervisor.json BENCH_slxopt.json BENCH_statecheck.json BENCH_throughput.json BENCH_fleet.json BENCH_tval.json BENCH_conc.json
 	rm -rf internal/ebpf/statecheck_witnesses
 	rm -rf internal/analysis/transval/tval_counterexamples
 	$(GO) clean -testcache

@@ -13,6 +13,8 @@
 //	kexload -build-only ext.slx  compile and print object info, don't run
 //	kexload -deny pkt_write_u8 ext.slx   signing policy denies a capability
 //	kexload -n 1000 -shards 4 -batch 32 ext.slx   sharded batched submission
+//	kexload -shards 4 -conc strict ext.slx   refuse shard-unsafe programs
+//	kexload -shards 4 -conc warn ext.slx     demote them to one shard, counted
 package main
 
 import (
@@ -45,11 +47,17 @@ func main() {
 	opt := flag.Int("opt", 0, "optimization level: 0 naive, 1 analyzer elision, 2 MIR backend")
 	dumpMIR := flag.Bool("dump-mir", false, "print the mid-level IR before and after optimization (with -opt 2)")
 	tv := flag.String("tv", "on", "translation validation mode with -opt 2: on (demote on failure), strict (exit nonzero on demotion)")
+	concFlag := flag.String("conc", "off", "shard-safety enforcement: off, warn (serialize racy programs onto one shard), strict (refuse them on a multi-shard plane)")
 	var deny denyFlags
 	flag.Var(&deny, "deny", "capability the signing policy refuses (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: kexload [-n N] [-build-only] [-deny cap] <file.slx>")
+		fmt.Fprintln(os.Stderr, "usage: kexload [-n N] [-build-only] [-opt L] [-dump-mir] [-tv mode] [-conc mode] [-shards S] [-batch B] [-fuel F] [-watchdog-ms M] [-deny cap] <file.slx>")
+		os.Exit(2)
+	}
+	concMode, err := exec.ParseConcMode(*concFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kexload:", err)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -111,6 +119,15 @@ func main() {
 				cert.Vectors, cert.Bounded, len(cert.Funcs), float64(cert.WallNanos)/1e6)
 		}
 	}
+	if cc := obj.Conc; cc != nil {
+		fmt.Printf("concheck: %s, %d/%d sites proven, %.2fms\n",
+			cc.Verdict, cc.Proven, cc.Sites, float64(cc.WallNanos)/1e6)
+		for _, mv := range cc.Maps {
+			if mv.Verdict == compile.VerdictRacy {
+				fmt.Printf("concheck: map %q (%s) Racy: %s\n", mv.Map, mv.Kind, mv.Reason)
+			}
+		}
+	}
 	if *buildOnly {
 		return
 	}
@@ -152,8 +169,14 @@ func main() {
 		fmt.Printf("load phases: %s\n", ext.LoadPhases)
 	}
 
+	if concMode == exec.ConcStrict && *shards > 1 && ext.Conc.Racy() {
+		// Fail fast at load rather than on the first submission: the plane's
+		// gate would refuse every batch anyway (exec.ErrShardUnsafe).
+		fmt.Fprintf(os.Stderr, "load: %v: %s: %s\n", exec.ErrShardUnsafe, ext.Name, ext.Conc.Reason)
+		os.Exit(1)
+	}
 	if *shards > 1 {
-		runSharded(rt, ext, *n, *shards, *batch)
+		runSharded(rt, ext, *n, *shards, *batch, concMode)
 	} else {
 		for i := 0; i < *n; i++ {
 			v, err := ext.Run(runtime.RunOptions{})
@@ -177,6 +200,10 @@ func main() {
 		fmt.Printf("stats: %d translation-validation demotions (last: %s)\n",
 			ps.TVDemotions, ps.LastTVDemotionReason)
 	}
+	if ps, ok := snap.Programs[ext.Name]; ok && ps.ConcDemotions > 0 {
+		fmt.Printf("stats: %d shard-safety demotions to shard 0 (last: %s)\n",
+			ps.ConcDemotions, ps.LastConcReason)
+	}
 	if k.Healthy() {
 		fmt.Println("kernel healthy.")
 	} else {
@@ -187,11 +214,11 @@ func main() {
 // runSharded spreads n invocations round-robin over a per-CPU sharded
 // data plane, batch requests at a time, and prints an aggregate summary
 // instead of per-run lines.
-func runSharded(rt *kex.SafeRuntime, ext *kex.Extension, n, shards, batch int) {
+func runSharded(rt *kex.SafeRuntime, ext *kex.Extension, n, shards, batch int, conc exec.ConcMode) {
 	if batch < 1 {
 		batch = 1
 	}
-	sh := rt.NewSharded(kex.ShardedConfig{Shards: shards})
+	sh := rt.NewSharded(kex.ShardedConfig{Shards: shards, Conc: conc})
 	defer sh.Close()
 	var mu sync.Mutex
 	var completed, terminated int

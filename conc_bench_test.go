@@ -1,0 +1,239 @@
+package kexbench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kex/examples/progs"
+	"kex/internal/analysis/concheck"
+	"kex/internal/exec"
+	"kex/internal/safext/compile"
+	"kex/internal/safext/lang"
+	"kex/internal/safext/runtime"
+	"kex/internal/safext/toolchain"
+)
+
+// The BenchmarkConc_* family measures what shard-safety analysis costs at
+// build time and what its enforcement costs at dispatch. Per corpus
+// program: analysis wall time, the fraction of map access sites proven
+// better than racy, and the verdict (a Racy verdict is what warn mode
+// demotes — the corpus demotion rate is the racy fraction). The gate
+// benchmarks drive a CONC-certified program through a multi-shard plane
+// with enforcement off and strict and record the per-invocation overhead:
+// the acceptance bar is that strict mode stays off the hot path (one atomic
+// load) for certified fleets. TestMain persists the rows to
+// BENCH_conc.json.
+
+type concRow struct {
+	Program           string  `json:"program"`
+	WallNsPerAnalysis float64 `json:"wall_ns_per_analysis,omitempty"`
+	Sites             int     `json:"sites,omitempty"`
+	Proven            int     `json:"proven_sites,omitempty"`
+	ProvenRate        float64 `json:"proven_rate,omitempty"`
+	Verdict           string  `json:"verdict,omitempty"`
+	BenchmarkIter     int     `json:"benchmark_iters,omitempty"`
+	// Gate-row fields (zero elsewhere).
+	WallNsPerOp float64 `json:"wall_ns_per_op,omitempty"`
+	// Summary-row fields (zero elsewhere).
+	MedianWallNs     float64 `json:"corpus_median_wall_ns,omitempty"`
+	CorpusProvenRate float64 `json:"corpus_proven_rate,omitempty"`
+	DemotionRate     float64 `json:"corpus_demotion_rate,omitempty"`
+	GateOverheadPct  float64 `json:"certified_gate_overhead_pct,omitempty"`
+}
+
+var (
+	concBenchMu   sync.Mutex
+	concBenchRows = map[string]concRow{}
+)
+
+func benchConc(b *testing.B, name, src string) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checked, err := lang.Check(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := compile.Compile(name, checked)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var rep *compile.ConcReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = concheck.AnalyzeSLX(checked, obj.Maps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	wallPer := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	rate := 1.0
+	if rep.Sites > 0 {
+		rate = float64(rep.Proven) / float64(rep.Sites)
+	}
+	concBenchMu.Lock()
+	concBenchRows[name] = concRow{
+		Program:           name,
+		WallNsPerAnalysis: wallPer,
+		Sites:             rep.Sites,
+		Proven:            rep.Proven,
+		ProvenRate:        rate,
+		Verdict:           rep.Verdict,
+		BenchmarkIter:     b.N,
+	}
+	concBenchMu.Unlock()
+	b.ReportMetric(wallPer, "ns/analysis")
+	b.ReportMetric(rate*100, "proven-%")
+}
+
+func BenchmarkConc(b *testing.B) {
+	names := make([]string, 0, len(progs.All))
+	for name := range progs.All {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src := progs.All[name]
+		b.Run(name, func(b *testing.B) { benchConc(b, name, src) })
+	}
+}
+
+// benchConcGate measures dispatch cost through a multi-shard plane running
+// a CONC-certified program with the given enforcement mode — the strict
+// row against the off row is the hot-path overhead of enforcement.
+func benchConcGate(b *testing.B, mode exec.ConcMode, config string) {
+	const shards, batch = 4, 16
+	rt := runtime.New(tputKernel(), runtime.DefaultConfig())
+	signer, err := toolchain.NewSigner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.AddKey(signer.PublicKey())
+	so, err := signer.BuildAndSign("conc_gate", tputSLX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext, err := rt.Load(so)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ext.Close()
+	if ext.Conc == nil || ext.Conc.Racy() {
+		b.Fatalf("gate benchmark program must be certified, got %+v", ext.Conc)
+	}
+	var failed atomic.Uint64
+	sh := rt.NewSharded(exec.ShardedConfig{Shards: shards, RingSize: 256, Conc: mode})
+	defer sh.Close()
+
+	submit := func(cpu int, preps []*runtime.Prepared) {
+		reqs := make([]exec.Request, len(preps))
+		for i := range preps {
+			reqs[i] = preps[i].Request()
+		}
+		b2 := exec.Batch{Engine: ext.Engine(), Reqs: reqs, Done: func(results []exec.BatchResult) {
+			for i, res := range results {
+				if v, ferr := preps[i].Finish(res.Report, res.Err); ferr != nil || !v.Completed {
+					failed.Add(1)
+				}
+			}
+		}}
+		if err := sh.SubmitWait(cpu, b2); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	preps := make([]*runtime.Prepared, 0, batch)
+	cpu := 0
+	for i := 0; i < b.N; i++ {
+		preps = append(preps, ext.Prepare(runtime.RunOptions{CPU: cpu}))
+		if len(preps) == batch {
+			submit(cpu, preps)
+			preps = make([]*runtime.Prepared, 0, batch)
+			cpu = (cpu + 1) % shards
+		}
+	}
+	if len(preps) > 0 {
+		submit(cpu, preps)
+	}
+	sh.Flush()
+	wall := time.Since(start)
+	b.StopTimer()
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d invocations failed", n)
+	}
+	wallPer := float64(wall.Nanoseconds()) / float64(b.N)
+	concBenchMu.Lock()
+	concBenchRows[config] = concRow{Program: config, WallNsPerOp: wallPer, BenchmarkIter: b.N}
+	concBenchMu.Unlock()
+	b.ReportMetric(wallPer, "wall-ns/op")
+}
+
+func BenchmarkConc_GateOff(b *testing.B)    { benchConcGate(b, exec.ConcOff, "gate/off") }
+func BenchmarkConc_GateStrict(b *testing.B) { benchConcGate(b, exec.ConcStrict, "gate/strict") }
+
+// writeConcBench persists the BenchmarkConc rows plus a corpus summary row:
+// median analysis wall time, corpus-wide proven-site rate, the demotion
+// (racy) rate, and the certified strict-gate overhead when both gate rows
+// ran.
+func writeConcBench() {
+	concBenchMu.Lock()
+	defer concBenchMu.Unlock()
+	if len(concBenchRows) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(concBenchRows))
+	for k := range concBenchRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]concRow, 0, len(keys)+1)
+	var walls []float64
+	sites, proven, racy, corpus := 0, 0, 0, 0
+	for _, k := range keys {
+		r := concBenchRows[k]
+		rows = append(rows, r)
+		if r.Verdict == "" {
+			continue // gate rows
+		}
+		corpus++
+		walls = append(walls, r.WallNsPerAnalysis)
+		sites += r.Sites
+		proven += r.Proven
+		if r.Verdict == compile.VerdictRacy {
+			racy++
+		}
+	}
+	summary := concRow{Program: "corpus-summary"}
+	if corpus > 0 {
+		sort.Float64s(walls)
+		median := walls[len(walls)/2]
+		if len(walls)%2 == 0 {
+			median = (walls[len(walls)/2-1] + walls[len(walls)/2]) / 2
+		}
+		summary.MedianWallNs = median
+		if sites > 0 {
+			summary.CorpusProvenRate = float64(proven) / float64(sites)
+		}
+		summary.DemotionRate = float64(racy) / float64(corpus)
+	}
+	off, okOff := concBenchRows["gate/off"]
+	strict, okStrict := concBenchRows["gate/strict"]
+	if okOff && okStrict && off.WallNsPerOp > 0 {
+		summary.GateOverheadPct = (strict.WallNsPerOp - off.WallNsPerOp) / off.WallNsPerOp * 100
+	}
+	rows = append(rows, summary)
+	if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
+		_ = os.WriteFile("BENCH_conc.json", append(data, '\n'), 0o644)
+	}
+}

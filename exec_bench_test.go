@@ -69,6 +69,7 @@ func TestMain(m *testing.M) {
 	writeThroughputBench()
 	writeFleetBench()
 	writeTValBench()
+	writeConcBench()
 	os.Exit(code)
 }
 

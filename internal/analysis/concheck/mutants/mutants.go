@@ -1,0 +1,156 @@
+// Package mutants is the concheck kill suite: seeded racy SLX programs,
+// each built around one way an extension can lose updates on the sharded
+// data plane. The analyzer must flag every one of them Racy — a mutant that
+// certifies clean means the analyzer has a false-negative class, exactly
+// the failure the interleaving oracle exists to catch. Tests and `make
+// conc` sweep this table; BENCH_conc.json reports its demotion rate.
+package mutants
+
+// IncWindow is the classic lost update: read, add, write back on a shared
+// hash map at a context-derived key two shards can both compute.
+const IncWindow = `
+map counts: hash<u64, u64>(1024);
+
+fn main() -> i64 {
+	let pid = kernel::pid_tgid() % 4096;
+	let cur = kernel::map_get(counts, pid);
+	kernel::map_set(counts, pid, cur + 1);
+	return 0;
+}
+`
+
+// AliasUnknown pushes the key through a non-injective operator (%), so even
+// though it started as cpu(), shards 0 and 2 collide on cell 0.
+const AliasUnknown = `
+map slots: hash<u64, u64>(64);
+
+fn main() -> i64 {
+	let slot = kernel::cpu() % 2;
+	let cur = kernel::map_get(slots, slot);
+	kernel::map_set(slots, slot, cur + 1);
+	return 0;
+}
+`
+
+// BranchSplit is check-then-act: the write is control-dependent on a read
+// of the same map, split across a branch — no data flow from get to set,
+// but the decision to write cell 0 was made from a stale read of cell 0.
+const BranchSplit = `
+map state: hash<u64, u64>(8);
+
+fn main() -> i64 {
+	let v = kernel::map_get(state, 0);
+	if v > 10 {
+		kernel::map_set(state, 0, 0);
+		return 1;
+	}
+	kernel::map_set(state, 0, v + 1);
+	return 0;
+}
+`
+
+// RacyDelete deletes a cell conditioned on its own value: two shards read
+// the sentinel, both act, one delete lands on a cell the other shard just
+// rewrote.
+const RacyDelete = `
+map sessions: hash<u64, u64>(256);
+
+fn main() -> i64 {
+	let key = kernel::pid_tgid() % 256;
+	if kernel::map_get(sessions, key) > 5 {
+		kernel::map_del(sessions, key);
+		return 1;
+	}
+	return 0;
+}
+`
+
+// FalsePerCPU claims a per-shard key — cpu() scaled by 2^32 — on an
+// array-kind map whose installed key is 4 bytes: the multiplier vanishes
+// under truncation and every shard lands on cell 0.
+const FalsePerCPU = `
+map lanes: array<u32, u64>(16);
+
+fn main() -> i64 {
+	let lane = kernel::cpu() * 4294967296;
+	let cur = kernel::map_get(lanes, lane);
+	kernel::map_set(lanes, lane, cur + 1);
+	return 0;
+}
+`
+
+// FnTaint launders the map read through a user function return: the window
+// is interprocedural, invisible to any single-function scan.
+const FnTaint = `
+map totals: hash<u64, u64>(32);
+
+fn current(k: i64) -> i64 {
+	return kernel::map_get(totals, k) % 2147483648;
+}
+
+fn main() -> i64 {
+	let k = kernel::uid() % 32;
+	kernel::map_set(totals, k, current(k) + 1);
+	return 0;
+}
+`
+
+// WrongLock serializes the window under a lock on a *different* map: every
+// shard holds its own happy little lock on guard while racing on counts.
+const WrongLock = `
+map counts: hash<u64, u64>(64);
+map guard: hash<u32, u64>(4);
+
+fn main() -> i64 {
+	let k = kernel::uid() % 64;
+	sync(guard, 0) {
+		let cur = kernel::map_get(counts, k);
+		kernel::map_set(counts, k, cur + 1);
+	}
+	return 0;
+}
+`
+
+// NonConstLock locks the right map but at a context-derived cell, so two
+// shards can hold "the" lock simultaneously on different cells.
+const NonConstLock = `
+map counts: hash<u64, u64>(64);
+
+fn main() -> i64 {
+	let k = kernel::uid() % 64;
+	sync(counts, k) {
+		let cur = kernel::map_get(counts, k);
+		kernel::map_set(counts, k, cur + 1);
+	}
+	return 0;
+}
+`
+
+// HalfLocked guards one window but leaves a second, unguarded write on the
+// same map: mutual exclusion requires every write site under the lock.
+const HalfLocked = `
+map tally: hash<u64, u64>(16);
+
+fn main() -> i64 {
+	sync(tally, 0) {
+		let cur = kernel::map_get(tally, 1);
+		kernel::map_set(tally, 1, cur + 1);
+	}
+	let cur2 = kernel::map_get(tally, 1);
+	kernel::map_set(tally, 1, cur2 + 2);
+	return 0;
+}
+`
+
+// All maps every mutant by name, for sweep-style tests and benchmarks.
+var All = map[string]string{
+	"inc_window":     IncWindow,
+	"alias_unknown":  AliasUnknown,
+	"branch_split":   BranchSplit,
+	"racy_delete":    RacyDelete,
+	"false_percpu":   FalsePerCPU,
+	"fn_taint":       FnTaint,
+	"wrong_lock":     WrongLock,
+	"non_const_lock": NonConstLock,
+	"half_locked":    HalfLocked,
+}

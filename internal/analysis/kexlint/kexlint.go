@@ -69,7 +69,13 @@ func DefaultConfig(root string) Config {
 		// feed build decisions and certificates — a nondeterministic
 		// validator would make the same source demote on one build host
 		// and validate on another.
-		DeterministicDirs: []string{"internal/faultinject", "internal/kernel/callgraph", "internal/analysis/statecheck", "internal/analysis/transval", "internal/registry", "internal/fleet", "internal/safext/compile"},
+		// internal/analysis/concheck (and its mutants subpackage, via the
+		// same descent) is deterministic for the same reason as transval:
+		// its verdicts are serialized into signed objects and enforced at
+		// dispatch, so the same source must classify identically on every
+		// build host — and its interleaving oracle must replay schedules
+		// bit-for-bit from its seeds.
+		DeterministicDirs: []string{"internal/faultinject", "internal/kernel/callgraph", "internal/analysis/statecheck", "internal/analysis/transval", "internal/analysis/concheck", "internal/registry", "internal/fleet", "internal/safext/compile"},
 		HelperDirs:        []string{"internal/ebpf/helpers"},
 	}
 }

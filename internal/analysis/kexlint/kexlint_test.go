@@ -65,18 +65,30 @@ func TestFixtureViolations(t *testing.T) {
 	}
 
 	rd := findingsBy(t, "randdeterminism", all)
-	if len(rd) != 3 {
-		t.Fatalf("randdeterminism findings = %v, want Seed, Intn and the trace-hook Int63n", rd)
+	if len(rd) != 4 {
+		t.Fatalf("randdeterminism findings = %v, want Seed, Intn, the trace-hook Int63n and the oracle Perturb", rd)
 	}
-	msgs := rd[0].Message + " " + rd[1].Message + " " + rd[2].Message
+	var msgs string
+	for _, f := range rd {
+		msgs += f.Message + " "
+	}
 	for _, want := range []string{"rand.Seed", "rand.Intn", "rand.Int63n"} {
 		if !strings.Contains(msgs, want) {
 			t.Errorf("randdeterminism missed %s: %v", want, rd)
 		}
 	}
+	oracleHit := false
+	for _, f := range rd {
+		if strings.HasSuffix(f.Pos.Filename, "oracle.go") {
+			oracleHit = true
+		}
+	}
+	if !oracleHit {
+		t.Errorf("randdeterminism missed the oracle fixture: %v", rd)
+	}
 
-	if len(all) != 7 {
-		t.Errorf("total findings = %d, want 7: %v", len(all), all)
+	if len(all) != 8 {
+		t.Errorf("total findings = %d, want 8: %v", len(all), all)
 	}
 }
 

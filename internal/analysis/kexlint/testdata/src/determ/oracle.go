@@ -1,0 +1,35 @@
+// Interleaving-oracle fixture: a concheck-style adversarial scheduler whose
+// schedules must replay bit-for-bit from their seeds. Parse-only — never
+// built.
+package determ
+
+import (
+	"math/rand"
+)
+
+// Scheduler picks which shard runs next at every yield point. Conviction
+// evidence is a (seed, schedule) pair, so the pick sequence must be a pure
+// function of the seed.
+type Scheduler struct {
+	state uint64
+}
+
+// NewScheduler derives the xorshift stream from the seed alone — no rand,
+// no time. Pass: the sanctioned oracle idiom.
+func NewScheduler(seed uint64) *Scheduler {
+	return &Scheduler{state: seed*0x9e3779b97f4a7c15 | 1}
+}
+
+// Pick steps the owned stream. Pass.
+func (s *Scheduler) Pick(n int) int {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return int(s.state % uint64(n))
+}
+
+// Perturb "diversifies" schedules from the process-global source, so a
+// conviction cannot be replayed from its recorded seed. One finding.
+func Perturb(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,122 @@
+package ebpf
+
+import (
+	"errors"
+	"testing"
+
+	"kex/internal/ebpf/isa"
+	"kex/internal/ebpf/maps"
+	"kex/internal/exec"
+	"kex/internal/kernel"
+	"kex/internal/safext/compile"
+)
+
+// racyProg opens a lost-update window: lookup, load, add, store back
+// through the map-value pointer with no atomic and no lock.
+func racyProg(t *testing.T, s *Stack) *isa.Program {
+	t.Helper()
+	lookup, _ := s.Helpers.ByName("bpf_map_lookup_elem")
+	return &isa.Program{
+		Name: "racy",
+		Type: isa.Tracing,
+		Insns: []isa.Instruction{
+			isa.StoreImm(isa.SizeW, isa.R10, -4, 0),
+			isa.Mov64Reg(isa.R2, isa.R10),
+			isa.ALU64Imm(isa.OpAdd, isa.R2, -4),
+			isa.LoadMapRef(isa.R1, "shared"),
+			isa.Call(int32(lookup.ID)),
+			isa.JmpImm(isa.OpJne, isa.R0, 0, 2),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+			isa.LoadMem(isa.SizeDW, isa.R1, isa.R0, 0),
+			isa.ALU64Imm(isa.OpAdd, isa.R1, 1),
+			isa.StoreMem(isa.SizeDW, isa.R0, 0, isa.R1),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+		},
+	}
+}
+
+// TestStackConcLoadTimeAnalysis checks the eBPF stack's load-time half of
+// CONC: with enforcement on, Load runs the shard-safety analyzer, exposes
+// the report, records the phase, and registers the verdict with the core.
+func TestStackConcLoadTimeAnalysis(t *testing.T) {
+	k := kernel.NewDefault()
+	s := NewStack(k)
+	s.Conc = exec.ConcStrict
+	if _, err := s.CreateMap(maps.Spec{Name: "hits", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateMap(maps.Spec{Name: "shared", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	atomic, err := s.Load(counterProg(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.Conc == nil || atomic.Conc.Verdict != compile.VerdictShardSafe {
+		t.Fatalf("atomic counter verdict = %+v, want ShardSafe", atomic.Conc)
+	}
+	foundPhase := false
+	for _, p := range atomic.LoadPhases {
+		if p.Name == "concheck" {
+			foundPhase = true
+		}
+	}
+	if !foundPhase {
+		t.Fatalf("no concheck load phase in %v", atomic.LoadPhases)
+	}
+
+	racy, err := s.Load(racyProg(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if racy.Conc == nil || racy.Conc.Verdict != compile.VerdictRacy {
+		t.Fatalf("racy verdict = %+v, want Racy", racy.Conc)
+	}
+	if convicted, reason := s.Core.ConcVerdict("racy"); !convicted || reason == "" {
+		t.Fatalf("core registry: racy=%v reason=%q", convicted, reason)
+	}
+	if convicted, _ := s.Core.ConcVerdict("counter"); convicted {
+		t.Fatal("atomic counter registered racy")
+	}
+
+	// Enforcement on the stack's own sharded plane: the convicted program
+	// is refused on multiple shards, the certified one is not.
+	sh := s.NewSharded(exec.ShardedConfig{Shards: 2, Conc: exec.ConcStrict})
+	defer sh.Close()
+	err = sh.SubmitWait(1, exec.Batch{Engine: racy.Engine(), Reqs: []exec.Request{racy.Request(RunOptions{})}})
+	if !errors.Is(err, exec.ErrShardUnsafe) {
+		t.Fatalf("racy submit err = %v, want ErrShardUnsafe", err)
+	}
+	if err := sh.SubmitWait(1, exec.Batch{Engine: atomic.Engine(), Reqs: []exec.Request{atomic.Request(RunOptions{})}}); err != nil {
+		t.Fatalf("certified submit refused: %v", err)
+	}
+	sh.Flush()
+}
+
+// TestStackConcOffSkipsAnalysis keeps the default path byte-identical to
+// the pre-CONC stack: no report, no registry entry, no extra phase.
+func TestStackConcOffSkipsAnalysis(t *testing.T) {
+	k := kernel.NewDefault()
+	s := NewStack(k)
+	if _, err := s.CreateMap(maps.Spec{Name: "shared", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Load(racyProg(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Conc != nil {
+		t.Fatal("conc report present with enforcement off")
+	}
+	for _, p := range l.LoadPhases {
+		if p.Name == "concheck" {
+			t.Fatal("concheck phase recorded with enforcement off")
+		}
+	}
+	if convicted, _ := s.Core.ConcVerdict("racy"); convicted {
+		t.Fatal("verdict registered with enforcement off")
+	}
+}

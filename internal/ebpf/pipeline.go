@@ -9,6 +9,7 @@ package ebpf
 import (
 	"fmt"
 
+	"kex/internal/analysis/concheck"
 	"kex/internal/ebpf/helpers"
 	"kex/internal/ebpf/interp"
 	"kex/internal/ebpf/isa"
@@ -17,6 +18,7 @@ import (
 	"kex/internal/ebpf/verifier"
 	"kex/internal/exec"
 	"kex/internal/kernel"
+	"kex/internal/safext/compile"
 )
 
 // Stack is one kernel's eBPF subsystem: the shared execution core (helper
@@ -30,9 +32,18 @@ type Stack struct {
 	UseJIT bool
 	// JITConfig carries the backend bug toggles.
 	JITConfig jit.Config
+	// Conc, when not ConcOff, runs the shard-safety analyzer over every
+	// Load (reusing the verifier's abstract-state snapshots for key
+	// provenance) and registers the verdict with the execution core, so a
+	// Sharded plane built with the same mode can enforce it. The eBPF
+	// stack has no signed object to carry the report, so here the analysis
+	// happens at load time — the verdict is still load-time static, never
+	// a runtime check.
+	Conc exec.ConcMode
 
-	mapMeta map[string]*verifier.MapMeta
-	sup     *exec.Supervisor
+	mapMeta  map[string]*verifier.MapMeta
+	mapKinds map[string]string
+	sup      *exec.Supervisor
 }
 
 // NewStack boots an eBPF subsystem on the kernel.
@@ -42,6 +53,7 @@ func NewStack(k *kernel.Kernel) *Stack {
 		VerifierConfig: verifier.DefaultConfig(),
 		UseJIT:         true,
 		mapMeta:        make(map[string]*verifier.MapMeta),
+		mapKinds:       make(map[string]string),
 	}
 }
 
@@ -70,6 +82,7 @@ func (s *Stack) CreateMap(spec maps.Spec) (maps.Map, error) {
 		ValueSize: m.Spec().ValueSize,
 		HasLock:   spec.HasLock,
 	}
+	s.mapKinds[spec.Name] = m.Spec().Type.String()
 	return m, nil
 }
 
@@ -80,6 +93,9 @@ type Loaded struct {
 	// LoadPhases times the Figure 1 load pipeline: verify, relocate, and
 	// (on the JIT path) jit-compile.
 	LoadPhases exec.PhaseTimings
+	// Conc is the load-time shard-safety report, present when the stack
+	// was built with Conc enforcement enabled.
+	Conc *compile.ConcReport
 
 	stack  *Stack
 	engine exec.Engine
@@ -101,18 +117,36 @@ type Loaded struct {
 // Programs that fail verification never reach the kernel proper.
 func (s *Stack) Load(prog *isa.Program) (*Loaded, error) {
 	rec := exec.NewPhaseRecorder()
-	res, err := verifier.Verify(prog, s.Helpers, s.mapMeta, s.VerifierConfig)
+	vcfg := s.VerifierConfig
+	if s.Conc != exec.ConcOff {
+		// The shard-safety analyzer refines key provenance from the
+		// verifier's abstract-state snapshots; capture them for this load
+		// even if the stack normally elides the table.
+		vcfg.CaptureState = true
+	}
+	res, err := verifier.Verify(prog, s.Helpers, s.mapMeta, vcfg)
 	if err != nil {
 		return nil, fmt.Errorf("ebpf: load of %q rejected: %w", prog.Name, err)
 	}
 	rec.Mark("verify")
+	var cc *compile.ConcReport
+	if s.Conc != exec.ConcOff {
+		cc, err = concheck.AnalyzeBPF(prog, s.Helpers, s.mapMeta, s.mapKinds, res.States)
+		if err != nil {
+			return nil, fmt.Errorf("ebpf: shard-safety analysis of %q: %w", prog.Name, err)
+		}
+		rec.Mark("concheck")
+	}
 	insns := append([]isa.Instruction(nil), prog.Insns...)
 	if err := interp.Relocate(insns, s.Maps); err != nil {
 		return nil, err
 	}
 	rec.Mark("relocate")
 	fixed := &isa.Program{Name: prog.Name, Type: prog.Type, License: prog.License, Insns: insns}
-	l := &Loaded{Prog: fixed, Verdict: res, stack: s, orig: prog}
+	l := &Loaded{Prog: fixed, Verdict: res, Conc: cc, stack: s, orig: prog}
+	if cc != nil {
+		s.Core.SetConc(prog.Name, cc.Racy(), cc.Reason)
+	}
 	l.defaultCtx = s.K.Mem.Map(64, kernel.ProtRW, "bpf_ctx:"+prog.Name)
 	if s.UseJIT {
 		c, err := jit.Compile(fixed, s.JITConfig)

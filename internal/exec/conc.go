@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Shard-safety enforcement: the kernel-side half of the CONC property. The
+// toolchain proves (or fails to prove) that a program cannot lose updates
+// across the per-CPU data plane's shards; the verdict travels in the signed
+// object; this file is where the plane *acts* on it. Like every safext
+// property, the expensive reasoning already happened in userspace — the
+// data plane pays one atomic load per submission when every resident
+// program is certified, and only consults the verdict table when a
+// convicted program is actually loaded.
+
+// ConcMode selects what a multi-shard plane does with a program whose CONC
+// verdict is Racy. The zero value is ConcOff: no behavior change, bit-for-
+// bit the pre-CONC plane.
+type ConcMode int
+
+const (
+	// ConcOff ignores verdicts entirely.
+	ConcOff ConcMode = iota
+	// ConcWarn serializes Racy programs onto shard 0 — the program keeps
+	// running with single-shard semantics (no cross-shard window can open)
+	// and every demoted invocation is counted in ProgramStats.ConcDemotions.
+	ConcWarn
+	// ConcStrict refuses Racy programs at dispatch with ErrShardUnsafe.
+	ConcStrict
+)
+
+func (m ConcMode) String() string {
+	switch m {
+	case ConcWarn:
+		return "warn"
+	case ConcStrict:
+		return "strict"
+	}
+	return "off"
+}
+
+// ParseConcMode parses the -conc flag values.
+func ParseConcMode(s string) (ConcMode, error) {
+	switch s {
+	case "off", "":
+		return ConcOff, nil
+	case "warn":
+		return ConcWarn, nil
+	case "strict":
+		return ConcStrict, nil
+	}
+	return ConcOff, fmt.Errorf("exec: unknown conc mode %q (want off, warn, or strict)", s)
+}
+
+// ErrShardUnsafe reports a strict-mode dispatch of a program whose CONC
+// verdict is Racy on a plane with more than one shard.
+var ErrShardUnsafe = errors.New("exec: program convicted shard-unsafe (CONC verdict Racy) on multi-shard plane")
+
+// concVerdict is one program's registered shard-safety verdict.
+type concVerdict struct {
+	racy   bool
+	reason string
+}
+
+// concTable is the Core's verdict registry. Reads are lock-free; the racy
+// counter gives submission paths a one-atomic-load fast path when no
+// convicted program is resident (the common fleet state).
+type concTable struct {
+	mu       sync.Mutex // writers only (program loads)
+	verdicts sync.Map   // program name -> *concVerdict
+	racy     atomic.Int64
+}
+
+// SetConc registers a program's shard-safety verdict, replacing any prior
+// one (hot-swap re-registers on every activation, so the verdict tracks the
+// running build, not the first one loaded).
+func (c *Core) SetConc(program string, racy bool, reason string) {
+	t := &c.Conc
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.verdicts.Load(program); ok && old.(*concVerdict).racy {
+		t.racy.Add(-1)
+	}
+	t.verdicts.Store(program, &concVerdict{racy: racy, reason: reason})
+	if racy {
+		t.racy.Add(1)
+	}
+}
+
+// ConcVerdict reports a program's registered verdict. Unregistered programs
+// (verifier-stack loads predating CONC, hand-built tests) are not racy:
+// enforcement is opt-in per object, the verdict being part of what the
+// object's signature vouches for.
+func (c *Core) ConcVerdict(program string) (racy bool, reason string) {
+	if v, ok := c.Conc.verdicts.Load(program); ok {
+		cv := v.(*concVerdict)
+		return cv.racy, cv.reason
+	}
+	return false, ""
+}
+
+// gateConc applies the plane's conc mode to one batch, returning the shard
+// it should land on. Fast path: mode off, single shard (no cross-shard
+// window exists to exploit), or zero convicted programs resident.
+func (s *Sharded) gateConc(cpu int, b *Batch) (int, error) {
+	if s.conc == ConcOff || len(s.rings) <= 1 || s.core.Conc.racy.Load() == 0 {
+		return cpu, nil
+	}
+	demoted := false
+	for i := range b.Reqs {
+		racy, reason := s.core.ConcVerdict(b.Reqs[i].Program)
+		if !racy {
+			continue
+		}
+		if s.conc == ConcStrict {
+			return cpu, fmt.Errorf("%w: %s: %s", ErrShardUnsafe, b.Reqs[i].Program, reason)
+		}
+		s.core.Stats.RecordConcDemotion(b.Reqs[i].Program, reason)
+		demoted = true
+	}
+	if demoted {
+		// Warn mode: the whole batch serializes onto shard 0. One shard
+		// means one worker, so the convicted window can never interleave —
+		// the semantics the program was (implicitly) written for.
+		return 0, nil
+	}
+	return cpu, nil
+}

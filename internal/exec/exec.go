@@ -61,6 +61,11 @@ type Core struct {
 	// Stats accumulates per-program and per-CPU counters for every run
 	// and load dispatched through this core.
 	Stats Stats
+
+	// Conc is the shard-safety verdict registry: which resident programs
+	// the toolchain convicted of cross-shard races, consulted by the
+	// sharded data plane's submission gate (see conc.go).
+	Conc concTable
 }
 
 // NewCore assembles an execution core on the given kernel and registries.

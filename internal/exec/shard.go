@@ -31,6 +31,11 @@ type ShardedConfig struct {
 	// RingSize is the capacity, in batches, of each shard's submission
 	// ring. Zero defaults to 64.
 	RingSize int
+	// Conc selects shard-safety enforcement for programs whose signed CONC
+	// verdict is Racy: ConcOff (default) ignores verdicts, ConcWarn
+	// serializes convicted programs onto shard 0, ConcStrict refuses them
+	// with ErrShardUnsafe. See conc.go.
+	Conc ConcMode
 }
 
 // Batch is one unit of submission to a shard's ring: a set of requests to
@@ -64,6 +69,7 @@ type Batch struct {
 type Sharded struct {
 	core *Core
 	sup  *Supervisor // nil for unsupervised executors
+	conc ConcMode
 
 	rings []chan Batch
 	// busy accumulates each shard's consumed virtual CPU time; aggregate
@@ -101,6 +107,7 @@ func NewSharded(core *Core, sup *Supervisor, cfg ShardedConfig) *Sharded {
 	s := &Sharded{
 		core:  core,
 		sup:   sup,
+		conc:  cfg.Conc,
 		rings: make([]chan Batch, cfg.Shards),
 		busy:  make([]atomic.Int64, cfg.Shards),
 	}
@@ -167,6 +174,10 @@ func (s *Sharded) Submit(cpu int, b Batch) error {
 	if s.closed {
 		return ErrShardedClosed
 	}
+	cpu, err := s.gateConc(cpu, &b)
+	if err != nil {
+		return err
+	}
 	s.pending.Add(1)
 	select {
 	case s.rings[cpu] <- b:
@@ -197,6 +208,10 @@ func (s *Sharded) SubmitWaitCtx(ctx context.Context, cpu int, b Batch) error {
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		return ErrShardedClosed
+	}
+	cpu, err := s.gateConc(cpu, &b)
+	if err != nil {
+		return err
 	}
 	s.pending.Add(1)
 	// Blocking send under the read lock: Close's writer acquisition waits

@@ -52,6 +52,9 @@ type progCell struct {
 	tvDemotions    atomic.Uint64
 	lastTVDemotion atomic.Pointer[string]
 
+	concDemotions    atomic.Uint64
+	lastConcDemotion atomic.Pointer[string]
+
 	helperCalls sync.Map // helper name -> *atomic.Uint64
 	transitions sync.Map // "from->to" -> *atomic.Uint64
 }
@@ -119,6 +122,15 @@ type ProgramStats struct {
 	// any nonzero TVDemotions as a deploy blocker.
 	TVDemotions          uint64
 	LastTVDemotionReason string
+
+	// Shard-safety accounting: invocations of this program that a multi-shard
+	// plane in warn mode serialized onto shard 0 because the signed CONC
+	// report convicted the program of a cross-shard race, and the conviction
+	// behind the most recent demotion. A fleet running -conc=strict never
+	// demotes — Racy programs are refused at dispatch — so nonzero
+	// ConcDemotions identifies exactly the programs strict mode would reject.
+	ConcDemotions  uint64
+	LastConcReason string
 }
 
 // CPUStats aggregates every invocation dispatched on one CPU.
@@ -161,6 +173,16 @@ func (s *Stats) RecordTVDemotion(program, reason string) {
 	ps := s.prog(program)
 	ps.tvDemotions.Add(1)
 	ps.lastTVDemotion.Store(&reason)
+}
+
+// RecordConcDemotion accounts one invocation serialized onto a single shard
+// because the program's CONC verdict is Racy and the plane runs in warn
+// mode, retaining the conviction so an operator sees *which* access site
+// forfeited the parallelism.
+func (s *Stats) RecordConcDemotion(program, reason string) {
+	ps := s.prog(program)
+	ps.concDemotions.Add(1)
+	ps.lastConcDemotion.Store(&reason)
 }
 
 // RecordFuelElision accounts one invocation that ran without fuel metering
@@ -300,6 +322,10 @@ func (s *Stats) Snapshot() Snapshot {
 		if p := c.lastTVDemotion.Load(); p != nil {
 			lastTV = *p
 		}
+		var lastConc string
+		if p := c.lastConcDemotion.Load(); p != nil {
+			lastConc = *p
+		}
 		snap.Programs[k.(string)] = ProgramStats{
 			Invocations:     c.invocations.Load(),
 			Errors:          c.errors.Load(),
@@ -323,6 +349,9 @@ func (s *Stats) Snapshot() Snapshot {
 
 			TVDemotions:          c.tvDemotions.Load(),
 			LastTVDemotionReason: lastTV,
+
+			ConcDemotions:  c.concDemotions.Load(),
+			LastConcReason: lastConc,
 		}
 		return true
 	})
@@ -367,6 +396,10 @@ func (snap Snapshot) Totals() ProgramStats {
 		t.TVDemotions += ps.TVDemotions
 		if ps.LastTVDemotionReason != "" {
 			t.LastTVDemotionReason = ps.LastTVDemotionReason
+		}
+		t.ConcDemotions += ps.ConcDemotions
+		if ps.LastConcReason != "" {
+			t.LastConcReason = ps.LastConcReason
 		}
 		for h, n := range ps.HelperCalls {
 			if t.HelperCalls == nil {

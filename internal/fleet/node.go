@@ -43,6 +43,10 @@ type NodeConfig struct {
 	Supervisor exec.SupervisorConfig
 	// Runtime tunes the safext runtime protections.
 	Runtime runtime.Config
+	// Conc selects shard-safety enforcement on the node's sharded plane
+	// (exec.ConcMode): what happens when a pulled artifact's signed CONC
+	// verdict is Racy and the node has more than one shard.
+	Conc exec.ConcMode
 	// ToolchainKeys are the trusted toolchain signing keys enrolled in the
 	// node's kernel keyring (the §3.1 out-of-band bootstrap). The registry
 	// keys arrive via the transport; these do not.
@@ -139,7 +143,7 @@ func NewNode(id int, tr Transport, cfg NodeConfig) *Node {
 		tr:   tr,
 		rt:   rt,
 		sup:  sup,
-		sh:   rt.NewSharded(exec.ShardedConfig{Shards: cfg.NumCPU, RingSize: cfg.RingSize}),
+		sh:   rt.NewSharded(exec.ShardedConfig{Shards: cfg.NumCPU, RingSize: cfg.RingSize, Conc: cfg.Conc}),
 		ver:  registry.NewVerifier(),
 		rng:  cfg.Seed | 1,
 		exts: make(map[string]*runtime.Extension),
@@ -370,6 +374,13 @@ func (n *Node) versionFor(name, digest string, ext *runtime.Extension) exec.Vers
 		short = short[:8]
 	}
 	prog := name + "@" + short
+	// The plane's conc gate looks verdicts up by request program name, and
+	// versions run under their per-version name — re-register the signed
+	// verdict under that name so enforcement follows the running build
+	// through swaps and rollbacks.
+	if cc := ext.Conc; cc != nil {
+		n.rt.Core.SetConc(prog, cc.Racy(), cc.Reason)
+	}
 	return exec.Version{
 		Digest:  digest,
 		Program: prog,

@@ -61,6 +61,11 @@ type Object struct {
 	// under the signature; the kernel-side loader refuses OptMIR objects
 	// without a validated certificate.
 	TVal *TValCert
+	// Conc is the shard-safety report from the concheck analyzer (nil for
+	// objects built before the analyzer existed). Serialized into the
+	// container's CONC section, under the signature; a multi-shard data
+	// plane in strict mode refuses Racy programs at submission.
+	Conc *ConcReport
 }
 
 // Optimization levels. OptElide is what a Facts-carrying build always did;

@@ -1,0 +1,121 @@
+package compile
+
+// Shard-safety verdicts and classifications carried in the SLXO container's
+// CONC section (and produced at load time for the eBPF stack). The concheck
+// analyzer (internal/analysis/concheck) classifies every map access site a
+// program contains; the worst site decides the map verdict and the worst map
+// decides the program verdict. A Racy program is one the per-CPU sharded
+// data plane must not run on more than one shard: somewhere it opens an
+// unguarded read-modify-write window on a shared map whose key can alias
+// another shard's, so concurrent shards can lose updates.
+
+// Per-map (and per-program) verdict values.
+const (
+	// VerdictShardSafe: every access site is per-CPU private, a single
+	// atomic map operation, or serialized under a common lock.
+	VerdictShardSafe = "ShardSafe"
+	// VerdictReadOnly: the program only ever reads the map.
+	VerdictReadOnly = "ReadOnly"
+	// VerdictRacy: at least one unguarded read-modify-write window on a
+	// shared map with an alias-capable key.
+	VerdictRacy = "Racy"
+)
+
+// Site classifications, best to worst.
+const (
+	// ClassPerCPU: access to a percpu/percpu_hash map — each shard owns its
+	// own cells by construction.
+	ClassPerCPU = "percpu"
+	// ClassReadOnly: a read (map_get / lookup) whose value never feeds a
+	// write back to the same map.
+	ClassReadOnly = "readonly"
+	// ClassAtomic: a single atomic map operation — map_inc (the runtime's
+	// locked fetch-add), an eBPF atomic add through a map-value pointer, or
+	// a ring-buffer emit (reservation under the ring lock).
+	ClassAtomic = "atomic"
+	// ClassBlind: a write whose value does not derive from a read of the
+	// same map: last-writer-wins, no lost-update window. The final cell
+	// value is schedule-dependent, but every write is itself atomic.
+	ClassBlind = "blind"
+	// ClassGuarded: part of a read-modify-write window that is serialized
+	// under a sync section whose lock cell is common to all shards.
+	ClassGuarded = "guarded"
+	// ClassCPUKeyed: the key is provably injective in the shard id (derived
+	// from kernel::cpu() through injective arithmetic), so no two shards
+	// can touch the same cell.
+	ClassCPUKeyed = "cpu-keyed"
+	// ClassRacy: an unguarded read-modify-write window on a shared map with
+	// an alias-capable key — the one classification that convicts.
+	ClassRacy = "racy"
+)
+
+// ConcSite is one classified map access site, the analyzer's evidence.
+type ConcSite struct {
+	Map   string
+	Func  string
+	PC    int    // MIR instruction ordinal (SLX) or bytecode pc (eBPF)
+	Op    string // map_get / map_set / map_del / map_inc / emit / lookup / update / delete / store / atomic-add
+	Class string // one of the Class* constants
+	Key   string // key provenance, rendered ("const 5", "cpu", "ctx", "unknown")
+	Note  string // evidence detail for racy sites ("window with get@12", ...)
+	Line  int    // source line (SLX only; 0 for bytecode)
+}
+
+// ConcMapVerdict is one map's aggregate verdict with its sites.
+type ConcMapVerdict struct {
+	Map     string
+	Kind    string // hash / array / percpu / percpu_hash / ringbuf
+	Verdict string // VerdictShardSafe / VerdictReadOnly / VerdictRacy
+	Reason  string // first convicting evidence (empty unless Racy)
+	Sites   []ConcSite
+}
+
+// ConcReport is the whole-program shard-safety report. It is serialized
+// into the SLXO container's CONC section under the toolchain signature, so
+// the loader learns a *proven* concurrency property, not a hope. WallNanos
+// rides in memory only (benchmarks, kexload display) and is never
+// serialized: containers must stay byte-identical across rebuilds.
+type ConcReport struct {
+	Verdict string // worst map verdict; VerdictShardSafe when no maps
+	Reason  string // first convicting evidence (empty unless Racy)
+	Maps    []ConcMapVerdict
+	// Sites / Proven count all access sites and how many were classified
+	// better than racy — the "% proven" figure BENCH_conc.json tracks.
+	Sites  int
+	Proven int
+	// WallNanos is the analysis wall time (not serialized).
+	WallNanos int64
+}
+
+// Racy reports whether the program must not run on a multi-shard plane.
+func (r *ConcReport) Racy() bool { return r != nil && r.Verdict == VerdictRacy }
+
+// worseVerdict orders verdicts: Racy > ShardSafe > ReadOnly is not the
+// order — ReadOnly and ShardSafe are both acceptable; Racy dominates.
+func worseVerdict(a, b string) string {
+	if a == VerdictRacy || b == VerdictRacy {
+		return VerdictRacy
+	}
+	if a == VerdictShardSafe || b == VerdictShardSafe {
+		return VerdictShardSafe
+	}
+	return VerdictReadOnly
+}
+
+// Merge folds one map verdict into the program totals.
+func (r *ConcReport) Merge(mv ConcMapVerdict) {
+	if r.Verdict == "" {
+		r.Verdict = VerdictReadOnly
+	}
+	r.Verdict = worseVerdict(r.Verdict, mv.Verdict)
+	if r.Reason == "" && mv.Reason != "" {
+		r.Reason = mv.Reason
+	}
+	for _, s := range mv.Sites {
+		r.Sites++
+		if s.Class != ClassRacy {
+			r.Proven++
+		}
+	}
+	r.Maps = append(r.Maps, mv)
+}

@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"kex/internal/exec"
+	"kex/internal/safext/compile"
+)
+
+// racySrc opens the canonical lost-update window: an unguarded
+// read-modify-write on a shared hash map whose key is not shard-private.
+const racySrc = `
+map acc: hash<u64, u64>(8);
+
+fn main() -> i64 {
+	let cur = kernel::map_get(acc, 3);
+	kernel::map_set(acc, 3, cur + 1);
+	return cur % 2147483648;
+}
+`
+
+// safeSrc is the same workload through the crate's atomic fetch-add.
+const safeSrc = `
+map hits: hash<u32, u64>(16);
+
+fn main() -> i64 {
+	let n = kernel::map_inc(hits, 0, 1);
+	return n % 2147483648;
+}
+`
+
+// TestConcVerdictTravelsInSignedObject checks the CONC section end to end:
+// built, signed, serialized, deserialized, registered at load.
+func TestConcVerdictTravelsInSignedObject(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	racy := f.load(t, "racy", racySrc)
+	if racy.Conc == nil {
+		t.Fatal("loaded extension carries no CONC report")
+	}
+	if racy.Conc.Verdict != compile.VerdictRacy {
+		t.Fatalf("verdict = %q, want Racy", racy.Conc.Verdict)
+	}
+	if got, reason := f.rt.Core.ConcVerdict("racy"); !got || reason == "" {
+		t.Fatalf("core registry: racy=%v reason=%q", got, reason)
+	}
+	safe := f.load(t, "safe", safeSrc)
+	if safe.Conc == nil || safe.Conc.Verdict != compile.VerdictShardSafe {
+		t.Fatalf("safe verdict = %+v", safe.Conc)
+	}
+	if got, _ := f.rt.Core.ConcVerdict("safe"); got {
+		t.Fatal("safe program registered racy")
+	}
+}
+
+// TestConcStrictRefusalRegression is the load/dispatch acceptance check: a
+// Racy extension is refused on a multi-shard strict plane but runs
+// unhindered when the plane has a single shard.
+func TestConcStrictRefusalRegression(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	ext := f.load(t, "racy", racySrc)
+
+	submit := func(sh *exec.Sharded, cpu int) error {
+		p := ext.Prepare(RunOptions{})
+		var mu sync.Mutex
+		var ferr error
+		b := exec.Batch{Engine: ext.Engine(), Reqs: []exec.Request{p.Request()},
+			Done: func(results []exec.BatchResult) {
+				mu.Lock()
+				defer mu.Unlock()
+				_, ferr = p.Finish(results[0].Report, results[0].Err)
+			}}
+		if err := sh.SubmitWait(cpu, b); err != nil {
+			return err
+		}
+		sh.Flush()
+		mu.Lock()
+		defer mu.Unlock()
+		return ferr
+	}
+
+	multi := f.rt.NewSharded(exec.ShardedConfig{Shards: 2, Conc: exec.ConcStrict})
+	err := submit(multi, 1)
+	multi.Close()
+	if !errors.Is(err, exec.ErrShardUnsafe) {
+		t.Fatalf("multi-shard strict submit err = %v, want ErrShardUnsafe", err)
+	}
+
+	single := f.rt.NewSharded(exec.ShardedConfig{Shards: 1, Conc: exec.ConcStrict})
+	err = submit(single, 0)
+	single.Close()
+	if err != nil {
+		t.Fatalf("single-shard strict submit err = %v, want nil", err)
+	}
+}
+
+// TestConcWarnDemotionUnderLoad runs a convicted extension on a warn-mode
+// plane: every invocation lands on shard 0 and is counted, and because one
+// worker serializes the window, the final counter is exact.
+func TestConcWarnDemotionUnderLoad(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	ext := f.load(t, "racy", racySrc)
+	sh := f.rt.NewSharded(exec.ShardedConfig{Shards: 2, RingSize: 64, Conc: exec.ConcWarn})
+	defer sh.Close()
+
+	const n = 24
+	for i := 0; i < n; i++ {
+		p := ext.Prepare(RunOptions{})
+		b := exec.Batch{Engine: ext.Engine(), Reqs: []exec.Request{p.Request()},
+			Done: func(results []exec.BatchResult) {
+				p.Finish(results[0].Report, results[0].Err)
+			}}
+		if err := sh.SubmitWait(i%sh.Shards(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Flush()
+	snap := f.rt.Core.Stats.Snapshot()
+	ps := snap.Programs["racy"]
+	if ps.ConcDemotions != n {
+		t.Fatalf("ConcDemotions = %d, want %d", ps.ConcDemotions, n)
+	}
+	if ps.LastConcReason == "" {
+		t.Fatal("LastConcReason empty")
+	}
+	// Serialized onto one worker, the RMW window cannot interleave: the
+	// counter must be exactly n.
+	v, err := ext.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.R0 != n {
+		t.Fatalf("counter after %d demoted runs = %d, want %d", n, v.R0, n)
+	}
+}

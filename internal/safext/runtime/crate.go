@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"kex/internal/ebpf/helpers"
 	"kex/internal/ebpf/maps"
@@ -298,6 +299,14 @@ func crateMapDel(e *helpers.Env, a [5]uint64) (uint64, error) {
 	return 0, nil
 }
 
+// incStripes serializes concurrent map_inc calls against the same value
+// cell. The crate documents map_inc as an atomic fetch-add and the concheck
+// analyzer certifies sites on that basis (ClassAtomic), so the
+// implementation must actually be indivisible when shard workers race on a
+// shared map: a striped lock by value address keeps the load-add-store
+// window closed without a global bottleneck.
+var incStripes [64]sync.Mutex
+
 func crateMapInc(e *helpers.Env, a [5]uint64) (uint64, error) {
 	addr, _, err := valueAddr(e, a[0], a[1], true)
 	if err != nil {
@@ -306,6 +315,9 @@ func crateMapInc(e *helpers.Env, a [5]uint64) (uint64, error) {
 	if addr == 0 {
 		return 0, nil
 	}
+	mu := &incStripes[(addr>>3)%uint64(len(incStripes))]
+	mu.Lock()
+	defer mu.Unlock()
 	v, err := e.LoadUint(addr, 8)
 	if err != nil {
 		return 0, err

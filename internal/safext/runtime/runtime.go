@@ -211,6 +211,11 @@ type Extension struct {
 	// for pre-validator or analyzer-only objects.
 	TVal *compile.TValCert
 
+	// Conc is the shard-safety report from the signed object's CONC
+	// section: the per-map race verdicts the sharded data plane enforces
+	// (exec.ConcMode). Nil for objects built before the analyzer.
+	Conc *compile.ConcReport
+
 	// LoadPhases times the Figure 5 pipeline for this extension: the
 	// toolchain's parse/typecheck/compile/sign (when the signed object
 	// carried them) plus the loader's validate and fixup.
@@ -265,12 +270,18 @@ func (rt *Runtime) Load(so *toolchain.SignedObject) (*Extension, error) {
 	if tv := ext.TVal; tv != nil && tv.Demoted {
 		rt.Core.Stats.RecordTVDemotion(ext.Name, tv.Reason)
 	}
+	if cc := ext.Conc; cc != nil {
+		// Register the signed verdict with the execution core so the
+		// sharded plane's submission gate can act on it. Hot-swap reloads
+		// come back through here, so the registry tracks the live build.
+		rt.Core.SetConc(ext.Name, cc.Racy(), cc.Reason)
+	}
 	return ext, nil
 }
 
 // install performs the load-time fixup on a deserialized object.
 func (rt *Runtime) install(obj *compile.Object) (*Extension, error) {
-	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, Checks: obj.Checks, TVal: obj.TVal, maps: make(map[string]maps.Map)}
+	ext := &Extension{Name: obj.Name, rt: rt, Capabilities: obj.Capabilities, Checks: obj.Checks, TVal: obj.TVal, Conc: obj.Conc, maps: make(map[string]maps.Map)}
 	if b := ext.Checks.StaticInsnBound; b > 0 && rt.Cfg.Fuel > 0 && uint64(b) <= rt.Cfg.Fuel {
 		ext.coalesceFuel = true
 		ext.recordFuelElision = rt.Core.Stats.FuelElisionRecorder(ext.Name)

@@ -575,7 +575,7 @@ fn main() -> i64 {
 	return t - t;
 }
 `)
-	want := []string{"parse", "typecheck", "compile", "sign", "validate", "fixup"}
+	want := []string{"parse", "typecheck", "compile", "concheck", "sign", "validate", "fixup"}
 	if len(ext.LoadPhases) != len(want) {
 		t.Fatalf("phases = %v, want %v", ext.LoadPhases, want)
 	}

@@ -51,6 +51,14 @@ var (
 	// missing, unvalidated, or demoted, so "the optimizer was proven
 	// against this exact build" is part of what the signature vouches for.
 	secTval = [4]byte{'T', 'V', 'A', 'L'}
+	// secConc carries the shard-safety report: the per-map concurrency
+	// verdicts (ShardSafe / ReadOnly / Racy) and the classified access
+	// sites behind them. Inside the signed payload like CHEK/TVAL — the
+	// per-CPU data plane enforces the verdict at dispatch (strict mode
+	// refuses Racy programs on a multi-shard plane; warn mode serializes
+	// them onto one shard), so "this program cannot lose updates across
+	// shards" is part of what the signature vouches for.
+	secConc = [4]byte{'C', 'O', 'N', 'C'}
 )
 
 // Certificate field caps: the loader runs before trust is established, so
@@ -58,6 +66,9 @@ var (
 const (
 	tvalMaxReason = 512
 	tvalMaxFuncs  = 256
+	concMaxMaps   = 64
+	concMaxSites  = 4096
+	concMaxStr    = 512
 )
 
 // Serialize encodes a compiled object into the SLXO container.
@@ -200,6 +211,48 @@ func Serialize(obj *compile.Object) ([]byte, error) {
 			}
 		}
 		section(secTval, tvBuf.Bytes())
+	}
+
+	// CONC is emitted only when the shard-safety analysis ran, so older
+	// pipelines produce byte-identical containers.
+	if cc := obj.Conc; cc != nil {
+		var ccBuf bytes.Buffer
+		writeStr(&ccBuf, cc.Verdict)
+		writeStr(&ccBuf, cc.Reason)
+		le.PutUint32(v4[:], uint32(cc.Sites))
+		ccBuf.Write(v4[:])
+		le.PutUint32(v4[:], uint32(cc.Proven))
+		ccBuf.Write(v4[:])
+		// WallNanos is intentionally NOT serialized (same rule as TVAL):
+		// a measurement, not part of the proof.
+		if len(cc.Maps) > concMaxMaps {
+			return nil, fmt.Errorf("toolchain: CONC report covers %d maps, cap is %d", len(cc.Maps), concMaxMaps)
+		}
+		le.PutUint32(v4[:], uint32(len(cc.Maps)))
+		ccBuf.Write(v4[:])
+		for _, mv := range cc.Maps {
+			writeStr(&ccBuf, mv.Map)
+			writeStr(&ccBuf, mv.Kind)
+			writeStr(&ccBuf, mv.Verdict)
+			writeStr(&ccBuf, mv.Reason)
+			if len(mv.Sites) > concMaxSites {
+				return nil, fmt.Errorf("toolchain: CONC map %s has %d sites, cap is %d", mv.Map, len(mv.Sites), concMaxSites)
+			}
+			le.PutUint32(v4[:], uint32(len(mv.Sites)))
+			ccBuf.Write(v4[:])
+			for _, s := range mv.Sites {
+				writeStr(&ccBuf, s.Func)
+				le.PutUint32(v4[:], uint32(s.PC))
+				ccBuf.Write(v4[:])
+				le.PutUint32(v4[:], uint32(s.Line))
+				ccBuf.Write(v4[:])
+				writeStr(&ccBuf, s.Op)
+				writeStr(&ccBuf, s.Class)
+				writeStr(&ccBuf, s.Key)
+				writeStr(&ccBuf, s.Note)
+			}
+		}
+		section(secConc, ccBuf.Bytes())
 	}
 
 	return buf.Bytes(), nil
@@ -398,6 +451,99 @@ func Deserialize(payload []byte) (*compile.Object, error) {
 				return nil, fmt.Errorf("toolchain: oversized TVAL section")
 			}
 			obj.TVal = tv
+		case secConc:
+			r := bytes.NewReader(body)
+			var v4 [4]byte
+			cc := &compile.ConcReport{}
+			var err error
+			readCapped := func(what string) (string, error) {
+				s, err := readStr(r)
+				if err != nil {
+					return "", fmt.Errorf("toolchain: truncated CONC section")
+				}
+				if len(s) > concMaxStr {
+					return "", fmt.Errorf("toolchain: oversized CONC %s (%d bytes)", what, len(s))
+				}
+				return s, nil
+			}
+			readU32 := func(dst *int) error {
+				if _, err := io.ReadFull(r, v4[:]); err != nil {
+					return fmt.Errorf("toolchain: truncated CONC section")
+				}
+				*dst = int(binary.LittleEndian.Uint32(v4[:]))
+				return nil
+			}
+			if cc.Verdict, err = readCapped("verdict"); err != nil {
+				return nil, err
+			}
+			if cc.Reason, err = readCapped("reason"); err != nil {
+				return nil, err
+			}
+			if err = readU32(&cc.Sites); err != nil {
+				return nil, err
+			}
+			if err = readU32(&cc.Proven); err != nil {
+				return nil, err
+			}
+			var nmaps int
+			if err = readU32(&nmaps); err != nil {
+				return nil, err
+			}
+			if nmaps > concMaxMaps {
+				return nil, fmt.Errorf("toolchain: CONC claims %d maps, cap is %d", nmaps, concMaxMaps)
+			}
+			for i := 0; i < nmaps; i++ {
+				var mv compile.ConcMapVerdict
+				if mv.Map, err = readCapped("map name"); err != nil {
+					return nil, err
+				}
+				if mv.Kind, err = readCapped("map kind"); err != nil {
+					return nil, err
+				}
+				if mv.Verdict, err = readCapped("map verdict"); err != nil {
+					return nil, err
+				}
+				if mv.Reason, err = readCapped("map reason"); err != nil {
+					return nil, err
+				}
+				var nsites int
+				if err = readU32(&nsites); err != nil {
+					return nil, err
+				}
+				if nsites > concMaxSites {
+					return nil, fmt.Errorf("toolchain: CONC map %s claims %d sites, cap is %d", mv.Map, nsites, concMaxSites)
+				}
+				for j := 0; j < nsites; j++ {
+					s := compile.ConcSite{Map: mv.Map}
+					if s.Func, err = readCapped("site func"); err != nil {
+						return nil, err
+					}
+					if err = readU32(&s.PC); err != nil {
+						return nil, err
+					}
+					if err = readU32(&s.Line); err != nil {
+						return nil, err
+					}
+					if s.Op, err = readCapped("site op"); err != nil {
+						return nil, err
+					}
+					if s.Class, err = readCapped("site class"); err != nil {
+						return nil, err
+					}
+					if s.Key, err = readCapped("site key"); err != nil {
+						return nil, err
+					}
+					if s.Note, err = readCapped("site note"); err != nil {
+						return nil, err
+					}
+					mv.Sites = append(mv.Sites, s)
+				}
+				cc.Maps = append(cc.Maps, mv)
+			}
+			if r.Len() != 0 {
+				return nil, fmt.Errorf("toolchain: oversized CONC section")
+			}
+			obj.Conc = cc
 		default:
 			return nil, fmt.Errorf("toolchain: unknown section %q", tag)
 		}

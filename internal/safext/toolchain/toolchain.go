@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"kex/internal/analysis/concheck"
 	"kex/internal/analysis/transval"
 	"kex/internal/exec"
 	"kex/internal/safext/analyze"
@@ -65,6 +66,23 @@ type SignedObject struct {
 	Phases exec.PhaseTimings
 }
 
+// analyzeConc runs the shard-safety analyzer over the checked source and
+// attaches the report to the object. Every build pipeline runs it: the
+// verdict is cheap (one MIR walk), travels under the signature, and the
+// per-CPU data plane needs it to decide whether the program may fan out.
+// The analyzer itself is wall-clock-free; the measurement lives here.
+func analyzeConc(checked *lang.Checked, obj *compile.Object, rec *exec.PhaseRecorder) error {
+	start := time.Now()
+	cc, err := concheck.AnalyzeSLX(checked, obj.Maps)
+	if err != nil {
+		return fmt.Errorf("toolchain: shard-safety analysis: %w", err)
+	}
+	cc.WallNanos = time.Since(start).Nanoseconds()
+	obj.Conc = cc
+	rec.Mark("concheck")
+	return nil
+}
+
 // Build compiles SLX source through the full trusted pipeline —
 // parse, type-check, compile — without signing (for inspection).
 func Build(name, src string) (*compile.Object, error) {
@@ -91,6 +109,9 @@ func BuildProfiled(name, src string) (*compile.Object, exec.PhaseTimings, error)
 		return nil, nil, err
 	}
 	rec.Mark("compile")
+	if err := analyzeConc(checked, obj, rec); err != nil {
+		return nil, nil, err
+	}
 	return obj, rec.Phases(), nil
 }
 
@@ -124,6 +145,9 @@ func BuildOptimizedProfiled(name, src string) (*compile.Object, *analyze.Result,
 		return nil, nil, nil, err
 	}
 	rec.Mark("compile")
+	if err := analyzeConc(checked, obj, rec); err != nil {
+		return nil, nil, nil, err
+	}
 	return obj, facts, rec.Phases(), nil
 }
 
@@ -187,6 +211,9 @@ func BuildOptimizedMIRProfiled(name, src string) (*compile.Object, *analyze.Resu
 		obj = demoted
 	}
 	rec.Mark("transval")
+	if err := analyzeConc(checked, obj, rec); err != nil {
+		return nil, nil, nil, err
+	}
 	return obj, facts, rec.Phases(), nil
 }
 
